@@ -1,0 +1,48 @@
+// Command benchgen generates ConvMeter benchmark datasets (the paper's
+// measurement campaigns) to CSV using the built-in simulators.
+//
+// Usage:
+//
+//	benchgen -scenario inference-gpu -out gpu.csv
+//	benchgen -scenario inference-cpu -seed 7 -out cpu.csv
+//	benchgen -scenario train-single  -out train1.csv
+//	benchgen -scenario train-multi   -out trainN.csv
+//	benchgen -scenario blocks        -out blocks.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"convmeter"
+)
+
+func main() {
+	scenario := flag.String("scenario", "inference-gpu",
+		"one of: inference-gpu, inference-cpu, train-single, train-multi, blocks")
+	seed := flag.Int64("seed", 1, "simulator seed")
+	out := flag.String("out", "", "output CSV path (default stdout)")
+	flag.Parse()
+
+	samples, err := convmeter.CollectNamed(*scenario, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := convmeter.WriteCSV(w, samples); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgen: wrote %d samples (%s)\n", len(samples), *scenario)
+}

@@ -1,0 +1,15 @@
+// Command convmeter is the ConvMeter CLI: inspect ConvNet metrics, fit
+// performance models on benchmark datasets (persisting the coefficients
+// as JSON), and predict inference time, training time and weak/strong
+// scaling. See `convmeter help` or internal/cli for the command set.
+package main
+
+import (
+	"os"
+
+	"convmeter/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Run(os.Args[1:], cli.Env{Stdout: os.Stdout, Stderr: os.Stderr}))
+}

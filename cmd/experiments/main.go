@@ -1,0 +1,75 @@
+// Command experiments reproduces the paper's evaluation: every table and
+// figure, end to end (dataset generation → fitting → leave-one-model-out
+// evaluation → rendered tables). Its full-scale output is recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run table1 -seed 7
+//	experiments -run fig8 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"convmeter"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (fig2, table1, table2, table3single, fig6, table3multi, fig8, fig9, ablation, extvit, extedge, extpipeline, extreal, extstrong) or 'all'")
+	seed := flag.Int64("seed", 1, "simulator/fitting seed")
+	quick := flag.Bool("quick", false, "use reduced sweeps (for smoke runs)")
+	out := flag.String("out", "", "also write the output to this file")
+	csvDir := flag.String("csvdir", "", "write figure data series as CSV files into this directory")
+	flag.Parse()
+
+	cfg := convmeter.ExperimentConfig{Seed: *seed, Quick: *quick}
+	var results []*convmeter.ExperimentResult
+	if *run == "all" {
+		all, err := convmeter.RunAllExperiments(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		results = all
+	} else {
+		res, err := convmeter.RunExperiment(*run, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	}
+	var sinks []io.Writer = []io.Writer{os.Stdout}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	w := io.MultiWriter(sinks...)
+	for _, res := range results {
+		fmt.Fprintf(w, "==============================================================\n")
+		fmt.Fprintf(w, "%s\n", res.Title)
+		fmt.Fprintf(w, "==============================================================\n")
+		fmt.Fprintln(w, res.Text)
+		if *csvDir != "" {
+			for name, doc := range res.Series {
+				path := filepath.Join(*csvDir, name+".csv")
+				if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "experiments:", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package convmeter_test
+
+import (
+	"fmt"
+
+	"convmeter"
+)
+
+// ExampleMetricsOf shows the static metric extraction at the heart of
+// ConvMeter: no network execution, just a graph traversal.
+func ExampleMetricsOf() {
+	g, err := convmeter.BuildModel("resnet50", 224)
+	if err != nil {
+		panic(err)
+	}
+	met, err := convmeter.MetricsOf(g)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("weights: %.0f\n", met.Weights)
+	fmt.Printf("layers: %.0f\n", met.Layers)
+	// Output:
+	// weights: 25557032
+	// layers: 107
+}
+
+// ExampleFitInference runs the complete modeling loop: benchmark sweep,
+// four-coefficient fit, prediction for an unseen model.
+func ExampleFitInference() {
+	sc := convmeter.DefaultInferenceScenario(convmeter.A100(), 1)
+	sc.Models = []string{"resnet18", "mobilenet_v2", "vgg11", "alexnet"}
+	sc.Images = []int{64, 128}
+	sc.Batches = []int{1, 8, 64}
+	samples, err := convmeter.CollectInference(sc)
+	if err != nil {
+		panic(err)
+	}
+	model, err := convmeter.FitInference(samples)
+	if err != nil {
+		panic(err)
+	}
+	g, err := convmeter.BuildModel("resnet50", 224) // never benchmarked
+	if err != nil {
+		panic(err)
+	}
+	met, err := convmeter.MetricsOf(g)
+	if err != nil {
+		panic(err)
+	}
+	t := model.Predict(met, 64)
+	fmt.Printf("prediction is positive and sub-second: %v\n", t > 0 && t < 1)
+	// Output:
+	// prediction is positive and sub-second: true
+}
+
+// ExampleTrainingModel_PredictStrongScaling demonstrates strong-scaling
+// prediction: a fixed global batch spread over growing node counts.
+func ExampleTrainingModel_PredictStrongScaling() {
+	sc := convmeter.DefaultDistributedScenario(1)
+	sc.Models = []string{"resnet18", "resnet50", "mobilenet_v2", "alexnet"}
+	sc.Images = []int{128}
+	sc.Batches = []int{16, 64}
+	samples, err := convmeter.CollectTraining(sc)
+	if err != nil {
+		panic(err)
+	}
+	tm, err := convmeter.FitTraining(samples)
+	if err != nil {
+		panic(err)
+	}
+	g, err := convmeter.BuildModel("efficientnet_b0", 128)
+	if err != nil {
+		panic(err)
+	}
+	met, err := convmeter.MetricsOf(g)
+	if err != nil {
+		panic(err)
+	}
+	points, err := tm.PredictStrongScaling(met, 1024, 4, []int{1, 4})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("per-device batch at 4 nodes: %.0f\n", points[1].BatchPerDevice)
+	fmt.Printf("4-node speedup in (1, 4): %v\n", points[1].Speedup > 1 && points[1].Speedup < 4)
+	// Output:
+	// per-device batch at 4 nodes: 64
+	// 4-node speedup in (1, 4): true
+}

@@ -1,0 +1,62 @@
+// Real data-parallel training: the distributed-training semantics the
+// paper's performance model describes (§2: forward, backward, ring
+// all-reduce gradient update), executed for real — worker goroutines
+// compute gradients with the Go-native execution engine and synchronise
+// them with an actual ring all-reduce, then every replica applies the
+// identical SGD step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"convmeter"
+	"convmeter/internal/train"
+)
+
+func main() {
+	// A small trainable CNN over 12×12 inputs, 4 classes.
+	b, x := convmeter.NewGraph("demo-cnn", convmeter.Shape{C: 3, H: 12, W: 12})
+	x = b.Conv(x, "conv1", 8, 3, 1, 1)
+	x = b.ReLU(x, "relu1")
+	x = b.MaxPool2d(x, "pool", 2, 2, 0)
+	x = b.Conv(x, "conv2", 16, 3, 1, 1)
+	x = b.ReLU(x, "relu2")
+	x = b.GlobalAvgPool(x, "gap")
+	x = b.Flatten(x, "flat")
+	x = b.Linear(x, "fc", 4)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	task, err := train.NewPrototypeTask(g, 4, 0.4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		workers = 4
+		steps   = 20
+		batch   = 8
+	)
+	fmt.Printf("training %s on %d workers (ring all-reduce), batch %d/worker:\n\n",
+		"demo-cnn", workers, batch)
+	res, err := train.DataParallel(g, train.Config{
+		Workers: workers, GroupSize: 2, LR: 0.1, Seed: 7,
+	}, steps, task.Source(batch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, l := range res.Losses {
+		if i%4 == 0 || i == len(res.Losses)-1 {
+			fmt.Printf("  step %2d: mean loss %.4f\n", i, l)
+		}
+	}
+	fmt.Printf("\nreplica weight checksums after training (must all match):\n")
+	for w, c := range res.Checksums {
+		fmt.Printf("  worker %d: %.9g\n", w, c)
+	}
+	fmt.Println("\nevery gradient here crossed a real ring all-reduce — the")
+	fmt.Println("communication pattern whose *cost* the ConvMeter gradient-update")
+	fmt.Println("model (T_grad = c1·L + c2·W + c3·N) predicts.")
+}

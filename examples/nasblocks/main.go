@@ -1,0 +1,101 @@
+// NAS-style block ranking: the paper's §4.1.2 use case. Neural
+// architecture search needs fast runtime estimates for candidate blocks;
+// ConvMeter predicts block latency from static metrics after fitting on
+// measurements of *other* blocks, so new candidates never need to be
+// benchmarked.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"convmeter"
+	"convmeter/internal/nas"
+)
+
+func main() {
+	// Benchmark all Table-2 blocks except the candidates under study.
+	candidates := map[string]bool{"MBConv": true, "InvertedResidual3": true, "Bottleneck4": true}
+	sc := convmeter.DefaultBlockScenario(7)
+	var trainBlocks []string
+	for _, b := range sc.Blocks {
+		if !candidates[b] {
+			trainBlocks = append(trainBlocks, b)
+		}
+	}
+	sc.Blocks = trainBlocks
+	samples, err := convmeter.CollectBlocks(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := convmeter.FitInference(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fitted block-latency model on %d measurements of %d blocks\n\n",
+		len(samples), len(trainBlocks))
+
+	// Rank the unseen candidate blocks at their natural placement for a
+	// batch-64 workload: latency per unit of useful compute.
+	type ranked struct {
+		name    string
+		latency float64 // predicted ms at batch 64
+		gflops  float64 // per-image workload
+		params  float64
+	}
+	var rank []ranked
+	for name := range candidates {
+		info, err := convmeter.Block(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := convmeter.BuildBlock(name, info.NaturalHW)
+		if err != nil {
+			log.Fatal(err)
+		}
+		met, err := convmeter.MetricsOf(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rank = append(rank, ranked{
+			name:    name,
+			latency: model.Predict(met, 64) * 1e3,
+			gflops:  met.FLOPs / 1e9,
+			params:  met.Weights,
+		})
+	}
+	sort.Slice(rank, func(i, j int) bool { return rank[i].latency < rank[j].latency })
+	fmt.Println("candidate blocks ranked by predicted batch-64 latency (never measured):")
+	for i, r := range rank {
+		fmt.Printf("  %d. %-20s %8.3f ms   %6.2f GFLOP/img   %8.0f params\n",
+			i+1, r.name, r.latency, r.gflops, r.params)
+	}
+	fmt.Println("\na NAS loop would issue one such prediction per candidate —")
+	fmt.Println("microseconds of arithmetic instead of a device benchmark.")
+
+	// Part 2: a full latency-constrained architecture search over a
+	// MobileNet-style space, every candidate evaluated by prediction.
+	sweep, err := convmeter.CollectInference(convmeter.DefaultInferenceScenario(convmeter.A100(), 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := convmeter.FitInference(sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		img    = 128
+		batch  = 64
+		budget = 0.0015 // 1.5 ms at batch 64
+	)
+	res, err := nas.Search(nas.PredictedEvaluator(full, batch), img, budget, 16, 6, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlatency-constrained search (budget %.1f ms @ batch %d, %d blocks):\n",
+		budget*1e3, batch, nas.NumBlocks())
+	fmt.Printf("  evaluated %d candidates (%d feasible) — all by prediction\n", res.Evaluated, res.Feasible)
+	fmt.Printf("  winner: %.2f GFLOP/img, %.1fM params, predicted %.3f ms\n",
+		res.BestMetrics.FLOPs/1e9, res.BestMetrics.Weights/1e6, res.BestLatency*1e3)
+}

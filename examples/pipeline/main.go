@@ -1,0 +1,63 @@
+// Pipeline model parallelism: the extension the paper sketches in §3 —
+// because ConvMeter predicts subgraphs/blocks, it can plan model-parallel
+// deployments. This example partitions large ConvNets into pipeline
+// stages, predicts each stage from the fitted block-wise model, and picks
+// the best stage count without ever running a pipeline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"convmeter"
+)
+
+func main() {
+	// Fit the block-wise inference model (the paper's Table 2 setting).
+	samples, err := convmeter.CollectBlocks(convmeter.DefaultBlockScenario(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := convmeter.FitInference(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred := &convmeter.PipelinePredictor{Model: model, Link: convmeter.NVLinkStageLink()}
+	fmt.Printf("block-wise model fitted on %d measurements\n\n", len(samples))
+
+	const (
+		batch      = 64
+		microBatch = 8
+	)
+	for _, name := range []string{"vgg16", "resnet50"} {
+		g, err := convmeter.BuildModel(name, 224)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s @ 224px, batch %d in micro-batches of %d:\n", name, batch, microBatch)
+		for _, k := range []int{1, 2, 4, 6} {
+			stages, err := convmeter.PartitionPipeline(g, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			t, err := pred.Predict(stages, batch, microBatch)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// Show the per-stage balance for the 4-way split.
+			balance := ""
+			if k == 4 {
+				balance = "  stage GFLOPs:"
+				for _, st := range stages {
+					balance += fmt.Sprintf(" %.1f", st.Met.FLOPs/1e9)
+				}
+			}
+			fmt.Printf("  %d stage(s): %8.0f images/s%s\n", k, float64(batch)/t, balance)
+		}
+		bestK, bestT, err := pred.BestStageCount(g, 8, batch, microBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> plan: %d stages (%.0f images/s), chosen from metrics alone\n\n", bestK, bestT)
+	}
+}

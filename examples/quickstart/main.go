@@ -1,0 +1,69 @@
+// Quickstart: extract ConvMeter metrics from a network, fit the
+// inference performance model on a benchmark sweep, predict the runtime
+// of an unseen model, and check the accuracy with the paper's
+// leave-one-model-out protocol.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"convmeter"
+)
+
+func main() {
+	// ConvMeter works on static graph metrics — no network execution.
+	g, err := convmeter.BuildModel("resnet50", 224)
+	if err != nil {
+		log.Fatal(err)
+	}
+	met, err := convmeter.MetricsOf(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ResNet-50 @ 224px:")
+	fmt.Printf("  FLOPs   %.3g\n", met.FLOPs)
+	fmt.Printf("  Inputs  %.3g elements\n", met.Inputs)
+	fmt.Printf("  Outputs %.3g elements\n", met.Outputs)
+	fmt.Printf("  Weights %.0f\n", met.Weights)
+	fmt.Printf("  Layers  %.0f\n", met.Layers)
+
+	// Collect a benchmark dataset. ResNet-50 is deliberately excluded
+	// from the sweep: the fitted model has never seen it.
+	sc := convmeter.DefaultInferenceScenario(convmeter.A100(), 1)
+	var withoutTarget []string
+	for _, m := range sc.Models {
+		if m != "resnet50" {
+			withoutTarget = append(withoutTarget, m)
+		}
+	}
+	sc.Models = withoutTarget
+	samples, err := convmeter.CollectInference(sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted on %d benchmark points from %d other ConvNets\n",
+		len(samples), len(sc.Models))
+
+	model, err := convmeter.FitInference(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted ResNet-50 inference time (unseen model):")
+	for _, b := range []int{1, 16, 64, 256, 1024} {
+		t := model.Predict(met, float64(b))
+		fmt.Printf("  batch %4d: %9.3f ms  (%8.0f images/s)\n",
+			b, t*1e3, float64(b)/t)
+	}
+
+	// How accurate is the model overall? The paper's LOMO protocol.
+	full, err := convmeter.CollectInference(convmeter.DefaultInferenceScenario(convmeter.A100(), 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := convmeter.EvaluateInferenceLOMO(full)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nleave-one-model-out accuracy over the zoo: %s\n", ev.Overall)
+}

@@ -1,0 +1,3 @@
+module convmeter
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package allreduce is a working implementation of the ring all-reduce
+// algorithm the paper's gradient-update model is built around (§3.3:
+// "a ring-all-reduce pattern synchronizes all local updates"). N workers
+// — one goroutine each, connected in a ring by channels — reduce their
+// equally sized gradient vectors to the elementwise sum in 2·(N−1) steps:
+// a reduce-scatter phase followed by an all-gather phase, each moving one
+// 1/N-sized chunk per step. This is the communication pattern NCCL and
+// Horovod use; netsim models its *cost*, this package executes it for
+// real and pins down its semantics.
+package allreduce
+
+import (
+	"fmt"
+	"sync"
+)
+
+// chunkBounds splits length n into p contiguous chunks; chunk i spans
+// [start, end). Chunks differ in size by at most one element, and may be
+// empty when n < p.
+func chunkBounds(n, p, i int) (start, end int) {
+	base := n / p
+	rem := n % p
+	start = i*base + min(i, rem)
+	size := base
+	if i < rem {
+		size++
+	}
+	return start, start + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Ring reduces the workers' vectors in place to their elementwise sum
+// using ring all-reduce. vectors[i] is worker i's local gradient; all
+// vectors must have equal length. The run is fully concurrent: one
+// goroutine per worker, synchronised only by the ring channels.
+func Ring(vectors [][]float32) error {
+	n := len(vectors)
+	if n == 0 {
+		return fmt.Errorf("allreduce: no workers")
+	}
+	length := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != length {
+			return fmt.Errorf("allreduce: worker %d has %d elements, worker 0 has %d", i, len(v), length)
+		}
+	}
+	if n == 1 {
+		return nil // nothing to reduce
+	}
+	// links[i] carries messages from worker i-1 to worker i (mod n).
+	links := make([]chan []float32, n)
+	for i := range links {
+		links[i] = make(chan []float32, 1)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			v := vectors[me]
+			send := links[(me+1)%n]
+			recv := links[me]
+			// Phase 1 — reduce-scatter: after step s, worker me holds the
+			// partial sum of chunk (me−s) accumulated over s+1 workers. At
+			// the end, worker me owns the fully reduced chunk (me+1) mod n.
+			for s := 0; s < n-1; s++ {
+				sendChunk := ((me-s)%n + n) % n
+				recvChunk := ((me-s-1)%n + n) % n
+				a, b := chunkBounds(length, n, sendChunk)
+				out := make([]float32, b-a)
+				copy(out, v[a:b])
+				send <- out
+				in := <-recv
+				a, b = chunkBounds(length, n, recvChunk)
+				for k := range in {
+					v[a+k] += in[k]
+				}
+			}
+			// Phase 2 — all-gather: circulate the fully reduced chunks.
+			for s := 0; s < n-1; s++ {
+				sendChunk := ((me-s+1)%n + n) % n
+				recvChunk := ((me-s)%n + n) % n
+				a, b := chunkBounds(length, n, sendChunk)
+				out := make([]float32, b-a)
+				copy(out, v[a:b])
+				send <- out
+				in := <-recv
+				a, b = chunkBounds(length, n, recvChunk)
+				copy(v[a:b], in)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Hierarchical performs the two-level reduction the paper's cluster uses
+// (NVLink ring inside each node, network ring across nodes): an
+// intra-group ring reduce, an inter-group ring across group leaders, and
+// an intra-group broadcast. groupSize is the number of workers per node.
+func Hierarchical(vectors [][]float32, groupSize int) error {
+	n := len(vectors)
+	if n == 0 {
+		return fmt.Errorf("allreduce: no workers")
+	}
+	if groupSize <= 0 || n%groupSize != 0 {
+		return fmt.Errorf("allreduce: %d workers do not split into groups of %d", n, groupSize)
+	}
+	// Intra-group rings.
+	var wg sync.WaitGroup
+	errs := make([]error, n/groupSize)
+	for g := 0; g < n/groupSize; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			errs[g] = Ring(vectors[g*groupSize : (g+1)*groupSize])
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Inter-group ring across the group leaders.
+	leaders := make([][]float32, 0, n/groupSize)
+	for g := 0; g < n/groupSize; g++ {
+		leaders = append(leaders, vectors[g*groupSize])
+	}
+	if err := Ring(leaders); err != nil {
+		return err
+	}
+	// Broadcast inside each group.
+	for g := 0; g < n/groupSize; g++ {
+		src := vectors[g*groupSize]
+		for w := 1; w < groupSize; w++ {
+			copy(vectors[g*groupSize+w], src)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package allreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// RingTCP performs the same ring all-reduce as Ring, but over real TCP
+// connections (loopback sockets between the workers) instead of
+// channels — the transport shape of the paper's inter-node phase, where
+// gradients cross an actual network. Chunks are framed as
+// length-prefixed float32 payloads.
+//
+// The ring is wired as n listeners; worker i dials worker (i+1) mod n, so
+// each worker holds one inbound and one outbound connection.
+func RingTCP(vectors [][]float32) error {
+	n := len(vectors)
+	if n == 0 {
+		return fmt.Errorf("allreduce: no workers")
+	}
+	length := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != length {
+			return fmt.Errorf("allreduce: worker %d has %d elements, worker 0 has %d", i, len(v), length)
+		}
+	}
+	if n == 1 {
+		return nil
+	}
+	// One loopback listener per worker.
+	listeners := make([]net.Listener, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("allreduce: listen: %w", err)
+		}
+		listeners[i] = l
+		defer l.Close()
+	}
+	// Accept inbound connections concurrently while dialling outbound.
+	inConns := make([]net.Conn, n)
+	outConns := make([]net.Conn, n)
+	var wg sync.WaitGroup
+	errs := make([]error, 2*n)
+	for i := 0; i < n; i++ {
+		wg.Add(2)
+		go func(i int) {
+			defer wg.Done()
+			c, err := listeners[i].Accept()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			inConns[i] = c
+		}(i)
+		go func(i int) {
+			defer wg.Done()
+			c, err := net.Dial("tcp", listeners[(i+1)%n].Addr().String())
+			if err != nil {
+				errs[n+i] = err
+				return
+			}
+			outConns[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fmt.Errorf("allreduce: ring wiring: %w", err)
+		}
+	}
+	defer func() {
+		for _, c := range inConns {
+			c.Close()
+		}
+		for _, c := range outConns {
+			c.Close()
+		}
+	}()
+
+	workerErrs := make([]error, n)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			v := vectors[me]
+			send := outConns[me]
+			recv := inConns[me]
+			step := func(sendChunk, recvChunk int, reduce bool) error {
+				a, b := chunkBounds(length, n, sendChunk)
+				if err := writeChunk(send, v[a:b]); err != nil {
+					return err
+				}
+				in, err := readChunk(recv)
+				if err != nil {
+					return err
+				}
+				a, b = chunkBounds(length, n, recvChunk)
+				if len(in) != b-a {
+					return fmt.Errorf("allreduce: chunk size %d, want %d", len(in), b-a)
+				}
+				if reduce {
+					for k := range in {
+						v[a+k] += in[k]
+					}
+				} else {
+					copy(v[a:b], in)
+				}
+				return nil
+			}
+			for s := 0; s < n-1; s++ {
+				if err := step(((me-s)%n+n)%n, ((me-s-1)%n+n)%n, true); err != nil {
+					workerErrs[me] = err
+					return
+				}
+			}
+			for s := 0; s < n-1; s++ {
+				if err := step(((me-s+1)%n+n)%n, ((me-s)%n+n)%n, false); err != nil {
+					workerErrs[me] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range workerErrs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeChunk frames a float32 slice as a length-prefixed message.
+func writeChunk(w io.Writer, data []float32) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(data))); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// readChunk reads one length-prefixed float32 message.
+func readChunk(r io.Reader) ([]float32, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("allreduce: implausible chunk size %d", n)
+	}
+	buf := make([]byte, 4*int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}

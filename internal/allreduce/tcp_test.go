@@ -1,0 +1,101 @@
+package allreduce
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRingTCPMatchesChannelRing(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		tcpVecs, want := makeVectors(n, 513, int64(n*31))
+		chanVecs := make([][]float32, n)
+		for i := range tcpVecs {
+			chanVecs[i] = append([]float32(nil), tcpVecs[i]...)
+		}
+		if err := RingTCP(tcpVecs); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := Ring(chanVecs); err != nil {
+			t.Fatal(err)
+		}
+		checkAllEqualSum(t, tcpVecs, want)
+		// Bitwise agreement with the channel implementation: both sum the
+		// same chunks in the same ring order.
+		for w := range tcpVecs {
+			for k := range tcpVecs[w] {
+				if tcpVecs[w][k] != chanVecs[w][k] {
+					t.Fatalf("n=%d worker %d elem %d: tcp %g vs chan %g",
+						n, w, k, tcpVecs[w][k], chanVecs[w][k])
+				}
+			}
+		}
+	}
+}
+
+func TestRingTCPSingleWorker(t *testing.T) {
+	v := [][]float32{{1, 2, 3}}
+	if err := RingTCP(v); err != nil {
+		t.Fatal(err)
+	}
+	if v[0][1] != 2 {
+		t.Fatal("single-worker TCP ring must not modify data")
+	}
+}
+
+func TestRingTCPErrors(t *testing.T) {
+	if err := RingTCP(nil); err == nil {
+		t.Fatal("expected no-workers error")
+	}
+	if err := RingTCP([][]float32{{1}, {1, 2}}); err == nil {
+		t.Fatal("expected length-mismatch error")
+	}
+}
+
+func TestRingTCPShortVector(t *testing.T) {
+	// More workers than elements: empty chunks must frame correctly.
+	vectors, want := makeVectors(6, 2, 9)
+	if err := RingTCP(vectors); err != nil {
+		t.Fatal(err)
+	}
+	checkAllEqualSum(t, vectors, want)
+}
+
+func TestChunkFraming(t *testing.T) {
+	var buf bytes.Buffer
+	orig := []float32{1.5, -2.25, 0, 3e8}
+	if err := writeChunk(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := readChunk(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("length %d", len(back))
+	}
+	for i := range orig {
+		if back[i] != orig[i] {
+			t.Fatalf("elem %d: %g vs %g", i, back[i], orig[i])
+		}
+	}
+	// Empty chunk.
+	buf.Reset()
+	if err := writeChunk(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if back, err := readChunk(&buf); err != nil || len(back) != 0 {
+		t.Fatalf("empty chunk: %v %v", back, err)
+	}
+	// Truncated stream.
+	buf.Reset()
+	buf.Write([]byte{4, 0, 0, 0, 1, 2})
+	if _, err := readChunk(&buf); err == nil {
+		t.Fatal("expected truncation error")
+	}
+	// Implausible size.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readChunk(&buf); err == nil {
+		t.Fatal("expected size rejection")
+	}
+}

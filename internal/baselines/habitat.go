@@ -1,0 +1,63 @@
+package baselines
+
+import (
+	"fmt"
+
+	"convmeter/internal/core"
+	"convmeter/internal/hwsim"
+	"convmeter/internal/metrics"
+)
+
+// CrossDeviceModel transfers a fitted ConvMeter inference model from one
+// device to another without benchmarking the target, in the spirit of
+// Habitat (Yu et al., USENIX ATC '21, the paper's related work): the
+// compute coefficient scales by the peak-throughput ratio and the
+// memory-traffic coefficients by the bandwidth ratio. ConvMeter's
+// position is that a small benchmark sweep on the target is cheap and
+// more accurate; this baseline quantifies exactly how much accuracy the
+// transfer shortcut costs.
+type CrossDeviceModel struct {
+	src  *core.InferenceModel
+	coef []float64
+}
+
+// TransferInference scales a model fitted on src so it predicts for dst.
+func TransferInference(m *core.InferenceModel, src, dst hwsim.Device) (*CrossDeviceModel, error) {
+	if m == nil {
+		return nil, fmt.Errorf("baselines: nil source model")
+	}
+	if src.PeakFLOPS <= 0 || dst.PeakFLOPS <= 0 || src.MemBW <= 0 || dst.MemBW <= 0 {
+		return nil, fmt.Errorf("baselines: devices need positive peak and bandwidth")
+	}
+	c := m.Coefficients() // [c1 (FLOPs), c2 (Inputs), c3 (Outputs), c4]
+	computeRatio := src.PeakFLOPS / dst.PeakFLOPS
+	memRatio := src.MemBW / dst.MemBW
+	overheadRatio := 1.0
+	if src.KernelOverhead > 0 && dst.KernelOverhead > 0 {
+		overheadRatio = dst.KernelOverhead / src.KernelOverhead
+	}
+	return &CrossDeviceModel{
+		src: m,
+		coef: []float64{
+			c[0] * computeRatio,
+			c[1] * memRatio,
+			c[2] * memRatio,
+			c[3] * overheadRatio,
+		},
+	}, nil
+}
+
+// Predict estimates the forward time on the *target* device.
+func (m *CrossDeviceModel) Predict(met metrics.Metrics, b float64) float64 {
+	v := met.Vector(b)
+	s := 0.0
+	for i, c := range m.coef {
+		s += c * v[i]
+	}
+	return s
+}
+
+// Coefficients returns the transferred coefficients.
+func (m *CrossDeviceModel) Coefficients() []float64 {
+	return append([]float64(nil), m.coef...)
+}

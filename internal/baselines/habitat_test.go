@@ -1,0 +1,107 @@
+package baselines
+
+import (
+	"testing"
+
+	"convmeter/internal/bench"
+	"convmeter/internal/core"
+	"convmeter/internal/hwsim"
+	"convmeter/internal/regress"
+)
+
+// collectFor runs a reduced inference sweep on the given device.
+func collectFor(t *testing.T, dev hwsim.Device, seed int64) []core.Sample {
+	t.Helper()
+	sc := bench.DefaultInferenceScenario(dev, seed)
+	sc.Models = []string{"resnet18", "resnet50", "mobilenet_v2", "vgg11", "alexnet", "densenet121"}
+	sc.Images = []int{64, 128}
+	sc.Batches = []int{1, 8, 64}
+	samples, err := bench.CollectInference(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestTransferInferenceAcrossDevices(t *testing.T) {
+	// Fit on the A100, transfer to the Jetson-class edge device, and
+	// compare against Jetson ground truth.
+	srcSamples := collectFor(t, hwsim.A100(), 1)
+	srcModel, err := core.FitInference(srcSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transferred, err := TransferInference(srcModel, hwsim.A100(), hwsim.JetsonLike())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstSamples := collectFor(t, hwsim.JetsonLike(), 2)
+	acts := make([]float64, len(dstSamples))
+	preds := make([]float64, len(dstSamples))
+	for i, s := range dstSamples {
+		acts[i] = s.Fwd
+		preds[i] = transferred.Predict(s.Met, float64(s.BatchPerDevice))
+	}
+	rep, err := regress.Evaluate(acts, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transfer must be usable (right order of magnitude, decent
+	// correlation) …
+	if rep.R2 < 0.5 {
+		t.Fatalf("transferred model R² = %.3f — transfer broken", rep.R2)
+	}
+	if rep.MAPE > 1.5 {
+		t.Fatalf("transferred model MAPE = %.3f — transfer broken", rep.MAPE)
+	}
+	// … but a native fit on the target must beat it, which is ConvMeter's
+	// argument for cheap target-side benchmarking (paper Table 4 context).
+	native, err := core.FitInference(dstSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range dstSamples {
+		preds[i] = native.Predict(s.Met, float64(s.BatchPerDevice))
+	}
+	nativeRep, err := regress.Evaluate(acts, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nativeRep.MAPE >= rep.MAPE {
+		t.Fatalf("native fit MAPE %.3f should beat transferred %.3f", nativeRep.MAPE, rep.MAPE)
+	}
+}
+
+func TestTransferInferenceIdentity(t *testing.T) {
+	// Transferring to the same device must reproduce the original model.
+	samples := collectFor(t, hwsim.A100(), 3)
+	m, err := core.FitInference(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := TransferInference(m, hwsim.A100(), hwsim.A100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := m.Coefficients()
+	got := same.Coefficients()
+	for i := range orig {
+		if orig[i] != got[i] {
+			t.Fatalf("identity transfer changed coefficient %d", i)
+		}
+	}
+}
+
+func TestTransferInferenceErrors(t *testing.T) {
+	if _, err := TransferInference(nil, hwsim.A100(), hwsim.XeonCore()); err == nil {
+		t.Fatal("expected nil-model error")
+	}
+	samples := collectFor(t, hwsim.A100(), 4)
+	m, err := core.FitInference(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TransferInference(m, hwsim.Device{}, hwsim.A100()); err == nil {
+		t.Fatal("expected invalid-device error")
+	}
+}

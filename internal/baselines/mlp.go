@@ -1,0 +1,182 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a small fully connected network with ReLU hidden layers and a
+// linear output, trained by mini-batch SGD with momentum on mean squared
+// error. It is the learned core of the DIPPM surrogate — implemented from
+// scratch because the real DIPPM (a graph neural network trained for 500
+// epochs on an A100 dataset) is not available; see DESIGN.md.
+type MLP struct {
+	sizes   []int
+	weights [][]float64 // [layer][out*in]
+	biases  [][]float64 // [layer][out]
+	rng     *rand.Rand
+}
+
+// NewMLP creates a network with the given layer sizes (inputs first,
+// single output last), He-initialised from the seed.
+func NewMLP(sizes []int, seed int64) (*MLP, error) {
+	if len(sizes) < 2 {
+		return nil, fmt.Errorf("baselines: MLP needs >=2 layer sizes, got %d", len(sizes))
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("baselines: non-positive layer size in %v", sizes)
+		}
+	}
+	if sizes[len(sizes)-1] != 1 {
+		return nil, fmt.Errorf("baselines: MLP output layer must have size 1, got %d", sizes[len(sizes)-1])
+	}
+	m := &MLP{sizes: sizes, rng: rand.New(rand.NewSource(seed))}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := make([]float64, in*out)
+		std := math.Sqrt(2 / float64(in))
+		for i := range w {
+			w[i] = m.rng.NormFloat64() * std
+		}
+		m.weights = append(m.weights, w)
+		m.biases = append(m.biases, make([]float64, out))
+	}
+	return m, nil
+}
+
+// forward runs the network, returning pre-activations and activations per
+// layer for use in backprop. acts[0] is the input.
+func (m *MLP) forward(x []float64) (acts [][]float64) {
+	acts = [][]float64{x}
+	cur := x
+	for l := 0; l < len(m.weights); l++ {
+		in, out := m.sizes[l], m.sizes[l+1]
+		next := make([]float64, out)
+		for o := 0; o < out; o++ {
+			s := m.biases[l][o]
+			row := m.weights[l][o*in : (o+1)*in]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			if l < len(m.weights)-1 && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			next[o] = s
+		}
+		acts = append(acts, next)
+		cur = next
+	}
+	return acts
+}
+
+// Predict evaluates the network on one feature vector.
+func (m *MLP) Predict(x []float64) (float64, error) {
+	if len(x) != m.sizes[0] {
+		return 0, fmt.Errorf("baselines: input has %d features, MLP expects %d", len(x), m.sizes[0])
+	}
+	acts := m.forward(x)
+	return acts[len(acts)-1][0], nil
+}
+
+// TrainConfig controls SGD.
+type TrainConfig struct {
+	Epochs    int
+	LR        float64
+	Momentum  float64
+	BatchSize int
+}
+
+// Train fits the network on (X, y) with mini-batch SGD. It returns the
+// final epoch's mean squared error.
+func (m *MLP) Train(X [][]float64, y []float64, cfg TrainConfig) (float64, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return 0, fmt.Errorf("baselines: bad training set (%d inputs, %d targets)", len(X), len(y))
+	}
+	for i, x := range X {
+		if len(x) != m.sizes[0] {
+			return 0, fmt.Errorf("baselines: training row %d has %d features, want %d", i, len(x), m.sizes[0])
+		}
+	}
+	if cfg.Epochs <= 0 || cfg.LR <= 0 || cfg.BatchSize <= 0 {
+		return 0, fmt.Errorf("baselines: invalid train config %+v", cfg)
+	}
+	// Momentum buffers.
+	vw := make([][]float64, len(m.weights))
+	vb := make([][]float64, len(m.biases))
+	for l := range m.weights {
+		vw[l] = make([]float64, len(m.weights[l]))
+		vb[l] = make([]float64, len(m.biases[l]))
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	lastMSE := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		m.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		sse := 0.0
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			// Accumulate gradients over the mini-batch.
+			gw := make([][]float64, len(m.weights))
+			gb := make([][]float64, len(m.biases))
+			for l := range m.weights {
+				gw[l] = make([]float64, len(m.weights[l]))
+				gb[l] = make([]float64, len(m.biases[l]))
+			}
+			for _, s := range batch {
+				acts := m.forward(X[s])
+				pred := acts[len(acts)-1][0]
+				err := pred - y[s]
+				sse += err * err
+				// Backprop: delta at output is d(MSE)/d(pred).
+				delta := []float64{2 * err}
+				for l := len(m.weights) - 1; l >= 0; l-- {
+					in := m.sizes[l]
+					prev := acts[l]
+					for o, d := range delta {
+						gb[l][o] += d
+						row := gw[l][o*in : (o+1)*in]
+						for i, p := range prev {
+							row[i] += d * p
+						}
+					}
+					if l == 0 {
+						break
+					}
+					nd := make([]float64, in)
+					for i := 0; i < in; i++ {
+						s := 0.0
+						for o, d := range delta {
+							s += m.weights[l][o*in+i] * d
+						}
+						if acts[l][i] <= 0 { // ReLU derivative
+							s = 0
+						}
+						nd[i] = s
+					}
+					delta = nd
+				}
+			}
+			scale := cfg.LR / float64(len(batch))
+			for l := range m.weights {
+				for i := range m.weights[l] {
+					vw[l][i] = cfg.Momentum*vw[l][i] - scale*gw[l][i]
+					m.weights[l][i] += vw[l][i]
+				}
+				for i := range m.biases[l] {
+					vb[l][i] = cfg.Momentum*vb[l][i] - scale*gb[l][i]
+					m.biases[l][i] += vb[l][i]
+				}
+			}
+		}
+		lastMSE = sse / float64(len(X))
+	}
+	return lastMSE, nil
+}

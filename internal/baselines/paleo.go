@@ -1,0 +1,50 @@
+package baselines
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+// Paleo is an analytical runtime model in the spirit of Qi et al. (ICLR
+// '17): each layer's time is estimated by dividing its workload by the
+// device's nominal capability — FLOPs over peak throughput plus tensor
+// traffic over memory bandwidth, *added* rather than overlapped, with no
+// fitted coefficients. The paper's related-work critique is that such
+// FLOPs-dominated accounting misses the complex structure of modern
+// ConvNets; this implementation exists to quantify that gap.
+type Paleo struct {
+	// PeakFLOPS is the device's advertised peak throughput (FLOP/s).
+	PeakFLOPS float64
+	// MemBW is the advertised memory bandwidth (bytes/s).
+	MemBW float64
+	// BytesPerElem is the tensor element width (4 for fp32).
+	BytesPerElem float64
+}
+
+// NewPaleo builds a Paleo model from nominal device numbers.
+func NewPaleo(peakFLOPS, memBW float64) (*Paleo, error) {
+	if peakFLOPS <= 0 || memBW <= 0 {
+		return nil, fmt.Errorf("baselines: paleo needs positive peak (%g) and bandwidth (%g)", peakFLOPS, memBW)
+	}
+	return &Paleo{PeakFLOPS: peakFLOPS, MemBW: memBW, BytesPerElem: 4}, nil
+}
+
+// PredictForward estimates the forward-pass time of the graph at the
+// given batch size.
+func (p *Paleo) PredictForward(g *graph.Graph, batch int) (float64, error) {
+	if batch <= 0 {
+		return 0, fmt.Errorf("baselines: paleo batch %d", batch)
+	}
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	b := float64(batch)
+	total := 0.0
+	for i, n := range g.Nodes {
+		flops := float64(g.NodeFLOPs(i)) * b
+		bytes := (float64(g.NodeInputElems(i))*b + float64(n.Out.Elems())*b + float64(n.Op.Params())) * p.BytesPerElem
+		total += flops/p.PeakFLOPS + bytes/p.MemBW
+	}
+	return total, nil
+}

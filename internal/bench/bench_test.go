@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"convmeter/internal/core"
+	"convmeter/internal/hwsim"
+	"convmeter/internal/metrics"
+	"convmeter/internal/netsim"
+)
+
+// quickInference is a reduced sweep for fast tests.
+func quickInference(seed int64) InferenceScenario {
+	return InferenceScenario{
+		Device:     hwsim.A100(),
+		Models:     []string{"resnet18", "mobilenet_v2", "alexnet"},
+		Images:     []int{64, 128},
+		Batches:    []int{1, 8, 64},
+		NoiseSigma: 0.05,
+		Seed:       seed,
+	}
+}
+
+func TestCollectInferenceBasic(t *testing.T) {
+	samples, err := CollectInference(quickInference(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples collected")
+	}
+	seen := map[string]bool{}
+	for _, s := range samples {
+		if s.Fwd <= 0 {
+			t.Fatalf("non-positive measurement: %+v", s)
+		}
+		if s.Bwd != 0 || s.Grad != 0 {
+			t.Fatal("inference samples must not carry training phases")
+		}
+		if s.Devices != 1 || s.Nodes != 1 {
+			t.Fatal("inference runs on a single device")
+		}
+		seen[s.Model] = true
+	}
+	// AlexNet cannot build at 64px? (64→ conv11/4 = 15 → pool 7 → ... → pool fails?)
+	// Regardless, the two small-image-capable models must be present.
+	if !seen["resnet18"] || !seen["mobilenet_v2"] {
+		t.Fatalf("expected models missing from sweep: %v", seen)
+	}
+}
+
+func TestCollectInferenceDeterministic(t *testing.T) {
+	a, err := CollectInference(quickInference(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollectInference(quickInference(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("sweep sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+	c, err := CollectInference(quickInference(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if i < len(c) && a[i].Fwd != c[i].Fwd {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should change the noise draws")
+	}
+}
+
+func TestCollectInferenceRespectsMemory(t *testing.T) {
+	sc := quickInference(1)
+	sc.Models = []string{"vgg16"}
+	sc.Images = []int{224}
+	sc.Batches = []int{1, 1 << 20} // absurd batch must be filtered
+	samples, err := CollectInference(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.BatchPerDevice == 1<<20 {
+			t.Fatal("memory-infeasible batch made it into the dataset")
+		}
+	}
+}
+
+func TestCollectInferenceErrors(t *testing.T) {
+	if _, err := CollectInference(InferenceScenario{}); err == nil {
+		t.Fatal("expected empty-scenario error")
+	}
+	sc := quickInference(1)
+	sc.Models = []string{"alexnet"}
+	sc.Images = []int{32} // alexnet cannot build at 32px at all
+	if _, err := CollectInference(sc); err == nil {
+		t.Fatal("expected error when a model builds at no image size")
+	}
+}
+
+func TestDefaultScenarioUnderPaperCap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in short mode")
+	}
+	sc := DefaultInferenceScenario(hwsim.A100(), 7)
+	samples, err := CollectInference(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 || len(samples) > MaxPointsPerScenario {
+		t.Fatalf("default sweep has %d points, want (0, %d]", len(samples), MaxPointsPerScenario)
+	}
+}
+
+func TestCollectTraining(t *testing.T) {
+	sc := TrainingScenario{
+		Device:         hwsim.A100(),
+		Fabric:         netsim.Cluster(),
+		Models:         []string{"resnet18", "resnet50"},
+		Images:         []int{64},
+		Batches:        []int{8, 32},
+		Topologies:     [][2]int{{4, 1}, {8, 2}},
+		NoiseSigma:     0.05,
+		CommNoiseSigma: 0.15,
+		Seed:           3,
+	}
+	samples, err := CollectTraining(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 1 * 2 * 2 // models × images × batches × topologies
+	if len(samples) != want {
+		t.Fatalf("got %d samples, want %d", len(samples), want)
+	}
+	for _, s := range samples {
+		if s.Fwd <= 0 || s.Bwd <= 0 || s.Grad <= 0 {
+			t.Fatalf("non-positive training phase: %+v", s)
+		}
+	}
+}
+
+func TestCollectTrainingErrors(t *testing.T) {
+	if _, err := CollectTraining(TrainingScenario{}); err == nil {
+		t.Fatal("expected empty-scenario error")
+	}
+	sc := DefaultSingleGPUScenario(1)
+	sc.Fabric = netsim.Fabric{}
+	if _, err := CollectTraining(sc); err == nil {
+		t.Fatal("expected invalid-fabric error")
+	}
+}
+
+func TestCollectBlocks(t *testing.T) {
+	sc := DefaultBlockScenario(5)
+	sc.Batches = []int{1, 16}
+	sc.Scales = []float64{1}
+	samples, err := CollectBlocks(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 2*len(sc.Blocks)-2 {
+		t.Fatalf("unexpectedly few block samples: %d", len(samples))
+	}
+	names := map[string]bool{}
+	for _, s := range samples {
+		names[s.Model] = true
+	}
+	if !names["Bottleneck4"] || !names["MBConv"] {
+		t.Fatalf("expected blocks missing: %v", names)
+	}
+	if _, err := CollectBlocks(BlockScenario{}); err == nil {
+		t.Fatal("expected empty-scenario error")
+	}
+}
+
+func TestCapPoints(t *testing.T) {
+	big := make([]core.Sample, 12000)
+	for i := range big {
+		big[i] = core.Sample{Model: "m", Image: i}
+	}
+	capped := capPoints(big)
+	if len(capped) > MaxPointsPerScenario {
+		t.Fatalf("capPoints left %d points", len(capped))
+	}
+	if len(capped) < MaxPointsPerScenario/2 {
+		t.Fatalf("capPoints overshot: %d", len(capped))
+	}
+	// Decimation must preserve the sweep's ends approximately.
+	if capped[0].Image != 0 {
+		t.Fatal("capPoints dropped the first point")
+	}
+	small := []core.Sample{{Model: "x"}}
+	if len(capPoints(small)) != 1 {
+		t.Fatal("capPoints must not touch small sets")
+	}
+}
+
+func TestCollectNamed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full campaigns in short mode")
+	}
+	for _, scenario := range []string{"inference-gpu", "inference-cpu", "train-single", "train-multi", "blocks"} {
+		samples, err := CollectNamed(scenario, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", scenario, err)
+		}
+		if len(samples) == 0 || len(samples) > MaxPointsPerScenario {
+			t.Fatalf("%s: %d samples", scenario, len(samples))
+		}
+	}
+	if _, err := CollectNamed("warp-field", 1); err == nil {
+		t.Fatal("expected unknown-scenario error")
+	}
+}
+
+func TestSubsampleStratified(t *testing.T) {
+	samples, err := CollectInference(quickInference(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := map[string]bool{}
+	for _, s := range samples {
+		models[s.Model] = true
+	}
+	sub := Subsample(samples, 9, 1)
+	if len(sub) != 9 {
+		t.Fatalf("got %d samples, want 9", len(sub))
+	}
+	// Every model must be represented in the stratified draw.
+	seen := map[string]int{}
+	for _, s := range sub {
+		seen[s.Model]++
+	}
+	for m := range models {
+		if seen[m] == 0 {
+			t.Fatalf("model %s missing from stratified subsample", m)
+		}
+	}
+	// Determinism.
+	again := Subsample(samples, 9, 1)
+	for i := range sub {
+		if sub[i] != again[i] {
+			t.Fatal("subsample not deterministic")
+		}
+	}
+	// Edge cases: n out of range returns the input untouched.
+	if got := Subsample(samples, 0, 1); len(got) != len(samples) {
+		t.Fatal("n=0 should return all samples")
+	}
+	if got := Subsample(samples, len(samples)+10, 1); len(got) != len(samples) {
+		t.Fatal("oversized n should return all samples")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	samples := []core.Sample{
+		{
+			Model: "resnet18",
+			Met: metrics.Metrics{
+				Model: "resnet18", FLOPs: 3.6e9, Inputs: 2.2e6,
+				Outputs: 2.4e6, Weights: 1.1e7, Layers: 41,
+			},
+			Image: 224, BatchPerDevice: 16, Devices: 4, Nodes: 1,
+			Fwd: 0.0123, Bwd: 0.025, Grad: 0.004,
+		},
+		{
+			Model: "alexnet",
+			Met: metrics.Metrics{
+				Model: "alexnet", FLOPs: 1.4e9, Inputs: 5e5,
+				Outputs: 6e5, Weights: 6.1e7, Layers: 8,
+			},
+			Image: 128, BatchPerDevice: 1, Devices: 1, Nodes: 1,
+			Fwd: 0.0007,
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("round trip lost rows: %d", len(back))
+	}
+	for i := range samples {
+		if back[i] != samples[i] {
+			t.Fatalf("row %d changed:\n  got %+v\n want %+v", i, back[i], samples[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("expected empty-csv error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("expected column-count error")
+	}
+	hdr := strings.Join(csvHeader, ",")
+	if _, err := ReadCSV(strings.NewReader(hdr + "\nx,not_an_int,1,1,1,1,1,1,1,1,1,1,1\n")); err == nil {
+		t.Fatal("expected int parse error")
+	}
+	if _, err := ReadCSV(strings.NewReader(hdr + "\nx,1,1,1,1,zz,1,1,1,1,1,1,1\n")); err == nil {
+		t.Fatal("expected float parse error")
+	}
+	wrongHdr := strings.Replace(hdr, "model", "nodel", 1)
+	if _, err := ReadCSV(strings.NewReader(wrongHdr + "\n")); err == nil {
+		t.Fatal("expected header mismatch error")
+	}
+}
+
+func TestFittedFromCSVDatasetWorks(t *testing.T) {
+	// End-to-end: sweep → CSV → reload → fit → predict.
+	samples, err := CollectInference(quickInference(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.FitInference(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := m.Predict(back[0].Met, float64(back[0].BatchPerDevice))
+	if pred <= 0 {
+		t.Fatalf("prediction from reloaded dataset = %g", pred)
+	}
+}

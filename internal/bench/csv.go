@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"convmeter/internal/core"
+	"convmeter/internal/metrics"
+)
+
+// csvHeader is the dataset column layout.
+var csvHeader = []string{
+	"model", "image", "batch", "devices", "nodes",
+	"flops", "inputs", "outputs", "weights", "layers",
+	"fwd_s", "bwd_s", "grad_s",
+}
+
+// WriteCSV serialises samples (with their metrics) so datasets can be
+// stored and refitted without re-running the simulators.
+func WriteCSV(w io.Writer, samples []core.Sample) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+	for _, s := range samples {
+		rec := []string{
+			s.Model,
+			strconv.Itoa(s.Image),
+			strconv.Itoa(s.BatchPerDevice),
+			strconv.Itoa(s.Devices),
+			strconv.Itoa(s.Nodes),
+			f(s.Met.FLOPs), f(s.Met.Inputs), f(s.Met.Outputs), f(s.Met.Weights), f(s.Met.Layers),
+			f(s.Fwd), f(s.Bwd), f(s.Grad),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) ([]core.Sample, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("bench: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("bench: empty csv")
+	}
+	if len(rows[0]) != len(csvHeader) {
+		return nil, fmt.Errorf("bench: csv has %d columns, want %d", len(rows[0]), len(csvHeader))
+	}
+	for i, h := range csvHeader {
+		if rows[0][i] != h {
+			return nil, fmt.Errorf("bench: csv column %d is %q, want %q", i, rows[0][i], h)
+		}
+	}
+	var out []core.Sample
+	for ln, rec := range rows[1:] {
+		ints := make([]int, 4)
+		for i := 0; i < 4; i++ {
+			v, err := strconv.Atoi(rec[1+i])
+			if err != nil {
+				return nil, fmt.Errorf("bench: csv line %d col %d: %w", ln+2, 2+i, err)
+			}
+			ints[i] = v
+		}
+		floats := make([]float64, 8)
+		for i := 0; i < 8; i++ {
+			v, err := strconv.ParseFloat(rec[5+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bench: csv line %d col %d: %w", ln+2, 6+i, err)
+			}
+			floats[i] = v
+		}
+		out = append(out, core.Sample{
+			Model: rec[0],
+			Image: ints[0], BatchPerDevice: ints[1], Devices: ints[2], Nodes: ints[3],
+			Met: metrics.Metrics{
+				Model: rec[0], FLOPs: floats[0], Inputs: floats[1],
+				Outputs: floats[2], Weights: floats[3], Layers: floats[4],
+			},
+			Fwd: floats[5], Bwd: floats[6], Grad: floats[7],
+		})
+	}
+	return out, nil
+}

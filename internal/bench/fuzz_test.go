@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the dataset parser against malformed input: it must
+// either return an error or a structurally valid sample set — never
+// panic. Valid inputs must round-trip.
+func FuzzReadCSV(f *testing.F) {
+	// Seed with a valid dataset and a few near-misses.
+	var buf bytes.Buffer
+	sc := quickInference(1)
+	sc.Models = []string{"resnet18"}
+	sc.Images = []int{64}
+	sc.Batches = []int{1, 8}
+	samples, err := CollectInference(sc)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteCSV(&buf, samples); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.String()
+	f.Add(valid)
+	f.Add("")
+	f.Add(strings.Join(csvHeader, ",") + "\n")
+	f.Add(strings.Replace(valid, "resnet18", "", 1))
+	f.Add(strings.Replace(valid, "1", "NaN", 2))
+	f.Add("model,extra\nx,y\n")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		got, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted data must survive a write/read cycle unchanged.
+		var out bytes.Buffer
+		if err := WriteCSV(&out, got); err != nil {
+			t.Fatalf("accepted dataset failed to serialise: %v", err)
+		}
+		back, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted dataset failed: %v", err)
+		}
+		if len(back) != len(got) {
+			t.Fatalf("round trip changed row count: %d vs %d", len(back), len(got))
+		}
+	})
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"convmeter/internal/regress"
+)
+
+// Fitted models serialise to JSON so a platform's coefficients can be
+// computed once (the paper's §3.4 "we only need to compute and store a
+// few coefficients") and shipped with a deployment — the whole persisted
+// artefact of a ConvMeter installation is a handful of floats.
+
+// inferenceModelJSON is the wire form of InferenceModel.
+type inferenceModelJSON struct {
+	Kind string    `json:"kind"`
+	Coef []float64 `json:"coef"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *InferenceModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(inferenceModelJSON{Kind: "convmeter-inference-v1", Coef: m.reg.Coef})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *InferenceModel) UnmarshalJSON(data []byte) error {
+	var w inferenceModelJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if w.Kind != "convmeter-inference-v1" {
+		return fmt.Errorf("core: unexpected model kind %q", w.Kind)
+	}
+	if len(w.Coef) != 4 {
+		return fmt.Errorf("core: inference model has %d coefficients, want 4", len(w.Coef))
+	}
+	m.reg = &regress.Model{Coef: w.Coef}
+	return nil
+}
+
+// trainingModelJSON is the wire form of TrainingModel.
+type trainingModelJSON struct {
+	Kind     string    `json:"kind"`
+	Multi    bool      `json:"multi"`
+	Fwd      []float64 `json:"fwd"`
+	Bwd      []float64 `json:"bwd"`
+	Grad     []float64 `json:"grad"`
+	Combined []float64 `json:"combined"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *TrainingModel) MarshalJSON() ([]byte, error) {
+	return json.Marshal(trainingModelJSON{
+		Kind: "convmeter-training-v1", Multi: m.multi,
+		Fwd: m.fwd.Coef, Bwd: m.bwd.Coef, Grad: m.grad.Coef, Combined: m.combined.Coef,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *TrainingModel) UnmarshalJSON(data []byte) error {
+	var w trainingModelJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if w.Kind != "convmeter-training-v1" {
+		return fmt.Errorf("core: unexpected model kind %q", w.Kind)
+	}
+	wantGrad, wantComb := 2, 5
+	if w.Multi {
+		wantGrad, wantComb = 4, 7
+	}
+	if len(w.Fwd) != 4 || len(w.Bwd) != 4 || len(w.Grad) != wantGrad || len(w.Combined) != wantComb {
+		return fmt.Errorf("core: training model coefficient layout invalid (fwd %d, bwd %d, grad %d, combined %d)",
+			len(w.Fwd), len(w.Bwd), len(w.Grad), len(w.Combined))
+	}
+	m.multi = w.Multi
+	m.fwd = &regress.Model{Coef: w.Fwd}
+	m.bwd = &regress.Model{Coef: w.Bwd}
+	m.grad = &regress.Model{Coef: w.Grad}
+	m.combined = &regress.Model{Coef: w.Combined}
+	return nil
+}

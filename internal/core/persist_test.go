@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestInferenceModelJSONRoundTrip(t *testing.T) {
+	samples := linearInferenceSamples(5, []int{1, 4, 16, 64})
+	m, err := FitInference(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back InferenceModel
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	met := synthMetrics(2)
+	for _, b := range []float64{1, 64, 2048} {
+		if m.Predict(met, b) != back.Predict(met, b) {
+			t.Fatalf("prediction changed over round trip at b=%g", b)
+		}
+	}
+}
+
+func TestInferenceModelJSONRejectsBadPayloads(t *testing.T) {
+	var m InferenceModel
+	if err := json.Unmarshal([]byte(`{"kind":"other","coef":[1,2,3,4]}`), &m); err == nil {
+		t.Fatal("expected kind rejection")
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"convmeter-inference-v1","coef":[1,2]}`), &m); err == nil {
+		t.Fatal("expected coefficient-count rejection")
+	}
+	if err := json.Unmarshal([]byte(`not json`), &m); err == nil {
+		t.Fatal("expected syntax rejection")
+	}
+}
+
+func TestTrainingModelJSONRoundTrip(t *testing.T) {
+	for _, devs := range [][]int{{1}, {4, 8, 16}} {
+		samples := trainSamples(5, devs, 0, 1)
+		m, err := FitTraining(samples)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back TrainingModel
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back.Multi() != m.Multi() {
+			t.Fatal("multi flag lost")
+		}
+		met := synthMetrics(1)
+		a := m.PredictPhases(met, 32, devs[len(devs)-1], 2)
+		b := back.PredictPhases(met, 32, devs[len(devs)-1], 2)
+		if a != b {
+			t.Fatalf("phases changed over round trip: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestTrainingModelJSONLayoutValidation(t *testing.T) {
+	var m TrainingModel
+	bad := `{"kind":"convmeter-training-v1","multi":true,"fwd":[1,2,3,4],"bwd":[1,2,3,4],"grad":[1,2],"combined":[1,2,3,4,5,6,7]}`
+	if err := json.Unmarshal([]byte(bad), &m); err == nil {
+		t.Fatal("expected layout rejection (multi grad must have 4 coefficients)")
+	}
+}
+
+func TestPredictStrongScaling(t *testing.T) {
+	samples := trainSamples(5, []int{4, 8, 16, 32}, 0, 1)
+	m, err := FitTraining(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := synthMetrics(1)
+	points, err := m.PredictStrongScaling(met, 1024, 4, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Per-device batch must halve as nodes double.
+	if points[0].BatchPerDevice != 256 || points[3].BatchPerDevice != 32 {
+		t.Fatalf("batch split wrong: %+v", points)
+	}
+	// Step time must shrink with more nodes (strong scaling), with
+	// sub-linear speedup (communication terms grow with N).
+	for i := 1; i < len(points); i++ {
+		if points[i].Iter >= points[i-1].Iter {
+			t.Fatalf("strong scaling not improving at %d nodes", points[i].Nodes)
+		}
+	}
+	last := points[len(points)-1]
+	ideal := float64(last.Devices) / float64(points[0].Devices)
+	if last.Speedup >= ideal {
+		t.Fatalf("speedup %g should be sub-linear (< %g)", last.Speedup, ideal)
+	}
+	if last.Speedup <= 1 {
+		t.Fatalf("speedup %g should exceed 1", last.Speedup)
+	}
+	// Fractional per-device batches are legal.
+	frac, err := m.PredictStrongScaling(met, 10, 4, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac[1].BatchPerDevice != 1.25 {
+		t.Fatalf("fractional batch = %g", frac[1].BatchPerDevice)
+	}
+}
+
+func TestPredictStrongScalingErrors(t *testing.T) {
+	samples := trainSamples(4, []int{4, 8}, 0, 1)
+	m, err := FitTraining(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := synthMetrics(0)
+	if _, err := m.PredictStrongScaling(met, 0, 4, []int{1}); err == nil {
+		t.Fatal("expected global-batch error")
+	}
+	if _, err := m.PredictStrongScaling(met, 64, 0, []int{1}); err == nil {
+		t.Fatal("expected gpus error")
+	}
+	if _, err := m.PredictStrongScaling(met, 64, 4, nil); err == nil {
+		t.Fatal("expected empty-nodes error")
+	}
+	if _, err := m.PredictStrongScaling(met, 64, 4, []int{0}); err == nil {
+		t.Fatal("expected zero-node error")
+	}
+}
+
+func TestStrongVsWeakScalingShapes(t *testing.T) {
+	// Weak scaling (fixed per-device batch) must reach higher absolute
+	// throughput than strong scaling of a modest global batch on the same
+	// topology — the standard relationship.
+	samples := trainSamples(5, []int{4, 8, 16, 32}, 0, 2)
+	m, err := FitTraining(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := synthMetrics(2)
+	const nodes = 8
+	weak := m.PredictThroughput(met, 64, nodes*4, nodes)
+	strong, err := m.PredictStrongScaling(met, 256, 4, []int{nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(weak > strong[0].Throughput) {
+		t.Fatalf("weak scaling throughput %g should exceed strong %g", weak, strong[0].Throughput)
+	}
+	if math.IsNaN(strong[0].Throughput) {
+		t.Fatal("NaN throughput")
+	}
+}

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"convmeter/internal/metrics"
+	"convmeter/internal/regress"
+)
+
+// InferenceModel is the fitted forward-pass predictor (paper Eq. 2/3):
+// four coefficients over [F·b, I·b, O·b, 1].
+type InferenceModel struct {
+	reg *regress.Model
+}
+
+// FitInference fits the inference model on forward-pass measurements.
+// Following the paper's evaluation (which weights "large and small errors
+// equally" via MAPE), the regression minimises squared *relative*
+// residuals; see FitInferenceOLS for the unweighted variant.
+func FitInference(samples []Sample) (*InferenceModel, error) {
+	return fitInference(samples, regress.FitRelative)
+}
+
+// FitInferenceOLS fits the inference model with plain (unweighted)
+// ordinary least squares — kept for the fitting-objective ablation.
+func FitInferenceOLS(samples []Sample) (*InferenceModel, error) {
+	return fitInference(samples, regress.Fit)
+}
+
+func fitInference(samples []Sample, fit func([][]float64, []float64) (*regress.Model, error)) (*InferenceModel, error) {
+	if err := validateAll(samples); err != nil {
+		return nil, err
+	}
+	feats := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	for i, s := range samples {
+		feats[i] = s.Met.Vector(float64(s.BatchPerDevice))
+		y[i] = s.Fwd
+	}
+	m, err := fit(feats, y)
+	if err != nil {
+		return nil, fmt.Errorf("core: inference fit: %w", err)
+	}
+	return &InferenceModel{reg: m}, nil
+}
+
+// InferenceCoefStats fits the inference model and additionally returns
+// per-coefficient standard errors and t-statistics (computed under the
+// same relative weighting as FitInference). The t-values show which
+// metrics carry signal on a platform — e.g. Inputs/Outputs dominating
+// FLOPs on bandwidth-bound devices, the paper's Figure 2 story in
+// numbers.
+func InferenceCoefStats(samples []Sample) (*InferenceModel, *regress.CoefStats, error) {
+	if err := validateAll(samples); err != nil {
+		return nil, nil, err
+	}
+	feats := make([][]float64, len(samples))
+	y := make([]float64, len(samples))
+	w := make([]float64, len(samples))
+	for i, s := range samples {
+		feats[i] = s.Met.Vector(float64(s.BatchPerDevice))
+		y[i] = s.Fwd
+		v := s.Fwd
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		w[i] = 1 / (v * v)
+	}
+	m, stats, err := regress.FitStats(feats, y, w)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: inference fit: %w", err)
+	}
+	return &InferenceModel{reg: m}, stats, nil
+}
+
+// Coefficients returns the fitted c1..c4.
+func (m *InferenceModel) Coefficients() []float64 {
+	return append([]float64(nil), m.reg.Coef...)
+}
+
+// Predict estimates the forward-pass/inference time in seconds for a
+// network with metrics met at per-device mini-batch b.
+func (m *InferenceModel) Predict(met metrics.Metrics, b float64) float64 {
+	return m.reg.Predict(met.Vector(b))
+}
+
+// Phases is a predicted training-step decomposition in seconds.
+type Phases struct {
+	Fwd, Bwd, Grad, Iter float64
+}
+
+// TrainingModel is the fitted training-step predictor. The forward and
+// backward passes use the Eq. 2 form; the gradient update uses the L (or
+// L/W/N) form; Iter predictions use forward plus the paper's combined
+// 7-coefficient backward+gradient model, which captures the overlap of
+// the two phases.
+type TrainingModel struct {
+	fwd      *regress.Model
+	bwd      *regress.Model
+	grad     *regress.Model
+	combined *regress.Model
+	multi    bool // whether the multi-device gradient layout was used
+}
+
+// gradVector picks the single- or multi-device gradient feature layout.
+func gradVector(met metrics.Metrics, devices int, multi bool) []float64 {
+	if multi {
+		return met.GradVectorMulti(devices)
+	}
+	return met.GradVectorSingle()
+}
+
+// combinedVector picks the matching combined backward+gradient layout:
+// [F·b, I·b, O·b, L, 1] single-device, or the paper's seven-coefficient
+// [F·b, I·b, O·b, L, W, N, 1] for multi-device data.
+func combinedVector(met metrics.Metrics, b float64, devices int, multi bool) []float64 {
+	s := met.Scale(b)
+	if multi {
+		return met.CombinedVector(b, devices)
+	}
+	return []float64{s.FLOPs, s.Inputs, s.Outputs, met.Layers, 1}
+}
+
+// FitTraining fits the training-step model. The gradient layout is chosen
+// from the data: if every sample ran on the same device count the
+// single-device form (T_grad = c1·L) is used, otherwise the multi-device
+// form (c1·L + c2·W + c3·N), as in the paper's case split.
+func FitTraining(samples []Sample) (*TrainingModel, error) {
+	if err := validateAll(samples); err != nil {
+		return nil, err
+	}
+	multi := false
+	for _, s := range samples {
+		if s.Devices > 1 {
+			multi = true
+			break
+		}
+	}
+	n := len(samples)
+	fwdF := make([][]float64, n)
+	bwdF := make([][]float64, n)
+	gradF := make([][]float64, n)
+	combF := make([][]float64, n)
+	yFwd := make([]float64, n)
+	yBwd := make([]float64, n)
+	yGrad := make([]float64, n)
+	yComb := make([]float64, n)
+	for i, s := range samples {
+		b := float64(s.BatchPerDevice)
+		fwdF[i] = s.Met.Vector(b)
+		bwdF[i] = s.Met.Vector(b)
+		gradF[i] = gradVector(s.Met, s.Devices, multi)
+		combF[i] = combinedVector(s.Met, b, s.Devices, multi)
+		yFwd[i] = s.Fwd
+		yBwd[i] = s.Bwd
+		yGrad[i] = s.Grad
+		yComb[i] = s.Bwd + s.Grad
+	}
+	fwd, err := regress.FitRelative(fwdF, yFwd)
+	if err != nil {
+		return nil, fmt.Errorf("core: forward fit: %w", err)
+	}
+	bwd, err := regress.FitRelative(bwdF, yBwd)
+	if err != nil {
+		return nil, fmt.Errorf("core: backward fit: %w", err)
+	}
+	grad, err := regress.FitRelative(gradF, yGrad)
+	if err != nil {
+		return nil, fmt.Errorf("core: gradient fit: %w", err)
+	}
+	comb, err := regress.FitRelative(combF, yComb)
+	if err != nil {
+		return nil, fmt.Errorf("core: combined fit: %w", err)
+	}
+	return &TrainingModel{fwd: fwd, bwd: bwd, grad: grad, combined: comb, multi: multi}, nil
+}
+
+// Multi reports whether the model was fitted with the multi-device
+// gradient layout.
+func (m *TrainingModel) Multi() bool { return m.multi }
+
+// PredictPhases estimates the per-phase times of a training step. The
+// reported Iter uses the combined backward+gradient model added to the
+// forward prediction (overlap-aware), so Iter generally differs slightly
+// from Fwd+Bwd+Grad.
+func (m *TrainingModel) PredictPhases(met metrics.Metrics, batchPerDevice float64, devices, nodes int) Phases {
+	p := Phases{
+		Fwd:  m.fwd.Predict(met.Vector(batchPerDevice)),
+		Bwd:  m.bwd.Predict(met.Vector(batchPerDevice)),
+		Grad: m.grad.Predict(gradVector(met, devices, m.multi)),
+	}
+	p.Iter = p.Fwd + m.combined.Predict(combinedVector(met, batchPerDevice, devices, m.multi))
+	return p
+}
+
+// PredictIter estimates the full training-step time.
+func (m *TrainingModel) PredictIter(met metrics.Metrics, batchPerDevice float64, devices, nodes int) float64 {
+	return m.PredictPhases(met, batchPerDevice, devices, nodes).Iter
+}
+
+// PredictEpoch estimates one epoch over a dataset of datasetSize images:
+// D/(B·N) training steps (paper §2).
+func (m *TrainingModel) PredictEpoch(met metrics.Metrics, datasetSize int, batchPerDevice float64, devices, nodes int) float64 {
+	if datasetSize <= 0 {
+		return 0
+	}
+	steps := float64(datasetSize) / (batchPerDevice * float64(devices))
+	return steps * m.PredictIter(met, batchPerDevice, devices, nodes)
+}
+
+// PredictThroughput estimates training throughput in images/second — the
+// quantity plotted in the paper's scalability figures.
+func (m *TrainingModel) PredictThroughput(met metrics.Metrics, batchPerDevice float64, devices, nodes int) float64 {
+	iter := m.PredictIter(met, batchPerDevice, devices, nodes)
+	if iter <= 0 {
+		return 0
+	}
+	return batchPerDevice * float64(devices) / iter
+}
+
+// StrongScalingPoint is one entry of a strong-scaling curve.
+type StrongScalingPoint struct {
+	Nodes          int
+	Devices        int
+	BatchPerDevice float64 // global batch divided over the devices
+	Iter           float64 // predicted step time
+	Throughput     float64 // images/s
+	Speedup        float64 // vs the first point of the curve
+}
+
+// PredictStrongScaling predicts how the training of a *fixed global
+// batch* scales over node counts — the strong-scaling capability the
+// paper claims in §4.3 ("our performance model can predict the scaling
+// behavior of nodes for a fixed global batch size"). The per-device
+// mini-batch b = G/N shrinks as nodes are added, which is exactly where
+// the batch-size parameterisation of Eq. 3 (metrics counted at batch 1,
+// scaled analytically) pays off: b may become fractional without any
+// re-benchmarking.
+func (m *TrainingModel) PredictStrongScaling(met metrics.Metrics, globalBatch float64, gpusPerNode int, nodeCounts []int) ([]StrongScalingPoint, error) {
+	if globalBatch <= 0 || gpusPerNode <= 0 || len(nodeCounts) == 0 {
+		return nil, errors.New("core: invalid strong-scaling query")
+	}
+	var out []StrongScalingPoint
+	for _, n := range nodeCounts {
+		if n <= 0 {
+			return nil, fmt.Errorf("core: node count %d", n)
+		}
+		devices := n * gpusPerNode
+		b := globalBatch / float64(devices)
+		if b <= 0 {
+			return nil, fmt.Errorf("core: global batch %g too small for %d devices", globalBatch, devices)
+		}
+		iter := m.PredictIter(met, b, devices, n)
+		p := StrongScalingPoint{
+			Nodes: n, Devices: devices, BatchPerDevice: b, Iter: iter,
+		}
+		if iter > 0 {
+			p.Throughput = globalBatch / iter
+		}
+		out = append(out, p)
+	}
+	base := out[0].Iter
+	for i := range out {
+		if out[i].Iter > 0 {
+			out[i].Speedup = base / out[i].Iter
+		}
+	}
+	return out, nil
+}
+
+// TurningPoint scans node counts 1..maxNodes (gpusPerNode devices each)
+// and returns the first node count at which adding a node improves
+// throughput by less than relGain (e.g. 0.1 for 10 %) — the paper's
+// diminishing-return point for infrastructure planning. If throughput
+// keeps improving it returns maxNodes.
+func (m *TrainingModel) TurningPoint(met metrics.Metrics, batchPerDevice float64, gpusPerNode, maxNodes int, relGain float64) (int, error) {
+	if maxNodes < 1 || gpusPerNode < 1 {
+		return 0, errors.New("core: invalid topology for turning point")
+	}
+	prev := m.PredictThroughput(met, batchPerDevice, gpusPerNode, 1)
+	for n := 2; n <= maxNodes; n++ {
+		cur := m.PredictThroughput(met, batchPerDevice, n*gpusPerNode, n)
+		if cur <= prev*(1+relGain) {
+			return n - 1, nil
+		}
+		prev = cur
+	}
+	return maxNodes, nil
+}

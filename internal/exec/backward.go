@@ -1,0 +1,568 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"convmeter/internal/graph"
+)
+
+// WeightGrads accumulates the parameter gradients of one node, mirroring
+// the nodeWeights layout (W: main tensor, B: bias/shift).
+type WeightGrads struct {
+	W, B []float32
+}
+
+// Gradients runs a full training computation: forward pass, softmax
+// cross-entropy loss against the labels, and a backward pass producing
+// parameter gradients for every trainable node. It returns the mean loss
+// over the batch.
+//
+// The supported backward op set covers plain ConvNets (convolution,
+// linear, ReLU, batch norm, max/avg/adaptive pooling, add, concat,
+// channel slice, flatten, dropout); ops outside it return an error. This
+// is the real counterpart of trainsim's *modelled* backward pass, used by
+// the data-parallel reference trainer (internal/train).
+func (e *Executor) Gradients(input *Tensor, labels []int) (float64, map[int]*WeightGrads, error) {
+	inShape, err := e.g.InputShape()
+	if err != nil {
+		return 0, nil, err
+	}
+	if input.Shape != inShape {
+		return 0, nil, fmt.Errorf("exec: input shape %v, graph expects %v", input.Shape, inShape)
+	}
+	if len(labels) != input.Batch {
+		return 0, nil, fmt.Errorf("exec: %d labels for batch %d", len(labels), input.Batch)
+	}
+	batch := input.Batch
+
+	// Forward pass, keeping every activation.
+	acts := make([]*Tensor, len(e.g.Nodes))
+	if err := e.forwardAll(input, acts); err != nil {
+		return 0, nil, err
+	}
+	logits := acts[len(acts)-1]
+	classes := int(logits.Shape.Elems())
+	for _, l := range labels {
+		if l < 0 || l >= classes {
+			return 0, nil, fmt.Errorf("exec: label %d out of range [0,%d)", l, classes)
+		}
+	}
+
+	// Softmax cross-entropy loss and its gradient w.r.t. the logits.
+	dActs := make([]*Tensor, len(e.g.Nodes))
+	dLogits := NewTensor(batch, logits.Shape)
+	loss := 0.0
+	for b := 0; b < batch; b++ {
+		row := logits.image(b)
+		maxV := row[0]
+		for _, v := range row {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		probs := make([]float64, classes)
+		for i, v := range row {
+			probs[i] = math.Exp(float64(v - maxV))
+			sum += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= sum
+		}
+		loss += -math.Log(math.Max(probs[labels[b]], 1e-12))
+		dRow := dLogits.image(b)
+		for i := range dRow {
+			g := probs[i]
+			if i == labels[b] {
+				g -= 1
+			}
+			dRow[i] = float32(g / float64(batch))
+		}
+	}
+	loss /= float64(batch)
+	dActs[len(dActs)-1] = dLogits
+
+	// Backward pass in reverse topological order.
+	grads := map[int]*WeightGrads{}
+	for i := len(e.g.Nodes) - 1; i >= 1; i-- {
+		n := e.g.Nodes[i]
+		dOut := dActs[i]
+		if dOut == nil {
+			continue // activation feeds nothing that needs gradients
+		}
+		ins := make([]*Tensor, len(n.Inputs))
+		dIns := make([]*Tensor, len(n.Inputs))
+		for j, id := range n.Inputs {
+			ins[j] = acts[id]
+			if dActs[id] == nil {
+				dActs[id] = NewTensor(batch, e.g.Nodes[id].Out)
+			}
+			dIns[j] = dActs[id]
+		}
+		nw := e.weights[i]
+		var wg *WeightGrads
+		ensure := func(wLen, bLen int) *WeightGrads {
+			if wg == nil {
+				wg = &WeightGrads{}
+				if wLen > 0 {
+					wg.W = make([]float32, wLen)
+				}
+				if bLen > 0 {
+					wg.B = make([]float32, bLen)
+				}
+				grads[i] = wg
+			}
+			return wg
+		}
+		switch op := n.Op.(type) {
+		case *graph.Conv2dOp:
+			g := ensure(len(nw.w), len(nw.b))
+			conv2dBackward(ins[0], op, nw.w, dOut, dIns[0], g.W, g.B)
+		case *graph.LinearOp:
+			g := ensure(len(nw.w), len(nw.b))
+			linearBackward(ins[0], op, nw.w, dOut, dIns[0], g.W, g.B)
+		case *graph.BatchNormOp:
+			g := ensure(len(nw.w), len(nw.b))
+			batchNormBackward(ins[0], nw.w, dOut, dIns[0], g.W, g.B)
+		case *graph.ActivationOp:
+			if err := activationBackward(op.Fn, ins[0], acts[i], dOut, dIns[0]); err != nil {
+				return 0, nil, err
+			}
+		case *graph.Pool2dOp:
+			pool2dBackward(ins[0], op, acts[i], dOut, dIns[0])
+		case *graph.AdaptiveAvgPoolOp:
+			adaptiveAvgPoolBackward(ins[0], dOut, dIns[0])
+		case *graph.AddOp:
+			for _, d := range dIns {
+				for k, v := range dOut.Data {
+					d.Data[k] += v
+				}
+			}
+		case *graph.ConcatOp:
+			off := 0
+			for j, in := range ins {
+				for b := 0; b < batch; b++ {
+					for c := 0; c < in.Shape.C; c++ {
+						src := dOut.channel(b, off+c)
+						dst := dIns[j].channel(b, c)
+						for k, v := range src {
+							dst[k] += v
+						}
+					}
+				}
+				off += in.Shape.C
+			}
+		case *graph.SliceChannelsOp:
+			for b := 0; b < batch; b++ {
+				for c := op.From; c < op.To; c++ {
+					src := dOut.channel(b, c-op.From)
+					dst := dIns[0].channel(b, c)
+					for k, v := range src {
+						dst[k] += v
+					}
+				}
+			}
+		case *graph.FlattenOp, *graph.DropoutOp:
+			for k, v := range dOut.Data {
+				dIns[0].Data[k] += v
+			}
+		case *graph.MulOp:
+			mulBackward(ins[0], ins[1], dOut, dIns[0], dIns[1])
+		case *graph.ScaleOp:
+			g := ensure(len(nw.w), 0)
+			for b := 0; b < batch; b++ {
+				for c := 0; c < op.C; c++ {
+					gv := nw.w[c]
+					src := ins[0].channel(b, c)
+					d := dOut.channel(b, c)
+					di := dIns[0].channel(b, c)
+					for k, v := range d {
+						di[k] += v * gv
+						g.W[c] += v * src[k]
+					}
+				}
+			}
+		case *graph.ShuffleChannelsOp:
+			// Invert the forward permutation gi·cpg+k → k·groups+gi.
+			cpg := dOut.Shape.C / op.Groups
+			for b := 0; b < batch; b++ {
+				for c := 0; c < dOut.Shape.C; c++ {
+					gi, k := c/cpg, c%cpg
+					src := dOut.channel(b, k*op.Groups+gi)
+					dst := dIns[0].channel(b, c)
+					for j, v := range src {
+						dst[j] += v
+					}
+				}
+			}
+		default:
+			return 0, nil, fmt.Errorf("exec: backward for op kind %q not supported", n.Op.Kind())
+		}
+	}
+	return loss, grads, nil
+}
+
+// forwardAll is Run with all activations retained.
+func (e *Executor) forwardAll(input *Tensor, acts []*Tensor) error {
+	out, err := e.runInternal(input, acts)
+	if err != nil {
+		return err
+	}
+	_ = out
+	return nil
+}
+
+// activationBackward accumulates input gradients through an elementwise
+// nonlinearity, using the stored input (in) and output (out) activations.
+// Attention-internal softmax is handled inside the attention kernel; the
+// standalone Softmax activation is the only unsupported case.
+func activationBackward(fn graph.ActFunc, in, out, dOut, dIn *Tensor) error {
+	for k, x := range in.Data {
+		var deriv float32
+		switch fn {
+		case graph.ReLU:
+			if x > 0 {
+				deriv = 1
+			}
+		case graph.ReLU6:
+			if x > 0 && x < 6 {
+				deriv = 1
+			}
+		case graph.Sigmoid:
+			s := out.Data[k]
+			deriv = s * (1 - s)
+		case graph.SiLU:
+			s := applyAct(graph.Sigmoid, x)
+			deriv = s * (1 + x*(1-s))
+		case graph.HardSigmoid:
+			if x > -3 && x < 3 {
+				deriv = 1.0 / 6
+			}
+		case graph.HardSwish:
+			switch {
+			case x <= -3:
+				deriv = 0
+			case x >= 3:
+				deriv = 1
+			default:
+				deriv = x/3 + 0.5
+			}
+		case graph.Tanh:
+			o := out.Data[k]
+			deriv = 1 - o*o
+		case graph.GELU:
+			// Derivative of the tanh approximation.
+			const c = 0.7978845608028654
+			x64 := float64(x)
+			u := c * (x64 + 0.044715*x64*x64*x64)
+			t := math.Tanh(u)
+			du := c * (1 + 3*0.044715*x64*x64)
+			deriv = float32(0.5*(1+t) + 0.5*x64*(1-t*t)*du)
+		default:
+			return fmt.Errorf("exec: backward for activation %q not supported", fn)
+		}
+		dIn.Data[k] += dOut.Data[k] * deriv
+	}
+	return nil
+}
+
+// mulBackward differentiates the broadcast product used by SE gates:
+// dFull = dOut·gate, dGate[c] = Σ dOut·full over the channel plane.
+func mulBackward(full, gate, dOut, dFull, dGate *Tensor) {
+	if gate.Shape == full.Shape {
+		for k, v := range dOut.Data {
+			dFull.Data[k] += v * gate.Data[k]
+			dGate.Data[k] += v * full.Data[k]
+		}
+		return
+	}
+	for b := 0; b < full.Batch; b++ {
+		for c := 0; c < full.Shape.C; c++ {
+			g := gate.At(b, c, 0, 0)
+			src := full.channel(b, c)
+			d := dOut.channel(b, c)
+			df := dFull.channel(b, c)
+			var acc float32
+			for k, v := range d {
+				df[k] += v * g
+				acc += v * src[k]
+			}
+			dGate.Set(b, c, 0, 0, dGate.At(b, c, 0, 0)+acc)
+		}
+	}
+}
+
+// conv2dBackward accumulates dIn, dW and dB for a convolution.
+func conv2dBackward(in *Tensor, op *graph.Conv2dOp, weight []float32, dOut, dIn *Tensor, dW, dB []float32) {
+	icPerG := op.InC / op.Groups
+	ocPerG := op.OutC / op.Groups
+	kArea := op.KH * op.KW
+	outH, outW := dOut.Shape.H, dOut.Shape.W
+	for b := 0; b < in.Batch; b++ {
+		for oc := 0; oc < op.OutC; oc++ {
+			g := oc / ocPerG
+			icBase := g * icPerG
+			wBase := oc * icPerG * kArea
+			dOutPlane := dOut.channel(b, oc)
+			for oh := 0; oh < outH; oh++ {
+				for ow := 0; ow < outW; ow++ {
+					d := dOutPlane[oh*outW+ow]
+					if d == 0 {
+						continue
+					}
+					if dB != nil {
+						dB[oc] += d
+					}
+					for ic := 0; ic < icPerG; ic++ {
+						inPlane := in.channel(b, icBase+ic)
+						dInPlane := dIn.channel(b, icBase+ic)
+						for kh := 0; kh < op.KH; kh++ {
+							ih := oh*op.StrideH - op.PadH + kh*op.DilationH
+							if ih < 0 || ih >= in.Shape.H {
+								continue
+							}
+							for kw := 0; kw < op.KW; kw++ {
+								iw := ow*op.StrideW - op.PadW + kw*op.DilationW
+								if iw < 0 || iw >= in.Shape.W {
+									continue
+								}
+								wIdx := wBase + ic*kArea + kh*op.KW + kw
+								dW[wIdx] += d * inPlane[ih*in.Shape.W+iw]
+								dInPlane[ih*in.Shape.W+iw] += d * weight[wIdx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// linearBackward accumulates dIn, dW and dB for a fully connected layer.
+func linearBackward(in *Tensor, op *graph.LinearOp, weight []float32, dOut, dIn *Tensor, dW, dB []float32) {
+	for b := 0; b < in.Batch; b++ {
+		x := in.image(b)
+		dy := dOut.image(b)
+		dx := dIn.image(b)
+		for o := 0; o < op.Out; o++ {
+			d := dy[o]
+			if d == 0 {
+				continue
+			}
+			if dB != nil {
+				dB[o] += d
+			}
+			row := weight[o*op.In : (o+1)*op.In]
+			dRow := dW[o*op.In : (o+1)*op.In]
+			for i := 0; i < op.In; i++ {
+				dRow[i] += d * x[i]
+				dx[i] += d * row[i]
+			}
+		}
+	}
+}
+
+// batchNormBackward treats the layer as the affine transform it is at
+// inference (scale/shift with frozen statistics), the standard choice for
+// fine-tuning: dIn = dOut·scale, dScale = Σ dOut·in, dShift = Σ dOut.
+func batchNormBackward(in *Tensor, scale []float32, dOut, dIn *Tensor, dScale, dShift []float32) {
+	for b := 0; b < in.Batch; b++ {
+		for c := 0; c < in.Shape.C; c++ {
+			s := scale[c]
+			src := in.channel(b, c)
+			d := dOut.channel(b, c)
+			di := dIn.channel(b, c)
+			for k, v := range d {
+				di[k] += v * s
+				dScale[c] += v * src[k]
+				dShift[c] += v
+			}
+		}
+	}
+}
+
+// pool2dBackward routes gradients through max pooling (to the argmax
+// position, recomputed from the forward output) or distributes them for
+// average pooling.
+func pool2dBackward(in *Tensor, op *graph.Pool2dOp, out, dOut, dIn *Tensor) {
+	kArea := float32(op.KH * op.KW)
+	for b := 0; b < in.Batch; b++ {
+		for c := 0; c < in.Shape.C; c++ {
+			src := in.channel(b, c)
+			fwd := out.channel(b, c)
+			d := dOut.channel(b, c)
+			di := dIn.channel(b, c)
+			for oh := 0; oh < out.Shape.H; oh++ {
+				for ow := 0; ow < out.Shape.W; ow++ {
+					g := d[oh*out.Shape.W+ow]
+					if g == 0 {
+						continue
+					}
+					if op.PoolKind == graph.AvgPool {
+						g /= kArea
+					}
+					routed := false
+					for kh := 0; kh < op.KH; kh++ {
+						ih := oh*op.StrideH - op.PadH + kh
+						if ih < 0 || ih >= in.Shape.H {
+							continue
+						}
+						for kw := 0; kw < op.KW; kw++ {
+							iw := ow*op.StrideW - op.PadW + kw
+							if iw < 0 || iw >= in.Shape.W {
+								continue
+							}
+							idx := ih*in.Shape.W + iw
+							if op.PoolKind == graph.AvgPool {
+								di[idx] += g
+							} else if !routed && src[idx] == fwd[oh*out.Shape.W+ow] {
+								di[idx] += g
+								routed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// adaptiveAvgPoolBackward distributes gradients uniformly over each
+// pooling region.
+func adaptiveAvgPoolBackward(in *Tensor, dOut, dIn *Tensor) {
+	inH, inW := in.Shape.H, in.Shape.W
+	outH, outW := dOut.Shape.H, dOut.Shape.W
+	for b := 0; b < in.Batch; b++ {
+		for c := 0; c < in.Shape.C; c++ {
+			d := dOut.channel(b, c)
+			di := dIn.channel(b, c)
+			for oh := 0; oh < outH; oh++ {
+				h0 := oh * inH / outH
+				h1 := ((oh+1)*inH + outH - 1) / outH
+				for ow := 0; ow < outW; ow++ {
+					w0 := ow * inW / outW
+					w1 := ((ow+1)*inW + outW - 1) / outW
+					g := d[oh*outW+ow] / float32((h1-h0)*(w1-w0))
+					for h := h0; h < h1; h++ {
+						for w := w0; w < w1; w++ {
+							di[h*inW+w] += g
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ApplySGD performs an in-place SGD step on the executor's weights.
+func (e *Executor) ApplySGD(grads map[int]*WeightGrads, lr float32) {
+	for id, g := range grads {
+		nw := e.weights[id]
+		for k := range g.W {
+			nw.w[k] -= lr * g.W[k]
+		}
+		for k := range g.B {
+			nw.b[k] -= lr * g.B[k]
+		}
+	}
+}
+
+// AdamState holds per-parameter first/second-moment estimates for the
+// Adam optimizer — the optimizer of the paper's training setup ("we
+// deploy Horovod with PyTorch and Adam as the optimizer").
+type AdamState struct {
+	step int
+	m, v map[int]*WeightGrads // moments, keyed like the gradient maps
+}
+
+// NewAdamState returns empty moment buffers.
+func NewAdamState() *AdamState {
+	return &AdamState{m: map[int]*WeightGrads{}, v: map[int]*WeightGrads{}}
+}
+
+// ApplyAdam performs an in-place Adam step with the standard defaults
+// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8) and bias correction. State buffers are
+// allocated lazily per node; the update is fully deterministic, so
+// data-parallel replicas applying identical averaged gradients stay
+// identical.
+func (e *Executor) ApplyAdam(st *AdamState, grads map[int]*WeightGrads, lr float32) {
+	const (
+		beta1 = 0.9
+		beta2 = 0.999
+		eps   = 1e-8
+	)
+	st.step++
+	bc1 := 1 - float32(math.Pow(beta1, float64(st.step)))
+	bc2 := 1 - float32(math.Pow(beta2, float64(st.step)))
+	update := func(w, g, m, v []float32) {
+		for k := range g {
+			m[k] = beta1*m[k] + (1-beta1)*g[k]
+			v[k] = beta2*v[k] + (1-beta2)*g[k]*g[k]
+			mHat := m[k] / bc1
+			vHat := v[k] / bc2
+			w[k] -= lr * mHat / (float32(math.Sqrt(float64(vHat))) + eps)
+		}
+	}
+	for id, g := range grads {
+		nw := e.weights[id]
+		mg, ok := st.m[id]
+		if !ok {
+			mg = &WeightGrads{W: make([]float32, len(g.W)), B: make([]float32, len(g.B))}
+			st.m[id] = mg
+			st.v[id] = &WeightGrads{W: make([]float32, len(g.W)), B: make([]float32, len(g.B))}
+		}
+		vg := st.v[id]
+		update(nw.w, g.W, mg.W, vg.W)
+		update(nw.b, g.B, mg.B, vg.B)
+	}
+}
+
+// FlattenGrads serialises gradients into one vector in node order — the
+// payload a gradient all-reduce synchronises.
+func (e *Executor) FlattenGrads(grads map[int]*WeightGrads) []float32 {
+	var out []float32
+	for i := range e.g.Nodes {
+		if g, ok := grads[i]; ok {
+			out = append(out, g.W...)
+			out = append(out, g.B...)
+		}
+	}
+	return out
+}
+
+// UnflattenGrads writes a vector produced by FlattenGrads back into the
+// gradient maps (after an all-reduce).
+func (e *Executor) UnflattenGrads(vec []float32, grads map[int]*WeightGrads) error {
+	off := 0
+	for i := range e.g.Nodes {
+		if g, ok := grads[i]; ok {
+			n := len(g.W) + len(g.B)
+			if off+n > len(vec) {
+				return fmt.Errorf("exec: gradient vector too short")
+			}
+			copy(g.W, vec[off:off+len(g.W)])
+			copy(g.B, vec[off+len(g.W):off+n])
+			off += n
+		}
+	}
+	if off != len(vec) {
+		return fmt.Errorf("exec: gradient vector has %d extra elements", len(vec)-off)
+	}
+	return nil
+}
+
+// WeightChecksum returns a deterministic digest of all weights, used to
+// verify that data-parallel replicas stay synchronised.
+func (e *Executor) WeightChecksum() float64 {
+	sum := 0.0
+	for _, nw := range e.weights {
+		for k, v := range nw.w {
+			sum += float64(v) * float64(k%97+1)
+		}
+		for k, v := range nw.b {
+			sum += float64(v) * float64(k%89+1)
+		}
+	}
+	return sum
+}

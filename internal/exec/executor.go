@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"convmeter/internal/graph"
+)
+
+// nodeWeights holds the initialised parameters of one node (nil slices
+// for parameter-free ops).
+type nodeWeights struct {
+	w, b []float32 // conv/linear weight+bias, bn/ln scale+shift, tokens pos+cls
+}
+
+// Executor runs a validated graph with deterministic, seeded weights.
+// It is safe for sequential reuse; Run allocates fresh activations.
+type Executor struct {
+	g       *graph.Graph
+	weights []nodeWeights
+	seed    int64
+}
+
+// NewExecutor validates the graph and initialises every parameterised
+// node with He-style random weights from the seed. The same (graph, seed)
+// pair always yields identical numerics.
+func NewExecutor(g *graph.Graph, seed int64) (*Executor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Executor{g: g, weights: make([]nodeWeights, len(g.Nodes)), seed: seed}
+	for i, n := range g.Nodes {
+		rng := rand.New(rand.NewSource(seed + int64(i)*1000003))
+		he := func(n int, fanIn int) []float32 {
+			out := make([]float32, n)
+			std := float32(math.Sqrt(2 / float64(fanIn)))
+			for j := range out {
+				out[j] = float32(rng.NormFloat64()) * std
+			}
+			return out
+		}
+		switch op := n.Op.(type) {
+		case *graph.Conv2dOp:
+			fanIn := op.InC / op.Groups * op.KH * op.KW
+			w := he(op.OutC*fanIn, fanIn)
+			var b []float32
+			if op.Bias {
+				b = make([]float32, op.OutC)
+			}
+			e.weights[i] = nodeWeights{w: w, b: b}
+		case *graph.LinearOp:
+			w := he(op.Out*op.In, op.In)
+			var b []float32
+			if op.Bias {
+				b = make([]float32, op.Out)
+			}
+			e.weights[i] = nodeWeights{w: w, b: b}
+		case *graph.TokenLinearOp:
+			w := he(op.Out*op.In, op.In)
+			var b []float32
+			if op.Bias {
+				b = make([]float32, op.Out)
+			}
+			e.weights[i] = nodeWeights{w: w, b: b}
+		case *graph.BatchNormOp:
+			scale := make([]float32, op.C)
+			shift := make([]float32, op.C)
+			for j := range scale {
+				scale[j] = 1
+			}
+			e.weights[i] = nodeWeights{w: scale, b: shift}
+		case *graph.LayerNormOp:
+			scale := make([]float32, op.Dim)
+			shift := make([]float32, op.Dim)
+			for j := range scale {
+				scale[j] = 1
+			}
+			e.weights[i] = nodeWeights{w: scale, b: shift}
+		case *graph.ToTokensOp:
+			pos := make([]float32, op.Tokens*op.Dim)
+			for j := range pos {
+				pos[j] = float32(rng.NormFloat64()) * 0.02
+			}
+			cls := make([]float32, op.Dim)
+			e.weights[i] = nodeWeights{w: pos, b: cls}
+		case *graph.ScaleOp:
+			gamma := make([]float32, op.C)
+			for j := range gamma {
+				gamma[j] = 1
+			}
+			e.weights[i] = nodeWeights{w: gamma}
+		}
+	}
+	return e, nil
+}
+
+// RandomInput builds a deterministic pseudo-random input tensor for the
+// graph at the given batch size.
+func (e *Executor) RandomInput(batch int) (*Tensor, error) {
+	in, err := e.g.InputShape()
+	if err != nil {
+		return nil, err
+	}
+	t := NewTensor(batch, in)
+	rng := rand.New(rand.NewSource(e.seed ^ 0x5eed))
+	for i := range t.Data {
+		t.Data[i] = float32(rng.NormFloat64())
+	}
+	return t, nil
+}
+
+// Run executes the graph on the given input and returns the final node's
+// output tensor.
+func (e *Executor) Run(input *Tensor) (*Tensor, error) {
+	acts := make([]*Tensor, len(e.g.Nodes))
+	return e.runInternal(input, acts)
+}
+
+// runInternal executes the graph, filling acts with every node's output
+// (retained for the backward pass).
+func (e *Executor) runInternal(input *Tensor, acts []*Tensor) (*Tensor, error) {
+	inShape, err := e.g.InputShape()
+	if err != nil {
+		return nil, err
+	}
+	if input.Shape != inShape {
+		return nil, fmt.Errorf("exec: input shape %v, graph expects %v", input.Shape, inShape)
+	}
+	batch := input.Batch
+	for i, n := range e.g.Nodes {
+		ins := make([]*Tensor, len(n.Inputs))
+		for j, id := range n.Inputs {
+			ins[j] = acts[id]
+		}
+		out := NewTensor(batch, n.Out)
+		nw := e.weights[i]
+		switch op := n.Op.(type) {
+		case *graph.InputOp:
+			copy(out.Data, input.Data)
+		case *graph.Conv2dOp:
+			conv2d(ins[0], op, nw.w, nw.b, out)
+		case *graph.LinearOp:
+			linear(ins[0], op, nw.w, nw.b, out)
+		case *graph.TokenLinearOp:
+			tokenLinear(ins[0], op, nw.w, nw.b, out)
+		case *graph.BatchNormOp:
+			batchNorm(ins[0], nw.w, nw.b, out)
+		case *graph.LayerNormOp:
+			layerNorm(ins[0], nw.w, nw.b, out)
+		case *graph.ActivationOp:
+			activation(ins[0], op.Fn, out)
+		case *graph.Pool2dOp:
+			pool2d(ins[0], op, out)
+		case *graph.AdaptiveAvgPoolOp:
+			adaptiveAvgPool(ins[0], out)
+		case *graph.AddOp:
+			copy(out.Data, ins[0].Data)
+			for _, other := range ins[1:] {
+				for k, v := range other.Data {
+					out.Data[k] += v
+				}
+			}
+		case *graph.MulOp:
+			mulBroadcast(ins[0], ins[1], out)
+		case *graph.ConcatOp:
+			concatChannels(ins, out)
+		case *graph.FlattenOp, *graph.DropoutOp:
+			copy(out.Data, ins[0].Data)
+		case *graph.TakeTokenOp:
+			for b := 0; b < batch; b++ {
+				for c := 0; c < out.Shape.C; c++ {
+					out.Set(b, c, 0, 0, ins[0].At(b, c, 0, 0))
+				}
+			}
+		case *graph.ToTokensOp:
+			toTokens(ins[0], op, nw.b, nw.w, out)
+		case *graph.AttentionCoreOp:
+			attentionCore(ins[0], op, out)
+		case *graph.ScaleOp:
+			for b := 0; b < batch; b++ {
+				for c := 0; c < out.Shape.C; c++ {
+					gv := nw.w[c]
+					src := ins[0].channel(b, c)
+					dst := out.channel(b, c)
+					for k, v := range src {
+						dst[k] = v * gv
+					}
+				}
+			}
+		case *graph.SliceChannelsOp:
+			for b := 0; b < batch; b++ {
+				for c := op.From; c < op.To; c++ {
+					copy(out.channel(b, c-op.From), ins[0].channel(b, c))
+				}
+			}
+		case *graph.ShuffleChannelsOp:
+			// PyTorch channel_shuffle: view (groups × C/groups), transpose,
+			// flatten — input channel gi·cpg+k lands at k·groups+gi.
+			cpg := out.Shape.C / op.Groups
+			for b := 0; b < batch; b++ {
+				for c := 0; c < out.Shape.C; c++ {
+					gi, k := c/cpg, c%cpg
+					copy(out.channel(b, k*op.Groups+gi), ins[0].channel(b, c))
+				}
+			}
+		default:
+			return nil, fmt.Errorf("exec: no kernel for op kind %q", n.Op.Kind())
+		}
+		acts[i] = out
+	}
+	return acts[len(acts)-1], nil
+}
+
+// mulBroadcast multiplies a full tensor by either an equally shaped
+// tensor or a per-channel C×1×1 gate.
+func mulBroadcast(full, gate *Tensor, out *Tensor) {
+	if gate.Shape == full.Shape {
+		for i, v := range full.Data {
+			out.Data[i] = v * gate.Data[i]
+		}
+		return
+	}
+	for b := 0; b < full.Batch; b++ {
+		for c := 0; c < full.Shape.C; c++ {
+			g := gate.At(b, c, 0, 0)
+			src := full.channel(b, c)
+			dst := out.channel(b, c)
+			for i, v := range src {
+				dst[i] = v * g
+			}
+		}
+	}
+}
+
+// concatChannels concatenates inputs along the channel dimension.
+func concatChannels(ins []*Tensor, out *Tensor) {
+	for b := 0; b < out.Batch; b++ {
+		oc := 0
+		for _, in := range ins {
+			for c := 0; c < in.Shape.C; c++ {
+				copy(out.channel(b, oc), in.channel(b, c))
+				oc++
+			}
+		}
+	}
+}

@@ -1,0 +1,305 @@
+package exec
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"convmeter/internal/graph"
+)
+
+// parallelFor runs f(i) for i in [0, n) over a bounded worker pool. Used
+// to spread convolution output channels across cores.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// conv2d computes a grouped, strided, padded, dilated 2-D convolution.
+// Weight layout: [outC][inC/groups][KH][KW]; bias may be nil.
+func conv2d(in *Tensor, op *graph.Conv2dOp, weight, bias []float32, out *Tensor) {
+	icPerG := op.InC / op.Groups
+	ocPerG := op.OutC / op.Groups
+	kArea := op.KH * op.KW
+	for b := 0; b < in.Batch; b++ {
+		bb := b
+		parallelFor(op.OutC, func(oc int) {
+			g := oc / ocPerG
+			icBase := g * icPerG
+			wBase := oc * icPerG * kArea
+			outPlane := out.channel(bb, oc)
+			var bv float32
+			if bias != nil {
+				bv = bias[oc]
+			}
+			for oh := 0; oh < out.Shape.H; oh++ {
+				for ow := 0; ow < out.Shape.W; ow++ {
+					acc := bv
+					for ic := 0; ic < icPerG; ic++ {
+						inPlane := in.channel(bb, icBase+ic)
+						wRow := weight[wBase+ic*kArea:]
+						for kh := 0; kh < op.KH; kh++ {
+							ih := oh*op.StrideH - op.PadH + kh*op.DilationH
+							if ih < 0 || ih >= in.Shape.H {
+								continue
+							}
+							rowOff := ih * in.Shape.W
+							kOff := kh * op.KW
+							for kw := 0; kw < op.KW; kw++ {
+								iw := ow*op.StrideW - op.PadW + kw*op.DilationW
+								if iw < 0 || iw >= in.Shape.W {
+									continue
+								}
+								acc += inPlane[rowOff+iw] * wRow[kOff+kw]
+							}
+						}
+					}
+					outPlane[oh*out.Shape.W+ow] = acc
+				}
+			}
+		})
+	}
+}
+
+// linear computes out = W·flatten(in) + b per batch element.
+// Weight layout: [out][in].
+func linear(in *Tensor, op *graph.LinearOp, weight, bias []float32, out *Tensor) {
+	for b := 0; b < in.Batch; b++ {
+		x := in.image(b)
+		y := out.image(b)
+		parallelFor(op.Out, func(o int) {
+			row := weight[o*op.In : (o+1)*op.In]
+			acc := float32(0)
+			if bias != nil {
+				acc = bias[o]
+			}
+			for i, v := range x {
+				acc += row[i] * v
+			}
+			y[o] = acc
+		})
+	}
+}
+
+// tokenLinear applies a linear layer independently per token of a C×T×1
+// sequence. Weight layout: [out][in].
+func tokenLinear(in *Tensor, op *graph.TokenLinearOp, weight, bias []float32, out *Tensor) {
+	T := in.Shape.H
+	for b := 0; b < in.Batch; b++ {
+		bb := b
+		parallelFor(op.Out, func(o int) {
+			row := weight[o*op.In : (o+1)*op.In]
+			var bv float32
+			if bias != nil {
+				bv = bias[o]
+			}
+			for t := 0; t < T; t++ {
+				acc := bv
+				for i := 0; i < op.In; i++ {
+					acc += row[i] * in.At(bb, i, t, 0)
+				}
+				out.Set(bb, o, t, 0, acc)
+			}
+		})
+	}
+}
+
+// batchNorm applies the inference-time affine transform per channel.
+func batchNorm(in *Tensor, scale, shift []float32, out *Tensor) {
+	for b := 0; b < in.Batch; b++ {
+		for c := 0; c < in.Shape.C; c++ {
+			s, sh := scale[c], shift[c]
+			src := in.channel(b, c)
+			dst := out.channel(b, c)
+			for i, v := range src {
+				dst[i] = v*s + sh
+			}
+		}
+	}
+}
+
+// layerNorm normalises each token across the embedding dimension.
+func layerNorm(in *Tensor, scale, shift []float32, out *Tensor) {
+	const eps = 1e-5
+	C := in.Shape.C
+	buf := make([]float32, C)
+	for b := 0; b < in.Batch; b++ {
+		for t := 0; t < in.Shape.H; t++ {
+			for w := 0; w < in.Shape.W; w++ {
+				for c := 0; c < C; c++ {
+					buf[c] = in.At(b, c, t, w)
+				}
+				mu := mean32(buf)
+				va := variance32(buf)
+				inv := float32(1 / math.Sqrt(float64(va)+eps))
+				for c := 0; c < C; c++ {
+					out.Set(b, c, t, w, (buf[c]-mu)*inv*scale[c]+shift[c])
+				}
+			}
+		}
+	}
+}
+
+// activation applies fn elementwise.
+func activation(in *Tensor, fn graph.ActFunc, out *Tensor) {
+	for i, v := range in.Data {
+		out.Data[i] = applyAct(fn, v)
+	}
+}
+
+// pool2d computes max or average pooling.
+func pool2d(in *Tensor, op *graph.Pool2dOp, out *Tensor) {
+	kArea := float32(op.KH * op.KW)
+	for b := 0; b < in.Batch; b++ {
+		for c := 0; c < in.Shape.C; c++ {
+			src := in.channel(b, c)
+			dst := out.channel(b, c)
+			for oh := 0; oh < out.Shape.H; oh++ {
+				for ow := 0; ow < out.Shape.W; ow++ {
+					var acc float32
+					if op.PoolKind == graph.MaxPool {
+						acc = float32(math.Inf(-1))
+					}
+					for kh := 0; kh < op.KH; kh++ {
+						ih := oh*op.StrideH - op.PadH + kh
+						if ih < 0 || ih >= in.Shape.H {
+							continue
+						}
+						for kw := 0; kw < op.KW; kw++ {
+							iw := ow*op.StrideW - op.PadW + kw
+							if iw < 0 || iw >= in.Shape.W {
+								continue
+							}
+							v := src[ih*in.Shape.W+iw]
+							if op.PoolKind == graph.MaxPool {
+								if v > acc {
+									acc = v
+								}
+							} else {
+								acc += v
+							}
+						}
+					}
+					if op.PoolKind == graph.AvgPool {
+						acc /= kArea // count_include_pad, PyTorch default
+					}
+					dst[oh*out.Shape.W+ow] = acc
+				}
+			}
+		}
+	}
+}
+
+// adaptiveAvgPool pools (or replicates) to a fixed output resolution
+// using PyTorch's region rule: [floor(i·H/out), ceil((i+1)·H/out)).
+func adaptiveAvgPool(in *Tensor, out *Tensor) {
+	inH, inW := in.Shape.H, in.Shape.W
+	outH, outW := out.Shape.H, out.Shape.W
+	for b := 0; b < in.Batch; b++ {
+		for c := 0; c < in.Shape.C; c++ {
+			src := in.channel(b, c)
+			dst := out.channel(b, c)
+			for oh := 0; oh < outH; oh++ {
+				h0 := oh * inH / outH
+				h1 := ((oh+1)*inH + outH - 1) / outH
+				for ow := 0; ow < outW; ow++ {
+					w0 := ow * inW / outW
+					w1 := ((ow+1)*inW + outW - 1) / outW
+					var acc float32
+					for h := h0; h < h1; h++ {
+						for w := w0; w < w1; w++ {
+							acc += src[h*inW+w]
+						}
+					}
+					dst[oh*outW+ow] = acc / float32((h1-h0)*(w1-w0))
+				}
+			}
+		}
+	}
+}
+
+// attentionCore runs multi-head scaled-dot-product attention over a
+// fused QKV sequence (3·dim × T).
+func attentionCore(in *Tensor, op *graph.AttentionCoreOp, out *Tensor) {
+	T := in.Shape.H
+	dh := op.Dim / op.Heads
+	invSqrt := float32(1 / math.Sqrt(float64(dh)))
+	for b := 0; b < in.Batch; b++ {
+		bb := b
+		parallelFor(op.Heads, func(h int) {
+			base := h * dh
+			scores := make([]float32, T)
+			for i := 0; i < T; i++ {
+				// scores = softmax(q_i · k_j / sqrt(dh))
+				maxS := float32(math.Inf(-1))
+				for j := 0; j < T; j++ {
+					var s float32
+					for d := 0; d < dh; d++ {
+						q := in.At(bb, base+d, i, 0)
+						k := in.At(bb, op.Dim+base+d, j, 0)
+						s += q * k
+					}
+					s *= invSqrt
+					scores[j] = s
+					if s > maxS {
+						maxS = s
+					}
+				}
+				var sum float32
+				for j := 0; j < T; j++ {
+					scores[j] = float32(math.Exp(float64(scores[j] - maxS)))
+					sum += scores[j]
+				}
+				for j := 0; j < T; j++ {
+					scores[j] /= sum
+				}
+				for d := 0; d < dh; d++ {
+					var acc float32
+					for j := 0; j < T; j++ {
+						acc += scores[j] * in.At(bb, 2*op.Dim+base+d, j, 0)
+					}
+					out.Set(bb, base+d, i, 0, acc)
+				}
+			}
+		})
+	}
+}
+
+// toTokens flattens spatial patches into a token sequence, prepends the
+// class token and adds position embeddings.
+func toTokens(in *Tensor, op *graph.ToTokensOp, cls, pos []float32, out *Tensor) {
+	spatial := in.Shape.H * in.Shape.W
+	for b := 0; b < in.Batch; b++ {
+		for c := 0; c < op.Dim; c++ {
+			src := in.channel(b, c)
+			out.Set(b, c, 0, 0, cls[c]+pos[0*op.Dim+c])
+			for t := 0; t < spatial; t++ {
+				out.Set(b, c, t+1, 0, src[t]+pos[(t+1)*op.Dim+c])
+			}
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"convmeter/internal/graph"
+)
+
+func almost(a, b float32) bool {
+	return math.Abs(float64(a-b)) <= 1e-4*math.Max(1, math.Abs(float64(b)))
+}
+
+func TestConv2dIdentityKernel(t *testing.T) {
+	// A 1x1 convolution with weight 1 must copy the input.
+	in := NewTensor(1, graph.Shape{C: 1, H: 2, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4})
+	op := &graph.Conv2dOp{InC: 1, OutC: 1, KH: 1, KW: 1, StrideH: 1, StrideW: 1, DilationH: 1, DilationW: 1, Groups: 1}
+	out := NewTensor(1, graph.Shape{C: 1, H: 2, W: 2})
+	conv2d(in, op, []float32{1}, nil, out)
+	for i := range in.Data {
+		if out.Data[i] != in.Data[i] {
+			t.Fatalf("identity conv mismatch at %d: %g", i, out.Data[i])
+		}
+	}
+}
+
+func TestConv2dHandComputed(t *testing.T) {
+	// 3x3 input, 2x2 kernel of ones, stride 1, no pad → 2x2 sums.
+	in := NewTensor(1, graph.Shape{C: 1, H: 3, W: 3})
+	copy(in.Data, []float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	})
+	op := &graph.Conv2dOp{InC: 1, OutC: 1, KH: 2, KW: 2, StrideH: 1, StrideW: 1, DilationH: 1, DilationW: 1, Groups: 1}
+	out := NewTensor(1, graph.Shape{C: 1, H: 2, W: 2})
+	conv2d(in, op, []float32{1, 1, 1, 1}, []float32{0.5}, out)
+	want := []float32{1 + 2 + 4 + 5 + 0.5, 2 + 3 + 5 + 6 + 0.5, 4 + 5 + 7 + 8 + 0.5, 5 + 6 + 8 + 9 + 0.5}
+	for i := range want {
+		if !almost(out.Data[i], want[i]) {
+			t.Fatalf("conv out[%d] = %g, want %g", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestConv2dPaddingAndStride(t *testing.T) {
+	// 2x2 input, 3x3 kernel of ones, pad 1, stride 2 → 1x1 output = sum.
+	in := NewTensor(1, graph.Shape{C: 1, H: 2, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4})
+	op := &graph.Conv2dOp{InC: 1, OutC: 1, KH: 3, KW: 3, StrideH: 2, StrideW: 2, PadH: 1, PadW: 1, DilationH: 1, DilationW: 1, Groups: 1}
+	out := NewTensor(1, graph.Shape{C: 1, H: 1, W: 1})
+	w := make([]float32, 9)
+	for i := range w {
+		w[i] = 1
+	}
+	conv2d(in, op, w, nil, out)
+	if !almost(out.Data[0], 10) {
+		t.Fatalf("padded conv = %g, want 10", out.Data[0])
+	}
+}
+
+func TestConv2dGrouped(t *testing.T) {
+	// Depthwise 2-channel conv: each channel scaled independently.
+	in := NewTensor(1, graph.Shape{C: 2, H: 1, W: 1})
+	copy(in.Data, []float32{3, 5})
+	op := &graph.Conv2dOp{InC: 2, OutC: 2, KH: 1, KW: 1, StrideH: 1, StrideW: 1, DilationH: 1, DilationW: 1, Groups: 2}
+	out := NewTensor(1, graph.Shape{C: 2, H: 1, W: 1})
+	conv2d(in, op, []float32{2, 10}, nil, out)
+	if out.Data[0] != 6 || out.Data[1] != 50 {
+		t.Fatalf("grouped conv = %v", out.Data)
+	}
+}
+
+func TestConv2dDilated(t *testing.T) {
+	// Dilation 2 with a 2x2 kernel of ones samples corners of a 3x3 grid.
+	in := NewTensor(1, graph.Shape{C: 1, H: 3, W: 3})
+	copy(in.Data, []float32{
+		1, 2, 3,
+		4, 5, 6,
+		7, 8, 9,
+	})
+	op := &graph.Conv2dOp{InC: 1, OutC: 1, KH: 2, KW: 2, StrideH: 1, StrideW: 1, DilationH: 2, DilationW: 2, Groups: 1}
+	out := NewTensor(1, graph.Shape{C: 1, H: 1, W: 1})
+	conv2d(in, op, []float32{1, 1, 1, 1}, nil, out)
+	if !almost(out.Data[0], 1+3+7+9) {
+		t.Fatalf("dilated conv = %g, want 20", out.Data[0])
+	}
+}
+
+func TestConv2dAsymmetricKernel(t *testing.T) {
+	// A 1x3 kernel of ones with pad (0,1): row sums with zero padding —
+	// the Inception factorised-convolution shape.
+	in := NewTensor(1, graph.Shape{C: 1, H: 2, W: 3})
+	copy(in.Data, []float32{
+		1, 2, 3,
+		4, 5, 6,
+	})
+	op := &graph.Conv2dOp{InC: 1, OutC: 1, KH: 1, KW: 3, StrideH: 1, StrideW: 1, PadH: 0, PadW: 1, DilationH: 1, DilationW: 1, Groups: 1}
+	out := NewTensor(1, graph.Shape{C: 1, H: 2, W: 3})
+	conv2d(in, op, []float32{1, 1, 1}, nil, out)
+	want := []float32{
+		0 + 1 + 2, 1 + 2 + 3, 2 + 3 + 0,
+		0 + 4 + 5, 4 + 5 + 6, 5 + 6 + 0,
+	}
+	for i := range want {
+		if !almost(out.Data[i], want[i]) {
+			t.Fatalf("asymmetric conv out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestConv2dStridedAsymmetric(t *testing.T) {
+	// Different strides per axis: 1x1 kernel, stride (2,1).
+	in := NewTensor(1, graph.Shape{C: 1, H: 4, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4, 5, 6, 7, 8})
+	op := &graph.Conv2dOp{InC: 1, OutC: 1, KH: 1, KW: 1, StrideH: 2, StrideW: 1, DilationH: 1, DilationW: 1, Groups: 1}
+	out := NewTensor(1, graph.Shape{C: 1, H: 2, W: 2})
+	conv2d(in, op, []float32{1}, nil, out)
+	want := []float32{1, 2, 5, 6}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("strided conv out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestLinearKernel(t *testing.T) {
+	in := NewTensor(2, graph.Shape{C: 3, H: 1, W: 1})
+	copy(in.Data, []float32{1, 2, 3 /* batch 1 */, 4, 5, 6 /* batch 2 */})
+	op := &graph.LinearOp{In: 3, Out: 2, Bias: true}
+	// W = [[1,0,0],[0,1,1]], b = [10, 20]
+	w := []float32{1, 0, 0, 0, 1, 1}
+	b := []float32{10, 20}
+	out := NewTensor(2, graph.Shape{C: 2, H: 1, W: 1})
+	linear(in, op, w, b, out)
+	want := []float32{11, 25, 14, 31}
+	for i := range want {
+		if !almost(out.Data[i], want[i]) {
+			t.Fatalf("linear out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestTokenLinearKernel(t *testing.T) {
+	// 2 tokens, dim 2 → out dim 1 with W=[1,1]: per-token sums.
+	in := NewTensor(1, graph.Shape{C: 2, H: 2, W: 1})
+	// layout: channel-major — c0: tokens [1, 2]; c1: tokens [3, 4]
+	copy(in.Data, []float32{1, 2, 3, 4})
+	op := &graph.TokenLinearOp{In: 2, Out: 1}
+	out := NewTensor(1, graph.Shape{C: 1, H: 2, W: 1})
+	tokenLinear(in, op, []float32{1, 1}, nil, out)
+	if !almost(out.Data[0], 4) || !almost(out.Data[1], 6) {
+		t.Fatalf("token linear = %v, want [4 6]", out.Data)
+	}
+}
+
+func TestBatchNormKernel(t *testing.T) {
+	in := NewTensor(1, graph.Shape{C: 2, H: 1, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4})
+	out := NewTensor(1, in.Shape)
+	batchNorm(in, []float32{2, 0.5}, []float32{1, -1}, out)
+	want := []float32{3, 5, 0.5, 1}
+	for i := range want {
+		if !almost(out.Data[i], want[i]) {
+			t.Fatalf("bn out = %v, want %v", out.Data, want)
+		}
+	}
+}
+
+func TestLayerNormKernel(t *testing.T) {
+	// One token with values [1, 3]: mean 2, var 1 → normalised [-1, 1].
+	in := NewTensor(1, graph.Shape{C: 2, H: 1, W: 1})
+	copy(in.Data, []float32{1, 3})
+	out := NewTensor(1, in.Shape)
+	layerNorm(in, []float32{1, 1}, []float32{0, 0}, out)
+	if !almost(out.Data[0], -1) || !almost(out.Data[1], 1) {
+		t.Fatalf("ln out = %v, want [-1 1]", out.Data)
+	}
+}
+
+func TestActivationNumerics(t *testing.T) {
+	cases := []struct {
+		fn   graph.ActFunc
+		x    float32
+		want float32
+	}{
+		{graph.ReLU, -2, 0},
+		{graph.ReLU, 2, 2},
+		{graph.ReLU6, 7, 6},
+		{graph.Sigmoid, 0, 0.5},
+		{graph.SiLU, 0, 0},
+		{graph.HardSigmoid, 3, 1},
+		{graph.HardSigmoid, -3, 0},
+		{graph.HardSwish, 3, 3},
+		{graph.Tanh, 0, 0},
+		{graph.GELU, 0, 0},
+	}
+	for _, c := range cases {
+		if got := applyAct(c.fn, c.x); !almost(got, c.want) {
+			t.Errorf("%s(%g) = %g, want %g", c.fn, c.x, got, c.want)
+		}
+	}
+	// GELU(x) ≈ x for large positive x, ≈ 0 for large negative.
+	if g := applyAct(graph.GELU, 10); !almost(g, 10) {
+		t.Errorf("GELU(10) = %g", g)
+	}
+	if g := applyAct(graph.GELU, -10); math.Abs(float64(g)) > 1e-3 {
+		t.Errorf("GELU(-10) = %g", g)
+	}
+}
+
+func TestMaxAndAvgPool(t *testing.T) {
+	in := NewTensor(1, graph.Shape{C: 1, H: 2, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4})
+	mp := &graph.Pool2dOp{PoolKind: graph.MaxPool, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	out := NewTensor(1, graph.Shape{C: 1, H: 1, W: 1})
+	pool2d(in, mp, out)
+	if out.Data[0] != 4 {
+		t.Fatalf("maxpool = %g", out.Data[0])
+	}
+	ap := &graph.Pool2dOp{PoolKind: graph.AvgPool, KH: 2, KW: 2, StrideH: 2, StrideW: 2}
+	pool2d(in, ap, out)
+	if !almost(out.Data[0], 2.5) {
+		t.Fatalf("avgpool = %g", out.Data[0])
+	}
+}
+
+func TestAdaptiveAvgPoolGlobal(t *testing.T) {
+	in := NewTensor(1, graph.Shape{C: 1, H: 2, W: 2})
+	copy(in.Data, []float32{1, 2, 3, 4})
+	out := NewTensor(1, graph.Shape{C: 1, H: 1, W: 1})
+	adaptiveAvgPool(in, out)
+	if !almost(out.Data[0], 2.5) {
+		t.Fatalf("global pool = %g", out.Data[0])
+	}
+}
+
+func TestAdaptiveAvgPoolUpsample(t *testing.T) {
+	// 1x1 → 2x2 replication (the AlexNet-at-small-image case).
+	in := NewTensor(1, graph.Shape{C: 1, H: 1, W: 1})
+	in.Data[0] = 7
+	out := NewTensor(1, graph.Shape{C: 1, H: 2, W: 2})
+	adaptiveAvgPool(in, out)
+	for _, v := range out.Data {
+		if v != 7 {
+			t.Fatalf("upsampled pool = %v", out.Data)
+		}
+	}
+}
+
+func TestAttentionUniformValues(t *testing.T) {
+	// If all keys are equal, attention weights are uniform and the output
+	// equals the mean of the values.
+	dim, T := 2, 3
+	in := NewTensor(1, graph.Shape{C: 3 * dim, H: T, W: 1})
+	// q arbitrary, k identical per token, v = token index.
+	for d := 0; d < dim; d++ {
+		for tok := 0; tok < T; tok++ {
+			in.Set(0, d, tok, 0, float32(d+1))       // q
+			in.Set(0, dim+d, tok, 0, 1)              // k constant
+			in.Set(0, 2*dim+d, tok, 0, float32(tok)) // v
+		}
+	}
+	op := &graph.AttentionCoreOp{Dim: dim, Heads: 1}
+	out := NewTensor(1, graph.Shape{C: dim, H: T, W: 1})
+	attentionCore(in, op, out)
+	wantMean := float32(0+1+2) / 3
+	for d := 0; d < dim; d++ {
+		for tok := 0; tok < T; tok++ {
+			if !almost(out.At(0, d, tok, 0), wantMean) {
+				t.Fatalf("attention out[%d,%d] = %g, want %g", d, tok, out.At(0, d, tok, 0), wantMean)
+			}
+		}
+	}
+}
+
+func TestAttentionSoftmaxSelectivity(t *testing.T) {
+	// With one key aligned to the query and others orthogonal, the output
+	// must lean strongly toward the aligned token's value.
+	dim, T := 2, 2
+	in := NewTensor(1, graph.Shape{C: 3 * dim, H: T, W: 1})
+	// Query for token 0 = [10, 0]; keys: token0=[10,0], token1=[-10,0].
+	in.Set(0, 0, 0, 0, 10)
+	in.Set(0, dim, 0, 0, 10)
+	in.Set(0, dim, 1, 0, -10)
+	// Values: token0 = 1, token1 = -1 in channel 0.
+	in.Set(0, 2*dim, 0, 0, 1)
+	in.Set(0, 2*dim, 1, 0, -1)
+	op := &graph.AttentionCoreOp{Dim: dim, Heads: 1}
+	out := NewTensor(1, graph.Shape{C: dim, H: T, W: 1})
+	attentionCore(in, op, out)
+	if out.At(0, 0, 0, 0) < 0.99 {
+		t.Fatalf("attention not selective: %g", out.At(0, 0, 0, 0))
+	}
+}
+
+func TestToTokensLayout(t *testing.T) {
+	in := NewTensor(1, graph.Shape{C: 2, H: 1, W: 2}) // 2 patches, dim 2
+	copy(in.Data, []float32{1, 2, 3, 4})              // c0: [1,2], c1: [3,4]
+	op := &graph.ToTokensOp{Dim: 2, Tokens: 3}
+	pos := make([]float32, 3*2) // zero positions
+	cls := []float32{9, 8}
+	out := NewTensor(1, graph.Shape{C: 2, H: 3, W: 1})
+	toTokens(in, op, cls, pos, out)
+	// token 0 = class token; tokens 1,2 = patches.
+	if out.At(0, 0, 0, 0) != 9 || out.At(0, 1, 0, 0) != 8 {
+		t.Fatal("class token misplaced")
+	}
+	if out.At(0, 0, 1, 0) != 1 || out.At(0, 0, 2, 0) != 2 {
+		t.Fatal("patch channel 0 misplaced")
+	}
+	if out.At(0, 1, 1, 0) != 3 || out.At(0, 1, 2, 0) != 4 {
+		t.Fatal("patch channel 1 misplaced")
+	}
+}

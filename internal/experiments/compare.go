@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"convmeter/internal/baselines"
+	"convmeter/internal/bench"
+	"convmeter/internal/core"
+	"convmeter/internal/hwsim"
+	"convmeter/internal/models"
+	"convmeter/internal/regress"
+)
+
+// fig6Batches is the paper's comparison grid: fixed 128×128 images,
+// batch sizes from 16 to 2,000.
+func fig6Batches(quick bool) []int {
+	if quick {
+		return []int{16, 128, 1024, 2000}
+	}
+	return []int{16, 32, 64, 128, 256, 512, 1024, 2000}
+}
+
+// Fig6 reproduces Figure 6: ConvMeter vs the DIPPM surrogate, MAPE and
+// NRMSE per ConvNet at a fixed 128 px image size. The surrogate follows
+// the original DIPPM's constraints: it is trained on a narrower
+// configuration sample (batches ≤ 256, mirroring its fixed-setting
+// dataset) and cannot parse graphs without a linear classifier head, so
+// squeezenet1_0 is skipped exactly as in the paper.
+func Fig6(cfg Config) (*Result, error) {
+	sc := bench.DefaultInferenceScenario(hwsim.A100(), cfg.Seed)
+	sc.Images = []int{128}
+	sc.Batches = fig6Batches(cfg.Quick)
+	if cfg.Quick {
+		sc.Models = []string{"alexnet", "resnet18", "resnet50", "mobilenet_v2", "vgg11", "squeezenet1_0"}
+	}
+	samples, err := bench.CollectInference(sc)
+	if err != nil {
+		return nil, err
+	}
+	// ConvMeter under LOMO.
+	cm, err := core.EvaluateInferenceLOMO(samples)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:    "fig6",
+		Title: "Figure 6: ConvMeter vs DIPPM surrogate (A100, image 128, batch 16–2000, LOMO)",
+		Stats: map[string]float64{},
+	}
+	var rows [][]string
+	wins, comparable := 0, 0
+	for _, name := range cm.Models() {
+		cmRep := cm.PerModel[name]
+		g, err := models.Build(name, 128)
+		if err != nil {
+			return nil, err
+		}
+		dippmCell := "n/a (graph parse failed)"
+		if parseErr := baselines.CanParse(g); parseErr == nil {
+			train, held := lomoSplit(samples, name)
+			// DIPPM's fixed-setting dataset: only moderate batch sizes
+			// (mirroring the original's constraint to the configurations
+			// its training dataset was collected at).
+			var narrow []core.Sample
+			for _, s := range train {
+				if s.BatchPerDevice <= 128 {
+					narrow = append(narrow, s)
+				}
+			}
+			d, err := baselines.TrainDIPPM(narrow, baselines.DIPPMConfig{Seed: cfg.Seed})
+			if err != nil {
+				return nil, fmt.Errorf("dippm for %s: %w", name, err)
+			}
+			acts := make([]float64, len(held))
+			preds := make([]float64, len(held))
+			for i, s := range held {
+				acts[i] = s.Fwd
+				if preds[i], err = d.Predict(s.Met, float64(s.BatchPerDevice)); err != nil {
+					return nil, err
+				}
+			}
+			dRep, err := regress.Evaluate(acts, preds)
+			if err != nil {
+				return nil, err
+			}
+			dippmCell = fmt.Sprintf("%.3f / %.3f", dRep.MAPE, dRep.NRMSE)
+			comparable++
+			if cmRep.MAPE < dRep.MAPE {
+				wins++
+			}
+			res.Stats["dippm_mape_"+name] = dRep.MAPE
+		}
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%.3f / %.3f", cmRep.MAPE, cmRep.NRMSE),
+			dippmCell,
+		})
+		res.Stats["convmeter_mape_"+name] = cmRep.MAPE
+	}
+	res.Stats["wins"] = float64(wins)
+	res.Stats["comparable"] = float64(comparable)
+	res.Text = table([]string{"ConvNet", "ConvMeter MAPE/NRMSE", "DIPPM MAPE/NRMSE"}, rows) +
+		fmt.Sprintf("\nConvMeter outperforms the DIPPM surrogate on %d of %d comparable ConvNets.\n", wins, comparable)
+	return res, nil
+}
+
+// lomoSplit mirrors core's internal split for baseline protocols.
+func lomoSplit(samples []core.Sample, model string) (train, held []core.Sample) {
+	for _, s := range samples {
+		if s.Model == model {
+			held = append(held, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	return train, held
+}

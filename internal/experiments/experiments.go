@@ -1,0 +1,121 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation section end-to-end: it generates the benchmark datasets via
+// the simulators, fits ConvMeter and the baselines, runs the paper's
+// leave-one-model-out protocol, and renders the resulting tables/series.
+// DESIGN.md carries the experiment index; EXPERIMENTS.md records
+// paper-vs-measured numbers produced by cmd/experiments.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives every simulator and fitting RNG; a fixed seed makes the
+	// full experiment suite reproducible.
+	Seed int64
+	// Quick shrinks the sweeps for use in unit tests and testing.B
+	// benchmarks; headline numbers shift slightly but every shape
+	// conclusion must still hold.
+	Quick bool
+}
+
+// Result is the outcome of one experiment: a rendered table plus the
+// headline statistics used by tests and EXPERIMENTS.md. Figure
+// experiments additionally attach their raw data series as CSV documents
+// (keyed by series name) so the paper-style plots can be regenerated with
+// any plotting tool.
+type Result struct {
+	ID     string
+	Title  string
+	Text   string
+	Stats  map[string]float64
+	Series map[string]string
+}
+
+// csvDoc renders rows as a CSV document with the given header.
+func csvDoc(header []string, rows [][]string) string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	w.Write(header)
+	w.WriteAll(rows)
+	w.Flush()
+	return sb.String()
+}
+
+// table renders rows with aligned columns.
+func table(header []string, rows [][]string) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(header, "\t"))
+	for _, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID   string
+	Desc string
+	Run  func(Config) (*Result, error)
+}
+
+// Runners lists every experiment in the paper's order.
+func Runners() []Runner {
+	return []Runner{
+		{"fig2", "Inference prediction by metric combination (Figure 2)", Fig2},
+		{"table1", "Per-ConvNet inference accuracy, CPU and GPU (Table 1 / Figure 3)", Table1},
+		{"table2", "Block-wise inference accuracy on A100 (Table 2 / Figure 4)", Table2},
+		{"table3single", "Single-GPU training-step phases (Table 3 left / Figure 5)", Table3Single},
+		{"fig6", "ConvMeter vs DIPPM comparison (Figure 6)", Fig6},
+		{"table3multi", "Distributed training-step phases (Table 3 right / Figure 7)", Table3Multi},
+		{"fig8", "Throughput vs node count (Figure 8)", Fig8},
+		{"fig9", "Throughput vs batch size (Figure 9)", Fig9},
+		{"ablation", "Modeling-effort and design ablations (§3.4 / Table 4 context)", Ablation},
+		{"extvit", "Extension: vision transformers (paper §6 outlook)", ExtViT},
+		{"extedge", "Extension: edge processors (paper §6 outlook)", ExtEdge},
+		{"extpipeline", "Extension: pipeline model parallelism (paper §3 note)", ExtPipeline},
+		{"extreal", "Extension: real wall-clock measurements on the host CPU", ExtReal},
+		{"extstrong", "Extension: strong scaling at a fixed global batch (§4.3 capability)", ExtStrong},
+	}
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config) (*Result, error) {
+	for _, r := range Runners() {
+		if r.ID == id {
+			return r.Run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// All runs every experiment in order, failing fast on the first error.
+func All(cfg Config) ([]*Result, error) {
+	var out []*Result
+	for _, r := range Runners() {
+		res, err := r.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestExtViTPredictsTransformers(t *testing.T) {
+	res, err := ExtViT(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range vitModels() {
+		mape, ok := res.Stats["mape_"+m]
+		if !ok {
+			t.Fatalf("%s missing from results", m)
+		}
+		if mape > 0.6 {
+			t.Errorf("%s MAPE = %.3f — transformer extension not usable", m, mape)
+		}
+		if res.Stats["r2_"+m] < 0.7 {
+			t.Errorf("%s R² = %.3f", m, res.Stats["r2_"+m])
+		}
+	}
+	if !strings.Contains(res.Text, "vit_l_16") {
+		t.Error("rendered table missing vit_l_16")
+	}
+}
+
+func TestExtEdgeBothDevices(t *testing.T) {
+	res, err := ExtEdge(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []string{"jetson", "pi"} {
+		if r2 := res.Stats["r2_"+dev]; r2 < 0.8 {
+			t.Errorf("%s R² = %.3f", dev, r2)
+		}
+		if mape := res.Stats["mape_"+dev]; mape > 0.35 {
+			t.Errorf("%s MAPE = %.3f", dev, mape)
+		}
+	}
+}
+
+func TestExtStrongScalingShape(t *testing.T) {
+	res, err := ExtStrong(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step time must shrink with nodes; speedup must be sub-linear; and
+	// the prediction must track the simulated ground truth.
+	prev := 0.0
+	for _, n := range []int{1, 2, 4, 8} {
+		pred := res.Stats[fmt.Sprintf("pred_iter_resnet50_n%d", n)]
+		sim := res.Stats[fmt.Sprintf("sim_iter_resnet50_n%d", n)]
+		if pred <= 0 || sim <= 0 {
+			t.Fatalf("n=%d: missing data", n)
+		}
+		if prev > 0 && pred >= prev {
+			t.Errorf("n=%d: strong scaling not improving (%g >= %g)", n, pred, prev)
+		}
+		prev = pred
+		if rel := math.Abs(pred-sim) / sim; rel > 0.5 {
+			t.Errorf("n=%d: prediction %g vs simulated %g (rel %.2f)", n, pred, sim, rel)
+		}
+	}
+	if sp := res.Stats["speedup_resnet50_n8"]; sp <= 1 || sp >= 8 {
+		t.Errorf("8-node speedup %.2f should be in (1, 8)", sp)
+	}
+}
+
+func TestExtRealMeasuresAndFits(t *testing.T) {
+	res, err := ExtReal(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats["points"] < 9 {
+		t.Fatalf("only %.0f real measurements", res.Stats["points"])
+	}
+	// Real wall-clock on a loaded machine is noisy and the quick sweep is
+	// tiny, so require only a usable fit.
+	if res.Stats["mape_overall"] > 2.0 {
+		t.Errorf("real-measurement MAPE %.3f unusable", res.Stats["mape_overall"])
+	}
+	if !strings.Contains(res.Text, "gocpu") {
+		t.Error("device name missing from report")
+	}
+}
+
+func TestExtPipelinePredictionTracksSimulation(t *testing.T) {
+	res, err := ExtPipeline(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats["series_mape"] > 0.5 {
+		t.Errorf("pipeline prediction mean relative error %.3f", res.Stats["series_mape"])
+	}
+	// Pipelining VGG-16 over 4 stages must raise simulated throughput
+	// over the single-stage run (it is a near-linear chain).
+	if res.Stats["simulated_vgg16_k4"] <= res.Stats["simulated_vgg16_k1"] {
+		t.Errorf("vgg16: 4-stage pipeline (%.0f img/s) should beat 1 stage (%.0f img/s)",
+			res.Stats["simulated_vgg16_k4"], res.Stats["simulated_vgg16_k1"])
+	}
+	if res.Stats["bestk_vgg16"] < 2 {
+		t.Errorf("vgg16 best stage count %.0f — pipelining should pay off", res.Stats["bestk_vgg16"])
+	}
+}

@@ -1,0 +1,269 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Ref identifies a node created by a Builder.
+type Ref int
+
+// Builder constructs a Graph incrementally. Errors are latched: after the
+// first failure all subsequent calls are no-ops and Build returns the
+// error, so model constructors can chain calls without per-call checks.
+type Builder struct {
+	name  string
+	nodes []*Node
+	err   error
+}
+
+// NewBuilder starts a graph with the given name and input tensor shape and
+// returns the builder plus a reference to the input node.
+func NewBuilder(name string, input Shape) (*Builder, Ref) {
+	b := &Builder{name: name}
+	ref := b.add("input", &InputOp{Shape: input}, nil)
+	return b, ref
+}
+
+// Err returns the first error encountered, if any.
+func (b *Builder) Err() error { return b.err }
+
+// Shape returns the inferred output shape of a node (zero Shape after an
+// error).
+func (b *Builder) Shape(x Ref) Shape {
+	if b.err != nil || int(x) < 0 || int(x) >= len(b.nodes) {
+		return Shape{}
+	}
+	return b.nodes[x].Out
+}
+
+// Channels returns the channel count of a node's output.
+func (b *Builder) Channels(x Ref) int { return b.Shape(x).C }
+
+// add appends a node, inferring its shape; on error it latches.
+func (b *Builder) add(name string, op Op, inputs []Ref) Ref {
+	if b.err != nil {
+		return -1
+	}
+	ids := make([]int, len(inputs))
+	shapes := make([]Shape, len(inputs))
+	for i, r := range inputs {
+		if int(r) < 0 || int(r) >= len(b.nodes) {
+			b.err = fmt.Errorf("graph: %s: invalid input ref %d", name, r)
+			return -1
+		}
+		ids[i] = int(r)
+		shapes[i] = b.nodes[r].Out
+	}
+	out, err := op.OutShape(shapes)
+	if err != nil {
+		b.err = fmt.Errorf("graph: %s: %w", name, err)
+		return -1
+	}
+	n := &Node{ID: len(b.nodes), Name: name, Op: op, Inputs: ids, Out: out}
+	b.nodes = append(b.nodes, n)
+	return Ref(n.ID)
+}
+
+// ConvSpec collects the full convolution configuration for Conv2d.
+type ConvSpec struct {
+	Out                  int
+	KH, KW               int
+	StrideH, StrideW     int
+	PadH, PadW           int
+	DilationH, DilationW int
+	Groups               int
+	Bias                 bool
+}
+
+// Conv2d adds a convolution described by spec. Zero-valued kernel/stride/
+// dilation fields default to 1 and Groups to 1, so callers only set what
+// deviates from a 1×1 stride-1 convolution.
+func (b *Builder) Conv2d(x Ref, name string, spec ConvSpec) Ref {
+	if spec.KH == 0 {
+		spec.KH = 1
+	}
+	if spec.KW == 0 {
+		spec.KW = spec.KH
+	}
+	if spec.StrideH == 0 {
+		spec.StrideH = 1
+	}
+	if spec.StrideW == 0 {
+		spec.StrideW = spec.StrideH
+	}
+	// Mirror the H padding onto W only for square kernels; asymmetric
+	// kernels (e.g. Inception's 1×7 / 7×1 factorised convolutions) must
+	// state both paddings explicitly.
+	if spec.PadW == 0 && spec.KW == spec.KH {
+		spec.PadW = spec.PadH
+	}
+	if spec.DilationH == 0 {
+		spec.DilationH = 1
+	}
+	if spec.DilationW == 0 {
+		spec.DilationW = spec.DilationH
+	}
+	if spec.Groups == 0 {
+		spec.Groups = 1
+	}
+	op := &Conv2dOp{
+		InC: b.Channels(x), OutC: spec.Out,
+		KH: spec.KH, KW: spec.KW,
+		StrideH: spec.StrideH, StrideW: spec.StrideW,
+		PadH: spec.PadH, PadW: spec.PadW,
+		DilationH: spec.DilationH, DilationW: spec.DilationW,
+		Groups: spec.Groups, Bias: spec.Bias,
+	}
+	return b.add(name, op, []Ref{x})
+}
+
+// Conv adds a square convolution with the common (out, kernel, stride,
+// padding) signature, no bias, no grouping.
+func (b *Builder) Conv(x Ref, name string, out, k, stride, pad int) Ref {
+	return b.Conv2d(x, name, ConvSpec{Out: out, KH: k, StrideH: stride, PadH: pad})
+}
+
+// ConvBias is Conv with a bias term (used by the pre-batch-norm classics
+// such as AlexNet, VGG and SqueezeNet).
+func (b *Builder) ConvBias(x Ref, name string, out, k, stride, pad int) Ref {
+	return b.Conv2d(x, name, ConvSpec{Out: out, KH: k, StrideH: stride, PadH: pad, Bias: true})
+}
+
+// DWConv adds a depthwise convolution (groups == channels).
+func (b *Builder) DWConv(x Ref, name string, k, stride, pad int) Ref {
+	c := b.Channels(x)
+	return b.Conv2d(x, name, ConvSpec{Out: c, KH: k, StrideH: stride, PadH: pad, Groups: c})
+}
+
+// BatchNorm adds batch normalisation over the node's channels.
+func (b *Builder) BatchNorm(x Ref, name string) Ref {
+	return b.add(name, &BatchNormOp{C: b.Channels(x)}, []Ref{x})
+}
+
+// Act adds an elementwise activation.
+func (b *Builder) Act(x Ref, name string, fn ActFunc) Ref {
+	return b.add(name, &ActivationOp{Fn: fn}, []Ref{x})
+}
+
+// ReLU adds a ReLU activation.
+func (b *Builder) ReLU(x Ref, name string) Ref { return b.Act(x, name, ReLU) }
+
+// MaxPool2d adds max pooling.
+func (b *Builder) MaxPool2d(x Ref, name string, k, stride, pad int) Ref {
+	return b.add(name, &Pool2dOp{PoolKind: MaxPool, KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}, []Ref{x})
+}
+
+// AvgPool2d adds average pooling.
+func (b *Builder) AvgPool2d(x Ref, name string, k, stride, pad int) Ref {
+	return b.add(name, &Pool2dOp{PoolKind: AvgPool, KH: k, KW: k, StrideH: stride, StrideW: stride, PadH: pad, PadW: pad}, []Ref{x})
+}
+
+// AdaptiveAvgPool pools to a fixed out×out resolution.
+func (b *Builder) AdaptiveAvgPool(x Ref, name string, outHW int) Ref {
+	return b.add(name, &AdaptiveAvgPoolOp{OutH: outHW, OutW: outHW}, []Ref{x})
+}
+
+// GlobalAvgPool pools the full spatial extent down to 1×1.
+func (b *Builder) GlobalAvgPool(x Ref, name string) Ref {
+	return b.AdaptiveAvgPool(x, name, 1)
+}
+
+// Add sums residual branches.
+func (b *Builder) Add(name string, xs ...Ref) Ref {
+	return b.add(name, &AddOp{}, xs)
+}
+
+// Mul applies a per-channel gate (squeeze-and-excitation scaling).
+func (b *Builder) Mul(name string, full, gate Ref) Ref {
+	return b.add(name, &MulOp{}, []Ref{full, gate})
+}
+
+// Concat concatenates branches along channels.
+func (b *Builder) Concat(name string, xs ...Ref) Ref {
+	return b.add(name, &ConcatOp{}, xs)
+}
+
+// Flatten reshapes to a vector.
+func (b *Builder) Flatten(x Ref, name string) Ref {
+	return b.add(name, &FlattenOp{}, []Ref{x})
+}
+
+// Dropout adds an inference-time no-op dropout marker.
+func (b *Builder) Dropout(x Ref, name string, p float64) Ref {
+	return b.add(name, &DropoutOp{P: p}, []Ref{x})
+}
+
+// LayerNorm adds layer normalisation over the embedding dimension.
+func (b *Builder) LayerNorm(x Ref, name string) Ref {
+	return b.add(name, &LayerNormOp{Dim: b.Channels(x)}, []Ref{x})
+}
+
+// TokenLinear adds a per-token fully connected layer on a C×T×1 sequence.
+func (b *Builder) TokenLinear(x Ref, name string, out int, bias bool) Ref {
+	return b.add(name, &TokenLinearOp{In: b.Channels(x), Out: out, Bias: bias}, []Ref{x})
+}
+
+// AttentionCore adds scaled-dot-product attention over a fused QKV
+// sequence (3·dim channels in, dim channels out).
+func (b *Builder) AttentionCore(x Ref, name string, dim, heads int) Ref {
+	return b.add(name, &AttentionCoreOp{Dim: dim, Heads: heads}, []Ref{x})
+}
+
+// ToTokens converts a patch-embedded feature map into a token sequence
+// with class token and position embeddings (the ViT input pipeline).
+func (b *Builder) ToTokens(x Ref, name string) Ref {
+	s := b.Shape(x)
+	return b.add(name, &ToTokensOp{Dim: s.C, Tokens: s.H*s.W + 1}, []Ref{x})
+}
+
+// TakeToken selects the class token from a sequence.
+func (b *Builder) TakeToken(x Ref, name string) Ref {
+	return b.add(name, &TakeTokenOp{}, []Ref{x})
+}
+
+// Scale adds a learnable per-channel scale (ConvNeXt layer scale).
+func (b *Builder) Scale(x Ref, name string) Ref {
+	return b.add(name, &ScaleOp{C: b.Channels(x)}, []Ref{x})
+}
+
+// SliceChannels selects the channel range [from, to).
+func (b *Builder) SliceChannels(x Ref, name string, from, to int) Ref {
+	return b.add(name, &SliceChannelsOp{From: from, To: to}, []Ref{x})
+}
+
+// ShuffleChannels permutes channels group-wise (ShuffleNet).
+func (b *Builder) ShuffleChannels(x Ref, name string, groups int) Ref {
+	return b.add(name, &ShuffleChannelsOp{Groups: groups}, []Ref{x})
+}
+
+// Linear adds a fully connected layer with bias.
+func (b *Builder) Linear(x Ref, name string, out int) Ref {
+	in := b.Shape(x)
+	return b.add(name, &LinearOp{In: int(in.Elems()), Out: out, Bias: true}, []Ref{x})
+}
+
+// Build finalises and validates the graph.
+func (b *Builder) Build() (*Graph, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if len(b.nodes) < 2 {
+		return nil, errors.New("graph: builder produced no operations beyond the input")
+	}
+	g := &Graph{Name: b.name, Nodes: b.nodes}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MustBuild is Build for static model definitions where an error is a
+// programming bug in the zoo.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,36 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format for visual
+// inspection (`convmeter dot -model resnet50 | dot -Tsvg`). Nodes are
+// labelled with their name, op kind and output shape; parameter-carrying
+// nodes are drawn as boxes.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	for _, n := range g.Nodes {
+		shape := "ellipse"
+		if n.Op.Params() > 0 {
+			shape = "box"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n",
+			n.ID, fmt.Sprintf("%s\n%s %s", n.Name, n.Op.Kind(), n.Out), shape)
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := tinyNet(t)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "digraph") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Fatal("not a DOT document")
+	}
+	// Every node and every edge must appear.
+	for _, n := range g.Nodes {
+		if !strings.Contains(out, n.Name) {
+			t.Errorf("node %q missing from DOT", n.Name)
+		}
+	}
+	if !strings.Contains(out, "n0 -> n1") {
+		t.Error("first edge missing")
+	}
+	// Parameterised nodes are boxes, others ellipses.
+	if !strings.Contains(out, "shape=box") || !strings.Contains(out, "shape=ellipse") {
+		t.Error("node shapes not differentiated")
+	}
+}
+
+func TestWriteDOTRejectsInvalidGraph(t *testing.T) {
+	g := tinyNet(t)
+	g.Nodes[1].Out.C++ // corrupt
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,47 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON hardens the graph deserialiser: arbitrary JSON must
+// either be rejected or produce a graph that passes Validate — never
+// panic, never yield an inconsistent graph.
+func FuzzGraphJSON(f *testing.F) {
+	// Seed with a real serialised model and structural near-misses.
+	b, x := NewBuilder("seed", Shape{C: 3, H: 16, W: 16})
+	x = b.Conv(x, "c1", 8, 3, 1, 1)
+	x = b.BatchNorm(x, "bn")
+	x = b.ReLU(x, "r")
+	x = b.GlobalAvgPool(x, "gap")
+	x = b.Flatten(x, "f")
+	x = b.Linear(x, "fc", 10)
+	g, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid, err := json.Marshal(g)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(valid))
+	f.Add(`{}`)
+	f.Add(`{"name":"x","nodes":[]}`)
+	f.Add(`{"name":"x","nodes":[{"name":"in","kind":"input","op":{"shape":{"C":-1,"H":1,"W":1}}}]}`)
+	f.Add(`{"name":"x","nodes":[{"name":"n","kind":"conv2d","op":{"in_c":1},"inputs":[5]}]}`)
+
+	f.Fuzz(func(t *testing.T, input string) {
+		var g Graph
+		if err := json.Unmarshal([]byte(input), &g); err != nil {
+			return // rejection is fine
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails validation: %v", err)
+		}
+		// Accounting must be callable without panics on accepted graphs.
+		_ = g.TotalFLOPs()
+		_ = g.TotalParams()
+		_ = g.ParamLayers()
+	})
+}

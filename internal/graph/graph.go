@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Node is a single operation instance inside a Graph.
+type Node struct {
+	ID     int    // index into Graph.Nodes
+	Name   string // human-readable label, e.g. "layer1.0.conv2"
+	Op     Op
+	Inputs []int // IDs of producer nodes, empty only for the input op
+	Out    Shape // inferred output shape for batch size 1
+}
+
+// Graph is a validated ConvNet computational graph. Nodes are stored in
+// topological order (every node's inputs precede it), which the builder
+// guarantees by construction and Validate re-checks.
+type Graph struct {
+	Name  string
+	Nodes []*Node
+}
+
+// InputShape returns the shape of the graph's input tensor.
+func (g *Graph) InputShape() (Shape, error) {
+	if len(g.Nodes) == 0 {
+		return Shape{}, errors.New("graph: empty graph")
+	}
+	in, ok := g.Nodes[0].Op.(*InputOp)
+	if !ok {
+		return Shape{}, fmt.Errorf("graph: first node is %s, want input", g.Nodes[0].Op.Kind())
+	}
+	return in.Shape, nil
+}
+
+// OutputShape returns the shape produced by the final node.
+func (g *Graph) OutputShape() (Shape, error) {
+	if len(g.Nodes) == 0 {
+		return Shape{}, errors.New("graph: empty graph")
+	}
+	return g.Nodes[len(g.Nodes)-1].Out, nil
+}
+
+// Validate checks structural invariants: exactly one input op at index 0,
+// topological ordering, in-range references, and consistent shapes.
+func (g *Graph) Validate() error {
+	if len(g.Nodes) == 0 {
+		return errors.New("graph: empty graph")
+	}
+	if _, ok := g.Nodes[0].Op.(*InputOp); !ok {
+		return fmt.Errorf("graph: node 0 is %s, want input", g.Nodes[0].Op.Kind())
+	}
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("graph: node %d has ID %d", i, n.ID)
+		}
+		if _, ok := n.Op.(*InputOp); ok && i != 0 {
+			return fmt.Errorf("graph: extra input op at node %d", i)
+		}
+		inShapes := make([]Shape, len(n.Inputs))
+		for j, id := range n.Inputs {
+			if id < 0 || id >= i {
+				return fmt.Errorf("graph: node %d (%s) references %d, breaking topological order", i, n.Name, id)
+			}
+			inShapes[j] = g.Nodes[id].Out
+		}
+		out, err := n.Op.OutShape(inShapes)
+		if err != nil {
+			return fmt.Errorf("graph: node %d (%s): %w", i, n.Name, err)
+		}
+		if out != n.Out {
+			return fmt.Errorf("graph: node %d (%s) shape %v, inferred %v", i, n.Name, n.Out, out)
+		}
+	}
+	return nil
+}
+
+// inShapes gathers the output shapes of a node's producers.
+func (g *Graph) inShapes(n *Node) []Shape {
+	s := make([]Shape, len(n.Inputs))
+	for i, id := range n.Inputs {
+		s[i] = g.Nodes[id].Out
+	}
+	return s
+}
+
+// NodeFLOPs returns the per-image FLOPs of node i.
+func (g *Graph) NodeFLOPs(i int) int64 {
+	n := g.Nodes[i]
+	return n.Op.FLOPs(g.inShapes(n), n.Out)
+}
+
+// NodeInputElems returns the total number of input tensor elements read by
+// node i (summed over all of its producers), per image.
+func (g *Graph) NodeInputElems(i int) int64 {
+	n := g.Nodes[i]
+	var total int64
+	for _, s := range g.inShapes(n) {
+		total += s.Elems()
+	}
+	return total
+}
+
+// TotalParams returns the number of learnable parameters in the graph.
+func (g *Graph) TotalParams() int64 {
+	var total int64
+	for _, n := range g.Nodes {
+		total += n.Op.Params()
+	}
+	return total
+}
+
+// TotalFLOPs returns the per-image FLOPs summed over every node.
+func (g *Graph) TotalFLOPs() int64 {
+	var total int64
+	for i := range g.Nodes {
+		total += g.NodeFLOPs(i)
+	}
+	return total
+}
+
+// ParamLayers returns the number of layers carrying learnable parameters
+// (convolutions, linear layers, batch norms) — the granularity at which
+// Horovod-style frameworks synchronise gradients, and the paper's L metric.
+func (g *Graph) ParamLayers() int {
+	n := 0
+	for _, node := range g.Nodes {
+		if node.Op.Params() > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CountKind returns the number of nodes whose op kind equals kind.
+func (g *Graph) CountKind(kind string) int {
+	n := 0
+	for _, node := range g.Nodes {
+		if node.Op.Kind() == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,122 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonNode is the wire form of a Node. The op payload is stored with an
+// explicit kind tag so unmarshalling can pick the concrete type.
+type jsonNode struct {
+	Name   string          `json:"name"`
+	Kind   string          `json:"kind"`
+	Op     json.RawMessage `json:"op,omitempty"`
+	Inputs []int           `json:"inputs,omitempty"`
+}
+
+type jsonGraph struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+}
+
+// MarshalJSON encodes the graph, omitting the inferred shapes (they are
+// recomputed on load, which doubles as validation).
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{Name: g.Name, Nodes: make([]jsonNode, len(g.Nodes))}
+	for i, n := range g.Nodes {
+		raw, err := json.Marshal(n.Op)
+		if err != nil {
+			return nil, fmt.Errorf("graph: marshal node %d: %w", i, err)
+		}
+		jg.Nodes[i] = jsonNode{Name: n.Name, Kind: n.Op.Kind(), Op: raw, Inputs: n.Inputs}
+	}
+	return json.Marshal(jg)
+}
+
+// opForKind returns a fresh zero op of the given kind.
+func opForKind(kind string) (Op, error) {
+	switch kind {
+	case "input":
+		return &InputOp{}, nil
+	case "conv2d":
+		return &Conv2dOp{}, nil
+	case "linear":
+		return &LinearOp{}, nil
+	case "batchnorm":
+		return &BatchNormOp{}, nil
+	case "activation":
+		return &ActivationOp{}, nil
+	case "pool2d":
+		return &Pool2dOp{}, nil
+	case "adaptiveavgpool":
+		return &AdaptiveAvgPoolOp{}, nil
+	case "add":
+		return &AddOp{}, nil
+	case "mul":
+		return &MulOp{}, nil
+	case "concat":
+		return &ConcatOp{}, nil
+	case "flatten":
+		return &FlattenOp{}, nil
+	case "dropout":
+		return &DropoutOp{}, nil
+	case "layernorm":
+		return &LayerNormOp{}, nil
+	case "token_linear":
+		return &TokenLinearOp{}, nil
+	case "attention":
+		return &AttentionCoreOp{}, nil
+	case "to_tokens":
+		return &ToTokensOp{}, nil
+	case "take_token":
+		return &TakeTokenOp{}, nil
+	case "scale":
+		return &ScaleOp{}, nil
+	case "slice_channels":
+		return &SliceChannelsOp{}, nil
+	case "shuffle_channels":
+		return &ShuffleChannelsOp{}, nil
+	default:
+		return nil, fmt.Errorf("graph: unknown op kind %q", kind)
+	}
+}
+
+// UnmarshalJSON decodes a graph and re-infers all shapes, validating the
+// structure in the process.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	nodes := make([]*Node, len(jg.Nodes))
+	for i, jn := range jg.Nodes {
+		op, err := opForKind(jn.Kind)
+		if err != nil {
+			return fmt.Errorf("graph: node %d: %w", i, err)
+		}
+		if len(jn.Op) > 0 {
+			if err := json.Unmarshal(jn.Op, op); err != nil {
+				return fmt.Errorf("graph: node %d (%s): %w", i, jn.Kind, err)
+			}
+		}
+		shapes := make([]Shape, len(jn.Inputs))
+		for j, id := range jn.Inputs {
+			if id < 0 || id >= i {
+				return fmt.Errorf("graph: node %d references %d, breaking topological order", i, id)
+			}
+			shapes[j] = nodes[id].Out
+		}
+		out, err := op.OutShape(shapes)
+		if err != nil {
+			return fmt.Errorf("graph: node %d (%s): %w", i, jn.Name, err)
+		}
+		inputs := jn.Inputs
+		if inputs == nil {
+			inputs = []int{}
+		}
+		nodes[i] = &Node{ID: i, Name: jn.Name, Op: op, Inputs: inputs, Out: out}
+	}
+	g.Name = jg.Name
+	g.Nodes = nodes
+	return g.Validate()
+}

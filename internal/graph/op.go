@@ -1,0 +1,478 @@
+package graph
+
+import (
+	"fmt"
+)
+
+// Op is a tensor operation in a ConvNet graph. Implementations provide
+// shape inference and the static accounting (FLOPs, parameters) the
+// performance model is built on. All counts are per image (batch size 1).
+type Op interface {
+	// Kind returns the operation's type tag (stable across serialisation).
+	Kind() string
+	// OutShape infers the output shape from the input shapes.
+	OutShape(in []Shape) (Shape, error)
+	// FLOPs returns floating-point operations for one image.
+	FLOPs(in []Shape, out Shape) int64
+	// Params returns the number of learnable parameters.
+	Params() int64
+}
+
+func needInputs(kind string, in []Shape, want int) error {
+	if len(in) != want {
+		return fmt.Errorf("graph: %s expects %d input(s), got %d", kind, want, len(in))
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Input
+
+// InputOp is the source node carrying the network's input tensor.
+type InputOp struct {
+	Shape Shape `json:"shape"`
+}
+
+// Kind implements Op.
+func (o *InputOp) Kind() string { return "input" }
+
+// OutShape implements Op.
+func (o *InputOp) OutShape(in []Shape) (Shape, error) {
+	if len(in) != 0 {
+		return Shape{}, fmt.Errorf("graph: input op takes no inputs, got %d", len(in))
+	}
+	if !o.Shape.Valid() {
+		return Shape{}, fmt.Errorf("graph: invalid input shape %v", o.Shape)
+	}
+	return o.Shape, nil
+}
+
+// FLOPs implements Op.
+func (o *InputOp) FLOPs(in []Shape, out Shape) int64 { return 0 }
+
+// Params implements Op.
+func (o *InputOp) Params() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Conv2d
+
+// Conv2dOp is a 2-D convolution with optional grouping, stride, padding and
+// dilation — the layer type that dominates ConvNet runtime and whose input
+// and output tensor sizes define the paper's I and O metrics.
+type Conv2dOp struct {
+	InC       int  `json:"in_c"`
+	OutC      int  `json:"out_c"`
+	KH        int  `json:"kh"`
+	KW        int  `json:"kw"`
+	StrideH   int  `json:"stride_h"`
+	StrideW   int  `json:"stride_w"`
+	PadH      int  `json:"pad_h"`
+	PadW      int  `json:"pad_w"`
+	DilationH int  `json:"dilation_h"`
+	DilationW int  `json:"dilation_w"`
+	Groups    int  `json:"groups"`
+	Bias      bool `json:"bias"`
+}
+
+// Kind implements Op.
+func (o *Conv2dOp) Kind() string { return "conv2d" }
+
+// OutShape implements Op.
+func (o *Conv2dOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if o.Groups <= 0 {
+		return Shape{}, fmt.Errorf("graph: conv2d groups must be positive, got %d", o.Groups)
+	}
+	if o.KH < 1 || o.KW < 1 || o.StrideH < 1 || o.StrideW < 1 || o.DilationH < 1 || o.DilationW < 1 || o.PadH < 0 || o.PadW < 0 {
+		return Shape{}, fmt.Errorf("graph: conv2d geometry invalid (k %dx%d, stride %dx%d, dilation %dx%d, pad %dx%d)",
+			o.KH, o.KW, o.StrideH, o.StrideW, o.DilationH, o.DilationW, o.PadH, o.PadW)
+	}
+	if o.InC%o.Groups != 0 || o.OutC%o.Groups != 0 {
+		return Shape{}, fmt.Errorf("graph: conv2d channels (%d→%d) not divisible by groups %d", o.InC, o.OutC, o.Groups)
+	}
+	if in[0].C != o.InC {
+		return Shape{}, fmt.Errorf("graph: conv2d expects %d input channels, got %d", o.InC, in[0].C)
+	}
+	h := convOut(in[0].H, o.KH, o.StrideH, o.PadH, o.DilationH)
+	w := convOut(in[0].W, o.KW, o.StrideW, o.PadW, o.DilationW)
+	out := Shape{C: o.OutC, H: h, W: w}
+	if !out.Valid() {
+		return Shape{}, fmt.Errorf("graph: conv2d produces invalid shape %v from input %v", out, in[0])
+	}
+	return out, nil
+}
+
+// FLOPs implements Op. The paper counts raw convolution FLOPs (2 ops per
+// multiply-accumulate) without accounting for implementation tricks.
+func (o *Conv2dOp) FLOPs(in []Shape, out Shape) int64 {
+	macs := out.Elems() * int64(o.InC/o.Groups) * int64(o.KH) * int64(o.KW)
+	fl := 2 * macs
+	if o.Bias {
+		fl += out.Elems()
+	}
+	return fl
+}
+
+// Params implements Op.
+func (o *Conv2dOp) Params() int64 {
+	p := int64(o.OutC) * int64(o.InC/o.Groups) * int64(o.KH) * int64(o.KW)
+	if o.Bias {
+		p += int64(o.OutC)
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+
+// LinearOp is a fully connected layer over a flattened C×1×1 tensor.
+type LinearOp struct {
+	In   int  `json:"in"`
+	Out  int  `json:"out"`
+	Bias bool `json:"bias"`
+}
+
+// Kind implements Op.
+func (o *LinearOp) Kind() string { return "linear" }
+
+// OutShape implements Op.
+func (o *LinearOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if in[0].Elems() != int64(o.In) {
+		return Shape{}, fmt.Errorf("graph: linear expects %d input features, got shape %v (%d)", o.In, in[0], in[0].Elems())
+	}
+	return Shape{C: o.Out, H: 1, W: 1}, nil
+}
+
+// FLOPs implements Op.
+func (o *LinearOp) FLOPs(in []Shape, out Shape) int64 {
+	fl := 2 * int64(o.In) * int64(o.Out)
+	if o.Bias {
+		fl += int64(o.Out)
+	}
+	return fl
+}
+
+// Params implements Op.
+func (o *LinearOp) Params() int64 {
+	p := int64(o.In) * int64(o.Out)
+	if o.Bias {
+		p += int64(o.Out)
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm
+
+// BatchNormOp is 2-D batch normalisation; at inference it is an affine
+// scale-and-shift per channel.
+type BatchNormOp struct {
+	C int `json:"c"`
+}
+
+// Kind implements Op.
+func (o *BatchNormOp) Kind() string { return "batchnorm" }
+
+// OutShape implements Op.
+func (o *BatchNormOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if in[0].C != o.C {
+		return Shape{}, fmt.Errorf("graph: batchnorm expects %d channels, got %d", o.C, in[0].C)
+	}
+	return in[0], nil
+}
+
+// FLOPs implements Op: one multiply and one add per element.
+func (o *BatchNormOp) FLOPs(in []Shape, out Shape) int64 { return 2 * out.Elems() }
+
+// Params implements Op: learnable scale and shift per channel.
+func (o *BatchNormOp) Params() int64 { return 2 * int64(o.C) }
+
+// ---------------------------------------------------------------------------
+// Activations
+
+// ActFunc enumerates supported activation functions.
+type ActFunc string
+
+// Supported activation functions.
+const (
+	ReLU        ActFunc = "relu"
+	ReLU6       ActFunc = "relu6"
+	SiLU        ActFunc = "silu"
+	HardSwish   ActFunc = "hardswish"
+	HardSigmoid ActFunc = "hardsigmoid"
+	Sigmoid     ActFunc = "sigmoid"
+	Tanh        ActFunc = "tanh"
+	Softmax     ActFunc = "softmax"
+	GELU        ActFunc = "gelu"
+)
+
+// actCost is the approximate FLOPs per element for each activation.
+var actCost = map[ActFunc]int64{
+	ReLU:        1,
+	ReLU6:       2,
+	SiLU:        5,
+	HardSwish:   4,
+	HardSigmoid: 3,
+	Sigmoid:     4,
+	Tanh:        5,
+	Softmax:     5,
+	GELU:        6,
+}
+
+// ActivationOp applies an elementwise nonlinearity.
+type ActivationOp struct {
+	Fn ActFunc `json:"fn"`
+}
+
+// Kind implements Op.
+func (o *ActivationOp) Kind() string { return "activation" }
+
+// OutShape implements Op.
+func (o *ActivationOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if _, ok := actCost[o.Fn]; !ok {
+		return Shape{}, fmt.Errorf("graph: unknown activation %q", o.Fn)
+	}
+	return in[0], nil
+}
+
+// FLOPs implements Op.
+func (o *ActivationOp) FLOPs(in []Shape, out Shape) int64 { return actCost[o.Fn] * out.Elems() }
+
+// Params implements Op.
+func (o *ActivationOp) Params() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Pooling
+
+// PoolKind distinguishes max from average pooling.
+type PoolKind string
+
+// Pooling kinds.
+const (
+	MaxPool PoolKind = "max"
+	AvgPool PoolKind = "avg"
+)
+
+// Pool2dOp is a fixed-window 2-D pooling layer.
+type Pool2dOp struct {
+	PoolKind PoolKind `json:"pool"`
+	KH       int      `json:"kh"`
+	KW       int      `json:"kw"`
+	StrideH  int      `json:"stride_h"`
+	StrideW  int      `json:"stride_w"`
+	PadH     int      `json:"pad_h"`
+	PadW     int      `json:"pad_w"`
+}
+
+// Kind implements Op.
+func (o *Pool2dOp) Kind() string { return "pool2d" }
+
+// OutShape implements Op.
+func (o *Pool2dOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if o.PoolKind != MaxPool && o.PoolKind != AvgPool {
+		return Shape{}, fmt.Errorf("graph: unknown pool kind %q", o.PoolKind)
+	}
+	if o.KH < 1 || o.KW < 1 || o.StrideH < 1 || o.StrideW < 1 || o.PadH < 0 || o.PadW < 0 {
+		return Shape{}, fmt.Errorf("graph: pool2d geometry invalid (k %dx%d, stride %dx%d, pad %dx%d)",
+			o.KH, o.KW, o.StrideH, o.StrideW, o.PadH, o.PadW)
+	}
+	h := convOut(in[0].H, o.KH, o.StrideH, o.PadH, 1)
+	w := convOut(in[0].W, o.KW, o.StrideW, o.PadW, 1)
+	out := Shape{C: in[0].C, H: h, W: w}
+	if !out.Valid() {
+		return Shape{}, fmt.Errorf("graph: pool2d produces invalid shape %v from input %v", out, in[0])
+	}
+	return out, nil
+}
+
+// FLOPs implements Op: one op per window element per output element.
+func (o *Pool2dOp) FLOPs(in []Shape, out Shape) int64 {
+	return out.Elems() * int64(o.KH) * int64(o.KW)
+}
+
+// Params implements Op.
+func (o *Pool2dOp) Params() int64 { return 0 }
+
+// AdaptiveAvgPoolOp pools to a fixed output resolution regardless of the
+// input size (PyTorch's AdaptiveAvgPool2d).
+type AdaptiveAvgPoolOp struct {
+	OutH int `json:"out_h"`
+	OutW int `json:"out_w"`
+}
+
+// Kind implements Op.
+func (o *AdaptiveAvgPoolOp) Kind() string { return "adaptiveavgpool" }
+
+// OutShape implements Op.
+func (o *AdaptiveAvgPoolOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if o.OutH <= 0 || o.OutW <= 0 {
+		return Shape{}, fmt.Errorf("graph: adaptive pool target %dx%d invalid", o.OutH, o.OutW)
+	}
+	// PyTorch's AdaptiveAvgPool2d also permits targets larger than the
+	// input (pooling regions then overlap/repeat), which AlexNet and VGG
+	// rely on for small images.
+	return Shape{C: in[0].C, H: o.OutH, W: o.OutW}, nil
+}
+
+// FLOPs implements Op: each input element is read and accumulated at
+// least once; for upsampling targets each output element costs one op.
+func (o *AdaptiveAvgPoolOp) FLOPs(in []Shape, out Shape) int64 {
+	if out.Elems() > in[0].Elems() {
+		return out.Elems()
+	}
+	return in[0].Elems()
+}
+
+// Params implements Op.
+func (o *AdaptiveAvgPoolOp) Params() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Elementwise combination
+
+// AddOp sums two or more equally shaped tensors (residual connections).
+type AddOp struct{}
+
+// Kind implements Op.
+func (o *AddOp) Kind() string { return "add" }
+
+// OutShape implements Op.
+func (o *AddOp) OutShape(in []Shape) (Shape, error) {
+	if len(in) < 2 {
+		return Shape{}, fmt.Errorf("graph: add expects >=2 inputs, got %d", len(in))
+	}
+	for _, s := range in[1:] {
+		if s != in[0] {
+			return Shape{}, fmt.Errorf("graph: add shape mismatch %v vs %v", in[0], s)
+		}
+	}
+	return in[0], nil
+}
+
+// FLOPs implements Op.
+func (o *AddOp) FLOPs(in []Shape, out Shape) int64 {
+	return int64(len(in)-1) * out.Elems()
+}
+
+// Params implements Op.
+func (o *AddOp) Params() int64 { return 0 }
+
+// MulOp multiplies a full tensor by a per-channel gate (C×1×1), the
+// broadcast used by squeeze-and-excitation blocks.
+type MulOp struct{}
+
+// Kind implements Op.
+func (o *MulOp) Kind() string { return "mul" }
+
+// OutShape implements Op.
+func (o *MulOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 2); err != nil {
+		return Shape{}, err
+	}
+	full, gate := in[0], in[1]
+	if gate.C != full.C || gate.H != 1 || gate.W != 1 {
+		if gate != full {
+			return Shape{}, fmt.Errorf("graph: mul gate %v incompatible with %v", gate, full)
+		}
+	}
+	return full, nil
+}
+
+// FLOPs implements Op.
+func (o *MulOp) FLOPs(in []Shape, out Shape) int64 { return out.Elems() }
+
+// Params implements Op.
+func (o *MulOp) Params() int64 { return 0 }
+
+// ConcatOp concatenates tensors along the channel dimension (DenseNet,
+// Inception).
+type ConcatOp struct{}
+
+// Kind implements Op.
+func (o *ConcatOp) Kind() string { return "concat" }
+
+// OutShape implements Op.
+func (o *ConcatOp) OutShape(in []Shape) (Shape, error) {
+	if len(in) < 2 {
+		return Shape{}, fmt.Errorf("graph: concat expects >=2 inputs, got %d", len(in))
+	}
+	c := 0
+	for _, s := range in {
+		if s.H != in[0].H || s.W != in[0].W {
+			return Shape{}, fmt.Errorf("graph: concat spatial mismatch %v vs %v", in[0], s)
+		}
+		c += s.C
+	}
+	return Shape{C: c, H: in[0].H, W: in[0].W}, nil
+}
+
+// FLOPs implements Op: a pure memory move, no arithmetic.
+func (o *ConcatOp) FLOPs(in []Shape, out Shape) int64 { return 0 }
+
+// Params implements Op.
+func (o *ConcatOp) Params() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Structural
+
+// FlattenOp reshapes a CHW tensor into a vector.
+type FlattenOp struct{}
+
+// Kind implements Op.
+func (o *FlattenOp) Kind() string { return "flatten" }
+
+// OutShape implements Op.
+func (o *FlattenOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	return in[0].Flat(), nil
+}
+
+// FLOPs implements Op.
+func (o *FlattenOp) FLOPs(in []Shape, out Shape) int64 { return 0 }
+
+// Params implements Op.
+func (o *FlattenOp) Params() int64 { return 0 }
+
+// DropoutOp is a no-op at inference time, retained so that graph structure
+// matches the torchvision reference models.
+type DropoutOp struct {
+	P float64 `json:"p"`
+}
+
+// Kind implements Op.
+func (o *DropoutOp) Kind() string { return "dropout" }
+
+// OutShape implements Op.
+func (o *DropoutOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if o.P < 0 || o.P >= 1 {
+		return Shape{}, fmt.Errorf("graph: dropout probability %g out of [0,1)", o.P)
+	}
+	return in[0], nil
+}
+
+// FLOPs implements Op.
+func (o *DropoutOp) FLOPs(in []Shape, out Shape) int64 { return 0 }
+
+// Params implements Op.
+func (o *DropoutOp) Params() int64 { return 0 }

@@ -1,0 +1,83 @@
+package graph
+
+import "fmt"
+
+// ScaleOp multiplies each channel by a learnable scalar (ConvNeXt's layer
+// scale; C parameters).
+type ScaleOp struct {
+	C int `json:"c"`
+}
+
+// Kind implements Op.
+func (o *ScaleOp) Kind() string { return "scale" }
+
+// OutShape implements Op.
+func (o *ScaleOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if in[0].C != o.C {
+		return Shape{}, fmt.Errorf("graph: scale expects %d channels, got %d", o.C, in[0].C)
+	}
+	return in[0], nil
+}
+
+// FLOPs implements Op.
+func (o *ScaleOp) FLOPs(in []Shape, out Shape) int64 { return out.Elems() }
+
+// Params implements Op.
+func (o *ScaleOp) Params() int64 { return int64(o.C) }
+
+// SliceChannelsOp selects the channel range [From, To) (ShuffleNet's
+// channel split).
+type SliceChannelsOp struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Kind implements Op.
+func (o *SliceChannelsOp) Kind() string { return "slice_channels" }
+
+// OutShape implements Op.
+func (o *SliceChannelsOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if o.From < 0 || o.To <= o.From || o.To > in[0].C {
+		return Shape{}, fmt.Errorf("graph: slice [%d,%d) invalid for %d channels", o.From, o.To, in[0].C)
+	}
+	return Shape{C: o.To - o.From, H: in[0].H, W: in[0].W}, nil
+}
+
+// FLOPs implements Op: a pure memory move.
+func (o *SliceChannelsOp) FLOPs(in []Shape, out Shape) int64 { return 0 }
+
+// Params implements Op.
+func (o *SliceChannelsOp) Params() int64 { return 0 }
+
+// ShuffleChannelsOp permutes channels by transposing a (Groups ×
+// C/Groups) view — ShuffleNet's channel shuffle. Shape-preserving,
+// parameter-free, zero arithmetic.
+type ShuffleChannelsOp struct {
+	Groups int `json:"groups"`
+}
+
+// Kind implements Op.
+func (o *ShuffleChannelsOp) Kind() string { return "shuffle_channels" }
+
+// OutShape implements Op.
+func (o *ShuffleChannelsOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if o.Groups <= 0 || in[0].C%o.Groups != 0 {
+		return Shape{}, fmt.Errorf("graph: cannot shuffle %d channels in %d groups", in[0].C, o.Groups)
+	}
+	return in[0], nil
+}
+
+// FLOPs implements Op.
+func (o *ShuffleChannelsOp) FLOPs(in []Shape, out Shape) int64 { return 0 }
+
+// Params implements Op.
+func (o *ShuffleChannelsOp) Params() int64 { return 0 }

@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestScaleOp(t *testing.T) {
+	op := &ScaleOp{C: 8}
+	in := Shape{C: 8, H: 4, W: 4}
+	out, err := op.OutShape([]Shape{in})
+	if err != nil || out != in {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+	if op.Params() != 8 {
+		t.Fatalf("Params = %d, want 8", op.Params())
+	}
+	if op.FLOPs(nil, out) != in.Elems() {
+		t.Fatalf("FLOPs = %d", op.FLOPs(nil, out))
+	}
+	if _, err := op.OutShape([]Shape{{C: 4, H: 1, W: 1}}); err == nil {
+		t.Fatal("expected channel mismatch error")
+	}
+}
+
+func TestSliceChannelsOp(t *testing.T) {
+	op := &SliceChannelsOp{From: 2, To: 6}
+	in := Shape{C: 8, H: 3, W: 3}
+	out, err := op.OutShape([]Shape{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != (Shape{C: 4, H: 3, W: 3}) {
+		t.Fatalf("out = %v", out)
+	}
+	if op.Params() != 0 || op.FLOPs(nil, out) != 0 {
+		t.Fatal("slice must be free")
+	}
+	bad := []*SliceChannelsOp{
+		{From: -1, To: 2}, {From: 4, To: 4}, {From: 2, To: 9},
+	}
+	for _, b := range bad {
+		if _, err := b.OutShape([]Shape{in}); err == nil {
+			t.Fatalf("slice [%d,%d) should be rejected", b.From, b.To)
+		}
+	}
+}
+
+func TestShuffleChannelsOp(t *testing.T) {
+	op := &ShuffleChannelsOp{Groups: 2}
+	in := Shape{C: 8, H: 2, W: 2}
+	out, err := op.OutShape([]Shape{in})
+	if err != nil || out != in {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+	if op.Params() != 0 || op.FLOPs(nil, out) != 0 {
+		t.Fatal("shuffle must be free")
+	}
+	if _, err := (&ShuffleChannelsOp{Groups: 3}).OutShape([]Shape{in}); err == nil {
+		t.Fatal("indivisible groups must be rejected")
+	}
+	if _, err := (&ShuffleChannelsOp{Groups: 0}).OutShape([]Shape{in}); err == nil {
+		t.Fatal("zero groups must be rejected")
+	}
+}
+
+func TestMiscOpsJSONRoundTrip(t *testing.T) {
+	b, x := NewBuilder("misc", Shape{C: 8, H: 4, W: 4})
+	x = b.Scale(x, "scale")
+	x = b.ShuffleChannels(x, "shuffle", 2)
+	x = b.SliceChannels(x, "slice", 0, 4)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalParams() != g.TotalParams() || len(back.Nodes) != len(g.Nodes) {
+		t.Fatal("round trip lost structure")
+	}
+}
+
+func TestTransformerOpsJSONRoundTrip(t *testing.T) {
+	b, x := NewBuilder("tf", Shape{C: 16, H: 4, W: 4})
+	x = b.ToTokens(x, "tokens")
+	x = b.LayerNorm(x, "ln")
+	x = b.TokenLinear(x, "qkv", 48, true)
+	x = b.AttentionCore(x, "attn", 16, 4)
+	x = b.TakeToken(x, "cls")
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Graph
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalParams() != g.TotalParams() || back.TotalFLOPs() != g.TotalFLOPs() {
+		t.Fatal("round trip changed accounting")
+	}
+	out, _ := back.OutputShape()
+	if out != (Shape{C: 16, H: 1, W: 1}) {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestTransformerOpErrors(t *testing.T) {
+	seq := Shape{C: 16, H: 5, W: 1}
+	if _, err := (&LayerNormOp{Dim: 8}).OutShape([]Shape{seq}); err == nil {
+		t.Fatal("layernorm dim mismatch must error")
+	}
+	if _, err := (&TokenLinearOp{In: 8, Out: 4}).OutShape([]Shape{seq}); err == nil {
+		t.Fatal("token linear dim mismatch must error")
+	}
+	if _, err := (&TokenLinearOp{In: 16, Out: 4}).OutShape([]Shape{{C: 16, H: 5, W: 2}}); err == nil {
+		t.Fatal("token linear on non-sequence must error")
+	}
+	if _, err := (&AttentionCoreOp{Dim: 16, Heads: 3}).OutShape([]Shape{{C: 48, H: 5, W: 1}}); err == nil {
+		t.Fatal("indivisible heads must error")
+	}
+	if _, err := (&AttentionCoreOp{Dim: 16, Heads: 4}).OutShape([]Shape{{C: 32, H: 5, W: 1}}); err == nil {
+		t.Fatal("non-QKV input must error")
+	}
+	if _, err := (&ToTokensOp{Dim: 16, Tokens: 5}).OutShape([]Shape{{C: 16, H: 2, W: 3}}); err == nil {
+		t.Fatal("token-count mismatch must error")
+	}
+	if _, err := (&ToTokensOp{Dim: 8, Tokens: 7}).OutShape([]Shape{{C: 16, H: 2, W: 3}}); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+}

@@ -1,0 +1,172 @@
+package graph
+
+// Transformer operations — the paper's future-work extension ("we aim to
+// analyze other DNNs, such as language models and vision transformers").
+// Token sequences are represented as C×T×1 tensors: C is the embedding
+// dimension, T the token count. The same static-metrics machinery then
+// applies unchanged; vision transformers join the zoo in
+// internal/models/vit.go.
+
+import "fmt"
+
+// LayerNormOp normalises over the embedding dimension with a learnable
+// scale and shift per channel.
+type LayerNormOp struct {
+	Dim int `json:"dim"`
+}
+
+// Kind implements Op.
+func (o *LayerNormOp) Kind() string { return "layernorm" }
+
+// OutShape implements Op.
+func (o *LayerNormOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if in[0].C != o.Dim {
+		return Shape{}, fmt.Errorf("graph: layernorm expects dim %d, got %d", o.Dim, in[0].C)
+	}
+	return in[0], nil
+}
+
+// FLOPs implements Op: mean, variance, normalise, scale, shift — about
+// five operations per element.
+func (o *LayerNormOp) FLOPs(in []Shape, out Shape) int64 { return 5 * out.Elems() }
+
+// Params implements Op.
+func (o *LayerNormOp) Params() int64 { return 2 * int64(o.Dim) }
+
+// TokenLinearOp applies a fully connected layer independently to every
+// token of a C×T×1 sequence (PyTorch's nn.Linear on the last dimension).
+type TokenLinearOp struct {
+	In   int  `json:"in"`
+	Out  int  `json:"out"`
+	Bias bool `json:"bias"`
+}
+
+// Kind implements Op.
+func (o *TokenLinearOp) Kind() string { return "token_linear" }
+
+// OutShape implements Op.
+func (o *TokenLinearOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if in[0].C != o.In || in[0].W != 1 {
+		return Shape{}, fmt.Errorf("graph: token linear expects %dxTx1, got %v", o.In, in[0])
+	}
+	return Shape{C: o.Out, H: in[0].H, W: 1}, nil
+}
+
+// FLOPs implements Op.
+func (o *TokenLinearOp) FLOPs(in []Shape, out Shape) int64 {
+	perToken := 2 * int64(o.In) * int64(o.Out)
+	if o.Bias {
+		perToken += int64(o.Out)
+	}
+	return perToken * int64(in[0].H)
+}
+
+// Params implements Op.
+func (o *TokenLinearOp) Params() int64 {
+	p := int64(o.In) * int64(o.Out)
+	if o.Bias {
+		p += int64(o.Out)
+	}
+	return p
+}
+
+// AttentionCoreOp is the scaled-dot-product attention core: it consumes a
+// fused QKV sequence (3·Dim × T × 1) and produces the attended values
+// (Dim × T × 1). The surrounding projections are separate TokenLinear
+// ops, mirroring how frameworks decompose multi-head attention.
+type AttentionCoreOp struct {
+	Dim   int `json:"dim"`
+	Heads int `json:"heads"`
+}
+
+// Kind implements Op.
+func (o *AttentionCoreOp) Kind() string { return "attention" }
+
+// OutShape implements Op.
+func (o *AttentionCoreOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if o.Dim <= 0 || o.Heads <= 0 || o.Dim%o.Heads != 0 {
+		return Shape{}, fmt.Errorf("graph: attention dim %d / heads %d invalid", o.Dim, o.Heads)
+	}
+	if in[0].C != 3*o.Dim || in[0].W != 1 {
+		return Shape{}, fmt.Errorf("graph: attention expects %dxTx1 fused QKV, got %v", 3*o.Dim, in[0])
+	}
+	return Shape{C: o.Dim, H: in[0].H, W: 1}, nil
+}
+
+// FLOPs implements Op: QKᵀ and AV are each 2·T²·Dim multiply-adds, plus
+// a ~5-op softmax over every T×T attention score per head.
+func (o *AttentionCoreOp) FLOPs(in []Shape, out Shape) int64 {
+	t := int64(in[0].H)
+	return 4*t*t*int64(o.Dim) + 5*t*t*int64(o.Heads)
+}
+
+// Params implements Op.
+func (o *AttentionCoreOp) Params() int64 { return 0 }
+
+// ToTokensOp converts a patch-embedded Dim×gh×gw feature map into a token
+// sequence Dim×(gh·gw+1)×1, prepending a learnable class token and adding
+// learnable position embeddings (the ViT input pipeline).
+type ToTokensOp struct {
+	Dim    int `json:"dim"`
+	Tokens int `json:"tokens"` // gh·gw + 1, fixed at construction
+}
+
+// Kind implements Op.
+func (o *ToTokensOp) Kind() string { return "to_tokens" }
+
+// OutShape implements Op.
+func (o *ToTokensOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if in[0].C != o.Dim {
+		return Shape{}, fmt.Errorf("graph: to_tokens expects dim %d, got %d", o.Dim, in[0].C)
+	}
+	if in[0].H*in[0].W+1 != o.Tokens {
+		return Shape{}, fmt.Errorf("graph: to_tokens built for %d tokens, input yields %d",
+			o.Tokens, in[0].H*in[0].W+1)
+	}
+	return Shape{C: o.Dim, H: o.Tokens, W: 1}, nil
+}
+
+// FLOPs implements Op: one add per element for the position embedding.
+func (o *ToTokensOp) FLOPs(in []Shape, out Shape) int64 { return out.Elems() }
+
+// Params implements Op: position embedding (Tokens×Dim) plus the class
+// token (Dim).
+func (o *ToTokensOp) Params() int64 {
+	return int64(o.Tokens)*int64(o.Dim) + int64(o.Dim)
+}
+
+// TakeTokenOp selects a single token (the class token) from a sequence,
+// producing a C×1×1 tensor for the classification head.
+type TakeTokenOp struct{}
+
+// Kind implements Op.
+func (o *TakeTokenOp) Kind() string { return "take_token" }
+
+// OutShape implements Op.
+func (o *TakeTokenOp) OutShape(in []Shape) (Shape, error) {
+	if err := needInputs(o.Kind(), in, 1); err != nil {
+		return Shape{}, err
+	}
+	if in[0].W != 1 || in[0].H < 1 {
+		return Shape{}, fmt.Errorf("graph: take_token expects a CxTx1 sequence, got %v", in[0])
+	}
+	return Shape{C: in[0].C, H: 1, W: 1}, nil
+}
+
+// FLOPs implements Op.
+func (o *TakeTokenOp) FLOPs(in []Shape, out Shape) int64 { return 0 }
+
+// Params implements Op.
+func (o *TakeTokenOp) Params() int64 { return 0 }

@@ -1,0 +1,92 @@
+package hwreal
+
+import (
+	"testing"
+
+	"convmeter/internal/core"
+	"convmeter/internal/models"
+)
+
+func TestMeasurePositiveAndOrdered(t *testing.T) {
+	g, err := models.Build("squeezenet1_1", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := Measure(g, 1, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 <= 0 {
+		t.Fatalf("measured time %g", t1)
+	}
+	t8, err := Measure(g, 8, 0, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t8 <= t1 {
+		t.Fatalf("batch 8 (%g s) should take longer than batch 1 (%g s)", t8, t1)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	g, err := models.Build("squeezenet1_1", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(g, 0, 0, 1, 1); err == nil {
+		t.Fatal("expected batch error")
+	}
+	if _, err := Measure(g, 1, -1, 1, 1); err == nil {
+		t.Fatal("expected warmup error")
+	}
+	if _, err := Measure(g, 1, 0, 0, 1); err == nil {
+		t.Fatal("expected reps error")
+	}
+}
+
+func TestCollectAndFitRealMeasurements(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real measurement sweep in short mode")
+	}
+	// The full loop on real wall-clock data: measure → fit → LOMO.
+	sc := Scenario{
+		Models:  []string{"squeezenet1_1", "mobilenet_v3_small", "resnet18"},
+		Images:  []int{32},
+		Batches: []int{1, 2, 4},
+		Warmup:  1,
+		Reps:    2,
+		Seed:    1,
+	}
+	samples, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 9 {
+		t.Fatalf("collected %d samples, want 9", len(samples))
+	}
+	for _, s := range samples {
+		if s.Fwd <= 0 {
+			t.Fatalf("non-positive real measurement: %+v", s)
+		}
+	}
+	ev, err := core.EvaluateInferenceLOMO(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real wall-clock on a shared CI machine is noisy and the sweep is
+	// tiny; require only a usable fit, not paper-grade accuracy.
+	if ev.Overall.MAPE > 2.0 {
+		t.Fatalf("real-measurement LOMO MAPE %.3f unusable", ev.Overall.MAPE)
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	if _, err := Collect(Scenario{}); err == nil {
+		t.Fatal("expected empty-scenario error")
+	}
+	sc := Scenario{Models: []string{"alexnet"}, Images: []int{32}, Batches: []int{1}, Reps: 1}
+	// alexnet cannot build at 32px → no feasible configuration.
+	if _, err := Collect(sc); err == nil {
+		t.Fatal("expected no-feasible-configuration error")
+	}
+}

@@ -1,0 +1,196 @@
+package hwsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"convmeter/internal/graph"
+)
+
+// Simulator executes graphs on a simulated device, producing "measured"
+// runtimes. A non-zero NoiseSigma applies multiplicative log-normal noise
+// per measurement, driven by the seeded generator, so whole benchmark
+// sweeps are reproducible.
+type Simulator struct {
+	Dev        Device
+	NoiseSigma float64
+	rng        *rand.Rand
+}
+
+// NewSimulator returns a simulator for dev with the given measurement
+// noise level (e.g. 0.05 for 5 % run-to-run variation) and RNG seed.
+func NewSimulator(dev Device, noiseSigma float64, seed int64) *Simulator {
+	if noiseSigma < 0 {
+		panic(fmt.Sprintf("hwsim: negative noise sigma %g", noiseSigma))
+	}
+	return &Simulator{Dev: dev, NoiseSigma: noiseSigma, rng: rand.New(rand.NewSource(seed))}
+}
+
+// noisy applies one multiplicative log-normal noise draw.
+func (s *Simulator) noisy(t float64) float64 {
+	if s.NoiseSigma == 0 {
+		return t
+	}
+	return t * math.Exp(s.rng.NormFloat64()*s.NoiseSigma)
+}
+
+// groupEff scales compute efficiency for grouped convolutions: with few
+// channels per group the kernel cannot fill wide SIMD/tensor units, so
+// efficiency degrades from 1 (dense-like, ≥16 channels per group) down to
+// the device's depthwise floor (1 channel per group).
+func groupEff(dev Device, conv *graph.Conv2dOp) float64 {
+	if conv.Groups <= 1 {
+		return 1
+	}
+	cpg := float64(conv.InC) / float64(conv.Groups)
+	f := cpg / 16
+	if f > 1 {
+		f = 1
+	}
+	if f < dev.DepthwisePenalty {
+		f = dev.DepthwisePenalty
+	}
+	return f
+}
+
+// nodeForwardTime is the roofline cost of one node at the given batch.
+func nodeForwardTime(dev Device, g *graph.Graph, i int, batch int) float64 {
+	n := g.Nodes[i]
+	kind := n.Op.Kind()
+	if kind == "input" {
+		return 0
+	}
+	b := float64(batch)
+	flops := float64(g.NodeFLOPs(i)) * b
+	eff := dev.effFor(kind)
+	if conv, ok := n.Op.(*graph.Conv2dOp); ok {
+		eff *= groupEff(dev, conv)
+	}
+	compute := flops / (dev.PeakFLOPS * eff)
+	bytes := (float64(g.NodeInputElems(i))*b + float64(n.Out.Elems())*b + float64(n.Op.Params())) * BytesPerElem
+	mem := bytes / dev.MemBW
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + dev.KernelOverhead
+}
+
+// nodeBackwardTime is the roofline cost of one node's backward pass.
+// Parameterised layers compute two gradient products (w.r.t. inputs and
+// w.r.t. weights) for ≈2× the forward FLOPs, re-read saved activations and
+// write gradient tensors for ≈2× the forward traffic plus one weight-
+// gradient write, and backward kernels dispatch with the same overhead.
+func nodeBackwardTime(dev Device, g *graph.Graph, i int, batch int) float64 {
+	n := g.Nodes[i]
+	kind := n.Op.Kind()
+	if kind == "input" {
+		return 0
+	}
+	b := float64(batch)
+	params := float64(n.Op.Params())
+	flopsMult := 1.0
+	if params > 0 {
+		flopsMult = 2.0
+	}
+	flops := float64(g.NodeFLOPs(i)) * b * flopsMult
+	eff := dev.effFor(kind)
+	if conv, ok := n.Op.(*graph.Conv2dOp); ok {
+		eff *= groupEff(dev, conv)
+	}
+	compute := flops / (dev.PeakFLOPS * eff)
+	bytes := (2*(float64(g.NodeInputElems(i))+float64(n.Out.Elems()))*b + 2*params) * BytesPerElem
+	mem := bytes / dev.MemBW
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + dev.KernelOverhead
+}
+
+// ForwardExact returns the noise-free forward (inference) time in seconds
+// for the whole graph at the given batch size.
+func (s *Simulator) ForwardExact(g *graph.Graph, batch int) float64 {
+	total := 0.0
+	for i := range g.Nodes {
+		total += nodeForwardTime(s.Dev, g, i, batch)
+	}
+	return total
+}
+
+// Forward returns a noisy forward-pass measurement.
+func (s *Simulator) Forward(g *graph.Graph, batch int) float64 {
+	return s.noisy(s.ForwardExact(g, batch))
+}
+
+// ForwardRangeExact returns the noise-free forward time of the node range
+// [from, to) — the cost of one pipeline-parallel stage (nodes are in
+// topological order, so a contiguous range is a valid stage).
+func (s *Simulator) ForwardRangeExact(g *graph.Graph, from, to, batch int) float64 {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(g.Nodes) {
+		to = len(g.Nodes)
+	}
+	total := 0.0
+	for i := from; i < to; i++ {
+		total += nodeForwardTime(s.Dev, g, i, batch)
+	}
+	return total
+}
+
+// BackwardExact returns the noise-free backward-pass compute time.
+func (s *Simulator) BackwardExact(g *graph.Graph, batch int) float64 {
+	total := 0.0
+	for i := range g.Nodes {
+		total += nodeBackwardTime(s.Dev, g, i, batch)
+	}
+	return total
+}
+
+// Backward returns a noisy backward-pass measurement.
+func (s *Simulator) Backward(g *graph.Graph, batch int) float64 {
+	return s.noisy(s.BackwardExact(g, batch))
+}
+
+// BackwardLayerTimes returns per-node backward times in *reverse
+// execution order* (last graph node first), which is the order gradients
+// become available for synchronisation. Used by the distributed-training
+// overlap timeline.
+func (s *Simulator) BackwardLayerTimes(g *graph.Graph, batch int) []float64 {
+	out := make([]float64, 0, len(g.Nodes))
+	for i := len(g.Nodes) - 1; i >= 0; i-- {
+		out = append(out, nodeBackwardTime(s.Dev, g, i, batch))
+	}
+	return out
+}
+
+// MemoryBytes estimates the device memory footprint of running the graph
+// at the given batch size. Inference holds weights plus the two largest
+// activation tensors; training additionally stores every activation for
+// the backward pass, gradients, and two Adam optimizer states.
+func MemoryBytes(g *graph.Graph, batch int, training bool) float64 {
+	b := float64(batch)
+	params := float64(g.TotalParams())
+	var actSum, actMax float64
+	for _, n := range g.Nodes {
+		e := float64(n.Out.Elems()) * b
+		actSum += e
+		if e > actMax {
+			actMax = e
+		}
+	}
+	if training {
+		// weights + gradients + 2 optimizer states + stored activations
+		return (4*params + actSum) * BytesPerElem
+	}
+	return (params + 2*actMax) * BytesPerElem
+}
+
+// Fits reports whether the graph at the given batch size fits into the
+// device memory (the benchmark sweep feasibility rule).
+func (s *Simulator) Fits(g *graph.Graph, batch int, training bool) bool {
+	return MemoryBytes(g, batch, training) <= s.Dev.MemBytes
+}

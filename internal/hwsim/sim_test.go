@@ -1,0 +1,247 @@
+package hwsim
+
+import (
+	"math"
+	"testing"
+
+	"convmeter/internal/graph"
+	"convmeter/internal/models"
+)
+
+func resnet18(t *testing.T, img int) *graph.Graph {
+	t.Helper()
+	g, err := models.Build("resnet18", img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestForwardExactPositiveAndDeterministic(t *testing.T) {
+	g := resnet18(t, 224)
+	s := NewSimulator(A100(), 0, 1)
+	a := s.ForwardExact(g, 8)
+	b := s.ForwardExact(g, 8)
+	if a <= 0 {
+		t.Fatalf("forward time = %g", a)
+	}
+	if a != b {
+		t.Fatal("ForwardExact must be deterministic")
+	}
+}
+
+func TestForwardMonotonicInBatch(t *testing.T) {
+	g := resnet18(t, 224)
+	s := NewSimulator(A100(), 0, 1)
+	prev := 0.0
+	for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
+		cur := s.ForwardExact(g, b)
+		if cur <= prev {
+			t.Fatalf("forward time not monotonic at batch %d: %g <= %g", b, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestForwardSublinearAtSmallBatch(t *testing.T) {
+	// Per-kernel overhead means doubling a tiny batch must not double the
+	// time (the A100 underutilisation effect the paper observes for small
+	// batches), while at large batches scaling approaches linear.
+	g := resnet18(t, 224)
+	s := NewSimulator(A100(), 0, 1)
+	t1 := s.ForwardExact(g, 1)
+	t2 := s.ForwardExact(g, 2)
+	if ratio := t2 / t1; ratio >= 2.0 {
+		t.Fatalf("small-batch scaling ratio = %g, want < 2", ratio)
+	}
+	t256 := s.ForwardExact(g, 256)
+	t512 := s.ForwardExact(g, 512)
+	if ratio := t512 / t256; ratio < 1.8 {
+		t.Fatalf("large-batch scaling ratio = %g, want ≈2", ratio)
+	}
+}
+
+func TestBackwardSlowerThanForward(t *testing.T) {
+	g := resnet18(t, 224)
+	for _, dev := range []Device{A100(), XeonCore()} {
+		s := NewSimulator(dev, 0, 1)
+		fwd := s.ForwardExact(g, 32)
+		bwd := s.BackwardExact(g, 32)
+		if bwd <= fwd {
+			t.Fatalf("%s: backward (%g) should exceed forward (%g)", dev.Name, bwd, fwd)
+		}
+		if bwd > 3*fwd {
+			t.Fatalf("%s: backward/forward ratio %g implausible", dev.Name, bwd/fwd)
+		}
+	}
+}
+
+func TestCPUMuchSlowerThanGPU(t *testing.T) {
+	g := resnet18(t, 224)
+	gpu := NewSimulator(A100(), 0, 1)
+	cpu := NewSimulator(XeonCore(), 0, 1)
+	tg := gpu.ForwardExact(g, 16)
+	tc := cpu.ForwardExact(g, 16)
+	if tc < 20*tg {
+		t.Fatalf("single Xeon core (%g) should be far slower than A100 (%g)", tc, tg)
+	}
+}
+
+func TestNoiseIsMultiplicativeAndSeeded(t *testing.T) {
+	g := resnet18(t, 224)
+	exact := NewSimulator(A100(), 0, 7).ForwardExact(g, 8)
+	s1 := NewSimulator(A100(), 0.05, 7)
+	s2 := NewSimulator(A100(), 0.05, 7)
+	var prevDiffer bool
+	for i := 0; i < 10; i++ {
+		a := s1.Forward(g, 8)
+		b := s2.Forward(g, 8)
+		if a != b {
+			t.Fatal("same seed must reproduce the same noise sequence")
+		}
+		if a <= 0 {
+			t.Fatal("noisy time must stay positive")
+		}
+		if ratio := a / exact; ratio < 0.7 || ratio > 1.4 {
+			t.Fatalf("noise ratio %g outside plausible band", ratio)
+		}
+		if a != exact {
+			prevDiffer = true
+		}
+	}
+	if !prevDiffer {
+		t.Fatal("noise never perturbed the measurement")
+	}
+}
+
+func TestNegativeNoisePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative sigma")
+		}
+	}()
+	NewSimulator(A100(), -0.1, 1)
+}
+
+func TestBackwardLayerTimesOrderAndSum(t *testing.T) {
+	g := resnet18(t, 224)
+	s := NewSimulator(A100(), 0, 1)
+	times := s.BackwardLayerTimes(g, 8)
+	if len(times) != len(g.Nodes) {
+		t.Fatalf("got %d layer times, want %d", len(times), len(g.Nodes))
+	}
+	sum := 0.0
+	for _, v := range times {
+		if v < 0 {
+			t.Fatal("negative layer time")
+		}
+		sum += v
+	}
+	if total := s.BackwardExact(g, 8); math.Abs(sum-total)/total > 1e-9 {
+		t.Fatalf("layer times sum %g != total %g", sum, total)
+	}
+	// Reverse order: the last entry corresponds to the input node (zero).
+	if times[len(times)-1] != 0 {
+		t.Fatal("input node backward time should be zero and last in reverse order")
+	}
+}
+
+func TestMemoryFeasibility(t *testing.T) {
+	g := resnet18(t, 224)
+	s := NewSimulator(A100(), 0, 1)
+	if !s.Fits(g, 1, false) {
+		t.Fatal("batch 1 inference must fit in 80 GB")
+	}
+	if !s.Fits(g, 256, true) {
+		t.Fatal("batch 256 training of ResNet-18 must fit in 80 GB")
+	}
+	if s.Fits(g, 1<<20, true) {
+		t.Fatal("absurd batch must not fit")
+	}
+	if MemoryBytes(g, 2, true) <= MemoryBytes(g, 1, true) {
+		t.Fatal("training memory must grow with batch")
+	}
+	if MemoryBytes(g, 1, true) <= MemoryBytes(g, 1, false) {
+		t.Fatal("training must need more memory than inference")
+	}
+}
+
+func TestMemoryBoundVsComputeBoundModels(t *testing.T) {
+	// MobileNet-V3 (depthwise heavy, low arithmetic intensity) must run at
+	// far lower achieved FLOP/s than VGG-16 (dense 3x3 convs) on the A100
+	// — the effect that breaks FLOPs-only prediction (paper Fig. 2).
+	s := NewSimulator(A100(), 0, 1)
+	mb, err := models.Build("mobilenet_v3_large", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vgg, err := models.Build("vgg16", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	achieved := func(g *graph.Graph) float64 {
+		return float64(g.TotalFLOPs()) * 64 / s.ForwardExact(g, 64)
+	}
+	if am, av := achieved(mb), achieved(vgg); am >= av/3 {
+		t.Fatalf("mobilenet achieved %g FLOP/s should be well below vgg %g", am, av)
+	}
+}
+
+func TestDeviceSpeedOrdering(t *testing.T) {
+	// The device hierarchy must hold: A100 > Jetson-class > single Xeon
+	// core > Pi-class for a ConvNet forward pass.
+	g := resnet18(t, 128)
+	times := map[string]float64{}
+	for _, dev := range []Device{A100(), JetsonLike(), XeonCore(), PiLike()} {
+		times[dev.Name] = NewSimulator(dev, 0, 1).ForwardExact(g, 8)
+	}
+	order := []string{"a100", "jetson", "xeon", "pi"}
+	for i := 1; i < len(order); i++ {
+		if times[order[i]] <= times[order[i-1]] {
+			t.Fatalf("%s (%g) should be slower than %s (%g)",
+				order[i], times[order[i]], order[i-1], times[order[i-1]])
+		}
+	}
+}
+
+func TestEdgeMemoryLimits(t *testing.T) {
+	g := resnet18(t, 224)
+	pi := NewSimulator(PiLike(), 0, 1)
+	a100 := NewSimulator(A100(), 0, 1)
+	// A batch that fits in 80 GB must not fit in 8 GB.
+	const batch = 2048
+	if !a100.Fits(g, batch, false) {
+		t.Fatal("batch should fit the A100")
+	}
+	if pi.Fits(g, batch, false) {
+		t.Fatal("batch should not fit the Pi-class device")
+	}
+}
+
+func TestForwardRangeSumsToTotal(t *testing.T) {
+	g := resnet18(t, 128)
+	s := NewSimulator(A100(), 0, 1)
+	total := s.ForwardExact(g, 8)
+	for _, cut := range []int{1, len(g.Nodes) / 3, len(g.Nodes) / 2, len(g.Nodes) - 1} {
+		a := s.ForwardRangeExact(g, 0, cut, 8)
+		b := s.ForwardRangeExact(g, cut, len(g.Nodes), 8)
+		if math.Abs(a+b-total)/total > 1e-12 {
+			t.Fatalf("cut %d: ranges sum to %g, total %g", cut, a+b, total)
+		}
+	}
+	// Out-of-range bounds are clamped, not panicking.
+	if got := s.ForwardRangeExact(g, -5, len(g.Nodes)+5, 8); math.Abs(got-total)/total > 1e-12 {
+		t.Fatalf("clamped range = %g, want %g", got, total)
+	}
+}
+
+func TestEffFallback(t *testing.T) {
+	d := Device{PeakFLOPS: 1, MemBW: 1, DefaultEfficiency: 0.5}
+	if d.effFor("conv2d") != 0.5 {
+		t.Fatal("fallback efficiency not applied")
+	}
+	d2 := Device{PeakFLOPS: 1, MemBW: 1}
+	if d2.effFor("anything") != 1 {
+		t.Fatal("zero-value device should default to efficiency 1")
+	}
+}

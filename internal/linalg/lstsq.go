@@ -1,0 +1,159 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrRankDeficient is returned when the design matrix does not have full
+// column rank and the plain least-squares solve would divide by (near) zero.
+var ErrRankDeficient = errors.New("linalg: rank-deficient design matrix")
+
+// QR holds a Householder QR factorisation of an m×n matrix with m >= n.
+// The factorisation is stored compactly: R in the upper triangle of qr and
+// the Householder vectors below the diagonal, with their scaling in beta.
+type QR struct {
+	qr   *Matrix
+	beta []float64
+}
+
+// DecomposeQR computes the Householder QR factorisation of a.
+// The input matrix is not modified.
+func DecomposeQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: QR needs rows >= cols, got %dx%d", a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	beta := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Build the Householder reflector for column k.
+		colNorm := 0.0
+		for i := k; i < m; i++ {
+			x := qr.At(i, k)
+			colNorm += x * x
+		}
+		colNorm = math.Sqrt(colNorm)
+		if colNorm == 0 {
+			beta[k] = 0
+			continue
+		}
+		alpha := qr.At(k, k)
+		if alpha > 0 {
+			colNorm = -colNorm
+		}
+		// v = x - colNorm*e1, stored in place with v[k] normalised to 1.
+		v0 := alpha - colNorm
+		for i := k + 1; i < m; i++ {
+			qr.Set(i, k, qr.At(i, k)/v0)
+		}
+		beta[k] = -v0 / colNorm
+		qr.Set(k, k, colNorm)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := qr.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s *= beta[k]
+			qr.Set(k, j, qr.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				qr.Set(i, j, qr.At(i, j)-s*qr.At(i, k))
+			}
+		}
+	}
+	return &QR{qr: qr, beta: beta}, nil
+}
+
+// applyQT computes Qᵀb in place.
+func (f *QR) applyQT(b []float64) {
+	m, n := f.qr.Rows, f.qr.Cols
+	for k := 0; k < n; k++ {
+		if f.beta[k] == 0 {
+			continue
+		}
+		s := b[k]
+		for i := k + 1; i < m; i++ {
+			s += f.qr.At(i, k) * b[i]
+		}
+		s *= f.beta[k]
+		b[k] -= s
+		for i := k + 1; i < m; i++ {
+			b[i] -= s * f.qr.At(i, k)
+		}
+	}
+}
+
+// Solve returns x minimising ‖Ax − b‖₂ using the factorisation.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: rhs length %d, want %d", len(b), m)
+	}
+	// Check diagonal of R for (near) rank deficiency relative to its scale.
+	maxDiag := 0.0
+	for k := 0; k < n; k++ {
+		if d := math.Abs(f.qr.At(k, k)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		return nil, ErrRankDeficient
+	}
+	for k := 0; k < n; k++ {
+		if math.Abs(f.qr.At(k, k)) < 1e-12*maxDiag {
+			return nil, ErrRankDeficient
+		}
+	}
+	qtb := make([]float64, m)
+	copy(qtb, b)
+	f.applyQT(qtb)
+	// Back-substitute R x = (Qᵀb)[:n].
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.qr.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ‖Ax − b‖₂ by Householder QR.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	f, err := DecomposeQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// RidgeLeastSquares solves the Tikhonov-regularised problem
+// min ‖Ax − b‖₂² + λ‖x‖₂² by stacking √λ·I below A. It is the fallback
+// used when the plain problem is rank deficient (e.g. a metric column is
+// identically zero across the benchmark sample).
+func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge lambda %g", lambda)
+	}
+	m, n := a.Rows, a.Cols
+	aug := NewMatrix(m+n, n)
+	copy(aug.Data[:m*n], a.Data)
+	sq := math.Sqrt(lambda)
+	for j := 0; j < n; j++ {
+		aug.Set(m+j, j, sq)
+	}
+	rhs := make([]float64, m+n)
+	copy(rhs, b)
+	return LeastSquares(aug, rhs)
+}
+
+// SolveLinearSystem solves the square system Ax = b via QR.
+func SolveLinearSystem(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: system is %dx%d, want square", a.Rows, a.Cols)
+	}
+	return LeastSquares(a, b)
+}

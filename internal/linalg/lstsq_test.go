@@ -1,0 +1,192 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLeastSquaresExactSquare(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := []float64{5, 10}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solution of 2x+y=5, x+3y=10 is x=1, y=3.
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 3, 1e-10) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestLeastSquaresRecoverCoefficients(t *testing.T) {
+	// y = 3 + 2*a - 5*b exactly; regression must recover the coefficients.
+	rng := rand.New(rand.NewSource(42))
+	n := 50
+	a := NewMatrix(n, 3)
+	b := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u, v := rng.Float64()*10, rng.Float64()*10
+		a.Set(i, 0, 1)
+		a.Set(i, 1, u)
+		a.Set(i, 2, v)
+		b[i] = 3 + 2*u - 5*v
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -5}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-8) {
+			t.Fatalf("coef %d = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresOverdeterminedResidualOrthogonality(t *testing.T) {
+	// For the least-squares minimiser, the residual must be orthogonal to
+	// the column space: Aᵀ(Ax − b) = 0.
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 20; iter++ {
+		m := 8 + rng.Intn(20)
+		n := 2 + rng.Intn(4)
+		a := NewMatrix(m, n)
+		b := make([]float64, m)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, _ := a.MulVec(x)
+		res := make([]float64, m)
+		for i := range res {
+			res[i] = pred[i] - b[i]
+		}
+		at := a.T()
+		g, _ := at.MulVec(res)
+		for j := range g {
+			if math.Abs(g[j]) > 1e-8 {
+				t.Fatalf("iter %d: normal equations violated, grad[%d]=%g", iter, j, g[j])
+			}
+		}
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	// Third column is a copy of the second — rank deficient.
+	a, _ := FromRows([][]float64{
+		{1, 2, 2},
+		{1, 4, 4},
+		{1, 6, 6},
+		{1, 8, 8},
+	})
+	b := []float64{1, 2, 3, 4}
+	if _, err := LeastSquares(a, b); err == nil {
+		t.Fatal("expected rank-deficiency error")
+	}
+}
+
+func TestRidgeFallbackOnRankDeficiency(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 2, 2},
+		{1, 4, 4},
+		{1, 6, 6},
+		{1, 8, 8},
+	})
+	b := []float64{1, 2, 3, 4}
+	x, err := RidgeLeastSquares(a, b, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := a.MulVec(x)
+	for i := range b {
+		if !almostEqual(pred[i], b[i], 1e-2) {
+			t.Fatalf("ridge prediction %d = %g, want ≈%g", i, pred[i], b[i])
+		}
+	}
+}
+
+func TestRidgeNegativeLambda(t *testing.T) {
+	a := NewMatrix(2, 2)
+	if _, err := RidgeLeastSquares(a, []float64{0, 0}, -1); err == nil {
+		t.Fatal("expected error for negative lambda")
+	}
+}
+
+func TestLeastSquaresShapeErrors(t *testing.T) {
+	a := NewMatrix(2, 3) // rows < cols
+	if _, err := LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for underdetermined system")
+	}
+	sq := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		sq.Set(i, i, 1)
+	}
+	if _, err := LeastSquares(sq, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for rhs length mismatch")
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 1}, {1, 3}})
+	x, err := SolveLinearSystem(a, []float64{9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x+y=9, x+3y=10 → x=17/11, y=31/11
+	if !almostEqual(x[0], 17.0/11.0, 1e-10) || !almostEqual(x[1], 31.0/11.0, 1e-10) {
+		t.Fatalf("x = %v", x)
+	}
+	rect := NewMatrix(3, 2)
+	if _, err := SolveLinearSystem(rect, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected non-square error")
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	// Verify that the QR solve reproduces b exactly for a full-rank square
+	// system with a known solution, across random instances.
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 25; iter++ {
+		n := 2 + rng.Intn(5)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Make it comfortably full-rank by boosting the diagonal.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b, _ := a.MulVec(xTrue)
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if !almostEqual(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("iter %d: x[%d] = %g, want %g", iter, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestZeroColumnRejected(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1, 0},
+		{2, 0},
+		{3, 0},
+	})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected rank-deficiency error for zero column")
+	}
+}

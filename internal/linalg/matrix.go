@@ -1,0 +1,214 @@
+// Package linalg provides the small dense linear-algebra kernel ConvMeter
+// needs: dense matrices, Householder QR factorisation, and least-squares
+// solving. It is deliberately minimal — just enough to fit the paper's
+// linear-regression performance models without external dependencies.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense, row-major matrix of float64 values.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero-initialised rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equally sized rows.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return nil, errors.New("linalg: no rows")
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: row %d has %d cols, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	r := make([]float64, m.Cols)
+	copy(r, m.Data[i*m.Cols:(i+1)*m.Cols])
+	return r
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	c := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		c[i] = m.At(i, j)
+	}
+	return c
+}
+
+// T returns the transpose of m as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m×b.
+func (m *Matrix) Mul(b *Matrix) (*Matrix, error) {
+	if m.Cols != b.Rows {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d · %dx%d", m.Rows, m.Cols, b.Rows, b.Cols)
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns the matrix-vector product m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if m.Cols != len(x) {
+		return nil, fmt.Errorf("linalg: dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(x))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Dot returns the inner product of two equally sized vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	// Scaled to avoid overflow, mirroring the classic BLAS dnrm2 approach.
+	scale, ssq := 0.0, 1.0
+	for _, x := range v {
+		if x == 0 {
+			continue
+		}
+		ax := math.Abs(x)
+		if scale < ax {
+			r := scale / ax
+			ssq = 1 + ssq*r*r
+			scale = ax
+		} else {
+			r := ax / scale
+			ssq += r * r
+		}
+	}
+	return scale * math.Sqrt(ssq)
+}
+
+// Mean returns the arithmetic mean of v (0 for an empty slice).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v.
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	mu := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - mu
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 { return math.Sqrt(Variance(v)) }
+
+// MinMax returns the smallest and largest values in v.
+// It panics on an empty slice.
+func MinMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		panic("linalg: MinMax of empty slice")
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,246 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return diff <= tol*scale
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(2, 1) != 6 || m.At(0, 0) != 1 {
+		t.Fatalf("unexpected contents: %v", m.Data)
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error for ragged rows")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	if _, err := FromRows(nil); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Fatalf("At(1,0) = %g, want 7", m.At(1, 0))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose dims = %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", y)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Fatal("expected error on bad vector length")
+	}
+}
+
+func TestRowColClone(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(1)
+	c := m.Col(0)
+	if r[0] != 3 || r[1] != 4 {
+		t.Fatalf("Row(1) = %v", r)
+	}
+	if c[0] != 1 || c[1] != 3 {
+		t.Fatalf("Col(0) = %v", c)
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone aliases original data")
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Fatalf("Dot = %g, want 32", d)
+	}
+	if n := Norm2([]float64{3, 4}); !almostEqual(n, 5, 1e-12) {
+		t.Fatalf("Norm2 = %g, want 5", n)
+	}
+	if n := Norm2(nil); n != 0 {
+		t.Fatalf("Norm2(nil) = %g, want 0", n)
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	// Values whose squares overflow float64 individually.
+	v := []float64{1e200, 1e200}
+	want := 1e200 * math.Sqrt2
+	if n := Norm2(v); !almostEqual(n, want, 1e-12) {
+		t.Fatalf("Norm2 overflow-safe = %g, want %g", n, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(v); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("Mean = %g, want 5", m)
+	}
+	if s := StdDev(v); !almostEqual(s, 2, 1e-12) {
+		t.Fatalf("StdDev = %g, want 2", s)
+	}
+	lo, hi := MinMax(v)
+	if lo != 2 || hi != 9 {
+		t.Fatalf("MinMax = %g,%g", lo, hi)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty-slice stats should be 0")
+	}
+}
+
+func TestTransposeInvolutionProperty(t *testing.T) {
+	f := func(rows [][]float64) bool {
+		m, err := FromRows(normalizeRows(rows))
+		if err != nil {
+			return true // skip degenerate inputs
+		}
+		tt := m.T().T()
+		if tt.Rows != m.Rows || tt.Cols != m.Cols {
+			return false
+		}
+		for i := range m.Data {
+			if m.Data[i] != tt.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalizeRows trims ragged random rows to a common width so that
+// property tests exercise valid matrices.
+func normalizeRows(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	w := len(rows[0])
+	for _, r := range rows {
+		if len(r) < w {
+			w = len(r)
+		}
+	}
+	if w == 0 {
+		return nil
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		out[i] = r[:w]
+	}
+	return out
+}
+
+func TestMulVecMatchesMulProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 30; iter++ {
+		m := 1 + rng.Intn(6)
+		n := 1 + rng.Intn(6)
+		a := NewMatrix(m, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		xm := NewMatrix(n, 1)
+		copy(xm.Data, x)
+		prod, err := a.Mul(xm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, err := a.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < m; i++ {
+			if !almostEqual(prod.At(i, 0), vec[i], 1e-12) {
+				t.Fatalf("iter %d: Mul vs MulVec mismatch at %d: %g vs %g", iter, i, prod.At(i, 0), vec[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package metrics extracts the five inherent ConvNet metrics the paper's
+// performance model is built on — FLOPs (F), Inputs (I), Outputs (O),
+// Weights (W), and Layers (L) — by statically traversing a graph. No
+// execution is required, which is the paper's key efficiency argument.
+//
+// Following §3 of the paper, Inputs and Outputs are accumulated over the
+// *convolutional* layers only (they dominate ConvNet runtime and memory
+// traffic), FLOPs over all layers, Weights over all learnable parameters,
+// and Layers counts parameter-carrying layers (the granularity of
+// per-layer gradient synchronisation). All values are for batch size 1;
+// they scale linearly with the batch size.
+package metrics
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+// ioCarrier marks the op kinds whose input/output tensor sizes define the
+// I and O metrics: the compute-dominant layers. For ConvNets this is the
+// paper's "convolutional layers only" rule; the transformer extension
+// (future work in the paper) treats per-token linear layers and the
+// attention core the same way.
+var ioCarrier = map[string]bool{
+	"conv2d":       true,
+	"token_linear": true,
+	"attention":    true,
+}
+
+// Metrics holds the ConvMeter model features for one network at batch
+// size 1.
+type Metrics struct {
+	Model   string  // graph name
+	FLOPs   float64 // F: floating point operations over all layers
+	Inputs  float64 // I: summed input tensor elements of conv layers
+	Outputs float64 // O: summed output tensor elements of conv layers
+	Weights float64 // W: learnable parameter count
+	Layers  float64 // L: number of parameter-carrying layers
+}
+
+// FromGraph extracts the metrics from a validated graph.
+func FromGraph(g *graph.Graph) (Metrics, error) {
+	if err := g.Validate(); err != nil {
+		return Metrics{}, fmt.Errorf("metrics: %w", err)
+	}
+	m := Metrics{Model: g.Name}
+	for i, n := range g.Nodes {
+		m.FLOPs += float64(g.NodeFLOPs(i))
+		if ioCarrier[n.Op.Kind()] {
+			m.Inputs += float64(g.NodeInputElems(i))
+			m.Outputs += float64(n.Out.Elems())
+		}
+		if p := n.Op.Params(); p > 0 {
+			m.Weights += float64(p)
+			m.Layers++
+		}
+	}
+	return m, nil
+}
+
+// FromGraphRange extracts the metrics of the node range [from, to) — a
+// pipeline-parallel stage. Nodes are in topological order, so contiguous
+// ranges are valid stages; the block-wise prediction capability the paper
+// demonstrates in §4.1.2 then applies to each stage ("ConvMeter can be
+// extended to support model parallelism by leveraging its capability to
+// predict subgraphs or blocks", §3).
+func FromGraphRange(g *graph.Graph, from, to int) (Metrics, error) {
+	if from < 0 || to > len(g.Nodes) || from >= to {
+		return Metrics{}, fmt.Errorf("metrics: invalid node range [%d, %d) of %d", from, to, len(g.Nodes))
+	}
+	m := Metrics{Model: fmt.Sprintf("%s[%d:%d]", g.Name, from, to)}
+	for i := from; i < to; i++ {
+		n := g.Nodes[i]
+		m.FLOPs += float64(g.NodeFLOPs(i))
+		if ioCarrier[n.Op.Kind()] {
+			m.Inputs += float64(g.NodeInputElems(i))
+			m.Outputs += float64(n.Out.Elems())
+		}
+		if p := n.Op.Params(); p > 0 {
+			m.Weights += float64(p)
+			m.Layers++
+		}
+	}
+	return m, nil
+}
+
+// Scale returns the metrics multiplied by a per-device mini-batch size b.
+// Weights and Layers are batch-independent and stay unchanged; FLOPs,
+// Inputs and Outputs scale linearly (paper §3).
+func (m Metrics) Scale(b float64) Metrics {
+	if b <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive batch scale %g", b))
+	}
+	s := m
+	s.FLOPs *= b
+	s.Inputs *= b
+	s.Outputs *= b
+	return s
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: F=%.3g I=%.3g O=%.3g W=%.3g L=%.0f",
+		m.Model, m.FLOPs, m.Inputs, m.Outputs, m.Weights, m.Layers)
+}
+
+// Vector assembles the feature columns used by the forward/backward
+// performance model: [F, I, O] at mini-batch b plus a trailing 1 for the
+// intercept (the paper's Equation 3 layout).
+func (m Metrics) Vector(b float64) []float64 {
+	s := m.Scale(b)
+	return []float64{s.FLOPs, s.Inputs, s.Outputs, 1}
+}
+
+// GradVectorSingle is the gradient-update feature layout for a single
+// device: [L, 1] (the paper's T_grad = c1·L case, with an intercept).
+func (m Metrics) GradVectorSingle() []float64 {
+	return []float64{m.Layers, 1}
+}
+
+// GradVectorMulti is the gradient-update feature layout for N>1 devices:
+// [L, W, N, 1] (paper's T_grad = c1·L + c2·W + c3·N, with an intercept).
+func (m Metrics) GradVectorMulti(devices int) []float64 {
+	return []float64{m.Layers, m.Weights, float64(devices), 1}
+}
+
+// CombinedVector is the 7-coefficient feature layout for the overlapped
+// backward-pass-plus-gradient-update model described in §3.3 of the
+// paper: the backward features [F, I, O] at mini-batch b joined with the
+// gradient features [L, W, N] and one shared intercept.
+func (m Metrics) CombinedVector(b float64, devices int) []float64 {
+	s := m.Scale(b)
+	return []float64{s.FLOPs, s.Inputs, s.Outputs, m.Layers, m.Weights, float64(devices), 1}
+}

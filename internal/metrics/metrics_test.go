@@ -1,0 +1,184 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"convmeter/internal/graph"
+)
+
+func buildNet(t *testing.T) *graph.Graph {
+	t.Helper()
+	b, x := graph.NewBuilder("net", graph.Shape{C: 3, H: 16, W: 16})
+	x = b.Conv(x, "conv1", 8, 3, 1, 1) // in 3*16*16=768, out 8*16*16=2048
+	x = b.BatchNorm(x, "bn1")
+	x = b.ReLU(x, "relu1")
+	x = b.Conv(x, "conv2", 16, 3, 2, 1) // in 2048, out 16*8*8=1024
+	x = b.GlobalAvgPool(x, "gap")
+	x = b.Flatten(x, "flat")
+	x = b.Linear(x, "fc", 10)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFromGraphConvOnlyIO(t *testing.T) {
+	g := buildNet(t)
+	m, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Model != "net" {
+		t.Fatalf("Model = %q", m.Model)
+	}
+	// Inputs: conv1 reads 3*16*16, conv2 reads 8*16*16.
+	wantIn := float64(3*16*16 + 8*16*16)
+	if m.Inputs != wantIn {
+		t.Fatalf("Inputs = %g, want %g", m.Inputs, wantIn)
+	}
+	// Outputs: conv1 8*16*16, conv2 16*8*8. Linear layer must NOT count.
+	wantOut := float64(8*16*16 + 16*8*8)
+	if m.Outputs != wantOut {
+		t.Fatalf("Outputs = %g, want %g", m.Outputs, wantOut)
+	}
+	// Layers: conv1, bn1, conv2, fc = 4 parameterised layers.
+	if m.Layers != 4 {
+		t.Fatalf("Layers = %g, want 4", m.Layers)
+	}
+	if m.Weights != float64(g.TotalParams()) {
+		t.Fatalf("Weights = %g, want %d", m.Weights, g.TotalParams())
+	}
+	if m.FLOPs != float64(g.TotalFLOPs()) {
+		t.Fatalf("FLOPs = %g, want %d", m.FLOPs, g.TotalFLOPs())
+	}
+}
+
+func TestScaleLinearity(t *testing.T) {
+	g := buildNet(t)
+	m, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Property from the paper: F, I, O scale linearly with batch size;
+	// W and L are invariant.
+	f := func(raw uint16) bool {
+		b := float64(raw%4096) + 1
+		s := m.Scale(b)
+		return s.FLOPs == m.FLOPs*b &&
+			s.Inputs == m.Inputs*b &&
+			s.Outputs == m.Outputs*b &&
+			s.Weights == m.Weights &&
+			s.Layers == m.Layers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScalePanicsOnNonPositive(t *testing.T) {
+	m := Metrics{FLOPs: 1}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for b <= 0")
+		}
+	}()
+	m.Scale(0)
+}
+
+func TestVectors(t *testing.T) {
+	m := Metrics{FLOPs: 100, Inputs: 10, Outputs: 20, Weights: 1000, Layers: 5}
+	v := m.Vector(2)
+	want := []float64{200, 20, 40, 1}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("Vector = %v, want %v", v, want)
+		}
+	}
+	gs := m.GradVectorSingle()
+	if gs[0] != 5 || gs[1] != 1 || len(gs) != 2 {
+		t.Fatalf("GradVectorSingle = %v", gs)
+	}
+	gm := m.GradVectorMulti(8)
+	wantGM := []float64{5, 1000, 8, 1}
+	for i := range wantGM {
+		if gm[i] != wantGM[i] {
+			t.Fatalf("GradVectorMulti = %v", gm)
+		}
+	}
+	cv := m.CombinedVector(4, 16)
+	wantCV := []float64{400, 40, 80, 5, 1000, 16, 1}
+	if len(cv) != 7 {
+		t.Fatalf("CombinedVector has %d entries, want 7", len(cv))
+	}
+	for i := range wantCV {
+		if cv[i] != wantCV[i] {
+			t.Fatalf("CombinedVector = %v, want %v", cv, wantCV)
+		}
+	}
+}
+
+func TestFromGraphRejectsInvalid(t *testing.T) {
+	g := buildNet(t)
+	g.Nodes[1].Out.C++ // corrupt
+	if _, err := FromGraph(g); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	m := Metrics{Model: "x", FLOPs: 1, Layers: 1}
+	if m.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestFromGraphRangePartitionsSum(t *testing.T) {
+	// Any split point must conserve the whole-graph totals: range metrics
+	// of [0,k) plus [k,n) equal FromGraph for F, I, O, W and L.
+	g := buildNet(t)
+	whole, err := FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(g.Nodes)
+	for k := 1; k < n; k++ {
+		a, err := FromGraphRange(g, 0, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FromGraphRange(g, k, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.FLOPs+b.FLOPs != whole.FLOPs ||
+			a.Inputs+b.Inputs != whole.Inputs ||
+			a.Outputs+b.Outputs != whole.Outputs ||
+			a.Weights+b.Weights != whole.Weights ||
+			a.Layers+b.Layers != whole.Layers {
+			t.Fatalf("split at %d does not conserve totals", k)
+		}
+	}
+}
+
+func TestFromGraphRangeErrors(t *testing.T) {
+	g := buildNet(t)
+	cases := [][2]int{{-1, 2}, {2, 2}, {3, 1}, {0, len(g.Nodes) + 1}}
+	for _, c := range cases {
+		if _, err := FromGraphRange(g, c[0], c[1]); err == nil {
+			t.Errorf("range [%d,%d) should be rejected", c[0], c[1])
+		}
+	}
+}
+
+func TestFractionalMiniBatchScale(t *testing.T) {
+	// b = B/N can be fractional when the global batch does not divide the
+	// device count; the model must still scale smoothly.
+	m := Metrics{FLOPs: 100, Inputs: 10, Outputs: 20, Weights: 7, Layers: 3}
+	s := m.Scale(2.5)
+	if math.Abs(s.FLOPs-250) > 1e-12 {
+		t.Fatalf("fractional scale FLOPs = %g", s.FLOPs)
+	}
+}

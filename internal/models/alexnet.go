@@ -1,0 +1,37 @@
+package models
+
+import "convmeter/internal/graph"
+
+func init() {
+	register("alexnet", AlexNet)
+}
+
+// AlexNet builds the torchvision AlexNet: five biased convolutions with
+// interleaved max pooling, a 6×6 adaptive pool, and three fully connected
+// layers (61.1 M parameters at 1000 classes).
+func AlexNet(img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder("alexnet", inputShape(img))
+	x = b.ConvBias(x, "features.0", 64, 11, 4, 2)
+	x = b.ReLU(x, "features.1")
+	x = b.MaxPool2d(x, "features.2", 3, 2, 0)
+	x = b.ConvBias(x, "features.3", 192, 5, 1, 2)
+	x = b.ReLU(x, "features.4")
+	x = b.MaxPool2d(x, "features.5", 3, 2, 0)
+	x = b.ConvBias(x, "features.6", 384, 3, 1, 1)
+	x = b.ReLU(x, "features.7")
+	x = b.ConvBias(x, "features.8", 256, 3, 1, 1)
+	x = b.ReLU(x, "features.9")
+	x = b.ConvBias(x, "features.10", 256, 3, 1, 1)
+	x = b.ReLU(x, "features.11")
+	x = b.MaxPool2d(x, "features.12", 3, 2, 0)
+	x = b.AdaptiveAvgPool(x, "avgpool", 6)
+	x = b.Flatten(x, "flatten")
+	x = b.Dropout(x, "classifier.0", 0.5)
+	x = b.Linear(x, "classifier.1", 4096)
+	x = b.ReLU(x, "classifier.2")
+	x = b.Dropout(x, "classifier.3", 0.5)
+	x = b.Linear(x, "classifier.4", 4096)
+	x = b.ReLU(x, "classifier.5")
+	x = b.Linear(x, "classifier.6", NumClasses)
+	return b.Build()
+}

@@ -1,0 +1,121 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+
+	"convmeter/internal/graph"
+)
+
+// BlockInfo describes a named constituent block used in the paper's
+// block-wise prediction experiment (Table 2). Each block is a standalone
+// graph whose input matches the block's natural position inside its source
+// model at 224×224 input; the spatial size can be varied for sweeps.
+type BlockInfo struct {
+	Name      string // e.g. "Bottleneck4"
+	Source    string // model the block is taken from, e.g. "ResNet50"
+	InC       int    // natural input channels
+	NaturalHW int    // natural spatial size at 224×224 model input
+	build     func(b *graph.Builder, x graph.Ref) graph.Ref
+}
+
+// blockRegistry holds the Table 2 blocks keyed by name.
+var blockRegistry = map[string]BlockInfo{}
+
+func registerBlock(info BlockInfo) {
+	if _, dup := blockRegistry[info.Name]; dup {
+		panic("models: duplicate block " + info.Name)
+	}
+	blockRegistry[info.Name] = info
+}
+
+// BlockNames returns the registered block names in sorted order.
+func BlockNames() []string {
+	out := make([]string, 0, len(blockRegistry))
+	for n := range blockRegistry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Block returns the metadata for a named block.
+func Block(name string) (BlockInfo, error) {
+	info, ok := blockRegistry[name]
+	if !ok {
+		return BlockInfo{}, fmt.Errorf("models: unknown block %q", name)
+	}
+	return info, nil
+}
+
+// BuildBlock constructs the named block as a standalone graph with an
+// hw×hw spatial input (pass info.NaturalHW for the paper's placement).
+func BuildBlock(name string, hw int) (*graph.Graph, error) {
+	info, ok := blockRegistry[name]
+	if !ok {
+		return nil, fmt.Errorf("models: unknown block %q", name)
+	}
+	if hw <= 0 {
+		return nil, fmt.Errorf("models: non-positive block input size %d", hw)
+	}
+	b, x := graph.NewBuilder("block."+name, graph.Shape{C: info.InC, H: hw, W: hw})
+	info.build(b, x)
+	return b.Build()
+}
+
+func init() {
+	registerBlock(BlockInfo{
+		Name: "Bottleneck1", Source: "ResNeXt50-32x4d", InC: 256, NaturalHW: 56,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return bottleneckBlock(b, x, "block", 64, 1, 4, 32)
+		},
+	})
+	registerBlock(BlockInfo{
+		Name: "Bottleneck4", Source: "ResNet50", InC: 512, NaturalHW: 28,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return bottleneckBlock(b, x, "block", 128, 1, 64, 1)
+		},
+	})
+	registerBlock(BlockInfo{
+		Name: "Conv2d_3x3", Source: "InceptionV3", InC: 32, NaturalHW: 109,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return basicConv(b, x, "block", graph.ConvSpec{Out: 64, KH: 3, PadH: 1})
+		},
+	})
+	registerBlock(BlockInfo{
+		Name: "BasicBlock7", Source: "ResNet18", InC: 512, NaturalHW: 7,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return basicBlock(b, x, "block", 512, 1)
+		},
+	})
+	registerBlock(BlockInfo{
+		Name: "InvertedResidual2", Source: "MobileNetV3", InC: 24, NaturalHW: 56,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return invertedResidualV3(b, x, "block", v3Block{k: 3, exp: 72, out: 24, se: false, act: graph.ReLU, stride: 1})
+		},
+	})
+	registerBlock(BlockInfo{
+		Name: "ResBottleneckBlock3", Source: "RegNet-X-8gf", InC: 240, NaturalHW: 28,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return resBottleneckBlock(b, x, "block", 240, 1, 120, false)
+		},
+	})
+	registerBlock(BlockInfo{
+		Name: "Bottleneck9", Source: "Wide-ResNet50", InC: 1024, NaturalHW: 14,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return bottleneckBlock(b, x, "block", 256, 1, 128, 1)
+		},
+	})
+	registerBlock(BlockInfo{
+		Name: "MBConv", Source: "EfficientNet-B0", InC: 112, NaturalHW: 14,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return mbConv(b, x, "block", 6, 5, 1, 112)
+		},
+	})
+	registerBlock(BlockInfo{
+		Name: "InvertedResidual3", Source: "MobileNetV2", InC: 24, NaturalHW: 56,
+		build: func(b *graph.Builder, x graph.Ref) graph.Ref {
+			return invertedResidualV2(b, x, "block", 6, 32, 2)
+		},
+	})
+}

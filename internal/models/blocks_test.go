@@ -1,0 +1,104 @@
+package models
+
+import (
+	"testing"
+
+	"convmeter/internal/metrics"
+)
+
+func TestBlockRegistryMatchesTable2(t *testing.T) {
+	// The nine blocks evaluated in the paper's Table 2.
+	want := []string{
+		"BasicBlock7", "Bottleneck1", "Bottleneck4", "Bottleneck9",
+		"Conv2d_3x3", "InvertedResidual2", "InvertedResidual3",
+		"MBConv", "ResBottleneckBlock3",
+	}
+	got := BlockNames()
+	if len(got) != len(want) {
+		t.Fatalf("BlockNames = %v, want %d entries", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("BlockNames[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBlocksBuildAtNaturalSize(t *testing.T) {
+	for _, name := range BlockNames() {
+		info, err := Block(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := BuildBlock(name, info.NaturalHW)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		m, err := metrics.FromGraph(g)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if m.FLOPs <= 0 || m.Inputs <= 0 || m.Outputs <= 0 {
+			t.Errorf("%s: degenerate metrics %+v", name, m)
+		}
+	}
+}
+
+func TestBlocksScaleWithSpatialSize(t *testing.T) {
+	for _, name := range BlockNames() {
+		info, _ := Block(name)
+		small, err := BuildBlock(name, info.NaturalHW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := BuildBlock(name, info.NaturalHW*2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if large.TotalFLOPs() <= small.TotalFLOPs() {
+			t.Errorf("%s: FLOPs should grow with spatial size", name)
+		}
+		if large.TotalParams() != small.TotalParams() {
+			t.Errorf("%s: params must not depend on spatial size", name)
+		}
+	}
+}
+
+func TestBlockErrors(t *testing.T) {
+	if _, err := Block("NoSuchBlock"); err == nil {
+		t.Fatal("expected unknown-block error")
+	}
+	if _, err := BuildBlock("NoSuchBlock", 14); err == nil {
+		t.Fatal("expected unknown-block error")
+	}
+	if _, err := BuildBlock("Bottleneck4", 0); err == nil {
+		t.Fatal("expected non-positive size error")
+	}
+}
+
+func TestBlockParamsMatchParentModels(t *testing.T) {
+	// Spot checks: Bottleneck4 must have the same parameter count as an
+	// identity bottleneck in ResNet50's layer2 (planes 128):
+	// 1x1 512→128 (65536) + bn 256 + 3x3 128→128 (147456) + bn 256 +
+	// 1x1 128→512 (65536) + bn 1024 = 280064.
+	g, err := BuildBlock("Bottleneck4", 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.TotalParams(); got != 280064 {
+		t.Errorf("Bottleneck4 params = %d, want 280064", got)
+	}
+	// BasicBlock7: two 3x3 512→512 convs (2·2359296) + two bns (2·1024).
+	g, err = BuildBlock("BasicBlock7", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.TotalParams(); got != 2*2359296+2*1024 {
+		t.Errorf("BasicBlock7 params = %d", got)
+	}
+}

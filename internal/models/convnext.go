@@ -1,0 +1,52 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("convnext_tiny", func(img int) (*graph.Graph, error) {
+		return convnext("convnext_tiny", [4]int{3, 3, 9, 3}, [4]int{96, 192, 384, 768}, img)
+	})
+}
+
+// convnextBlock appends a ConvNeXt block: depthwise 7×7, channel-wise
+// layer norm, an inverted MLP (1×1 expand ×4, GELU, 1×1 project, both as
+// position-wise linears = biased 1×1 convolutions), a learnable layer
+// scale, and the residual connection.
+func convnextBlock(b *graph.Builder, x graph.Ref, name string) graph.Ref {
+	dim := b.Channels(x)
+	h := b.Conv2d(x, name+".dwconv", graph.ConvSpec{Out: dim, KH: 7, PadH: 3, Groups: dim, Bias: true})
+	h = b.LayerNorm(h, name+".norm")
+	h = b.Conv2d(h, name+".pwconv1", graph.ConvSpec{Out: 4 * dim, Bias: true})
+	h = b.Act(h, name+".act", graph.GELU)
+	h = b.Conv2d(h, name+".pwconv2", graph.ConvSpec{Out: dim, Bias: true})
+	h = b.Scale(h, name+".layer_scale")
+	return b.Add(name+".add", x, h)
+}
+
+// convnext builds a ConvNeXt variant (Tiny: 28.6 M parameters) — a
+// modernised ConvNet with transformer-style layer norms and GELU MLPs,
+// exercising the transformer ops inside a convolutional architecture.
+func convnext(name string, depths, dims [4]int, img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder(name, inputShape(img))
+	x = b.Conv2d(x, "features.0.0", graph.ConvSpec{Out: dims[0], KH: 4, StrideH: 4, Bias: true})
+	x = b.LayerNorm(x, "features.0.1")
+	for stage := 0; stage < 4; stage++ {
+		if stage > 0 {
+			x = b.LayerNorm(x, fmt.Sprintf("features.%d.norm", 2*stage))
+			x = b.Conv2d(x, fmt.Sprintf("features.%d.reduce", 2*stage),
+				graph.ConvSpec{Out: dims[stage], KH: 2, StrideH: 2, Bias: true})
+		}
+		for blk := 0; blk < depths[stage]; blk++ {
+			x = convnextBlock(b, x, fmt.Sprintf("features.%d.%d", 2*stage+1, blk))
+		}
+	}
+	x = b.GlobalAvgPool(x, "avgpool")
+	x = b.LayerNorm(x, "classifier.0")
+	x = b.Flatten(x, "classifier.1")
+	x = b.Linear(x, "classifier.2", NumClasses)
+	return b.Build()
+}

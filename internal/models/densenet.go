@@ -1,0 +1,67 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("densenet121", func(img int) (*graph.Graph, error) {
+		return densenet("densenet121", [4]int{6, 12, 24, 16}, img)
+	})
+	register("densenet169", func(img int) (*graph.Graph, error) {
+		return densenet("densenet169", [4]int{6, 12, 32, 32}, img)
+	})
+}
+
+// DenseNet hyperparameters shared by the 121/169 variants.
+const (
+	denseGrowth = 32
+	denseBNSize = 4
+)
+
+// denseLayer appends one DenseNet layer in pre-activation order
+// (BN → ReLU → 1×1 → BN → ReLU → 3×3) and concatenates the new features
+// onto the running feature map. This is the pattern the paper singles out
+// in §3.1: inside a dense block the *input* tensors grow layer by layer
+// while each layer's own output stays fixed at the growth rate, which is
+// why an outputs-only performance model misses DenseNet's cost.
+func denseLayer(b *graph.Builder, x graph.Ref, name string) graph.Ref {
+	h := b.BatchNorm(x, name+".norm1")
+	h = b.ReLU(h, name+".relu1")
+	h = b.Conv2d(h, name+".conv1", graph.ConvSpec{Out: denseBNSize * denseGrowth})
+	h = b.BatchNorm(h, name+".norm2")
+	h = b.ReLU(h, name+".relu2")
+	h = b.Conv2d(h, name+".conv2", graph.ConvSpec{Out: denseGrowth, KH: 3, PadH: 1})
+	return b.Concat(name+".cat", x, h)
+}
+
+// transition halves channels with a 1×1 convolution and downsamples 2×.
+func transition(b *graph.Builder, x graph.Ref, name string) graph.Ref {
+	h := b.BatchNorm(x, name+".norm")
+	h = b.ReLU(h, name+".relu")
+	h = b.Conv2d(h, name+".conv", graph.ConvSpec{Out: b.Channels(x) / 2})
+	return b.AvgPool2d(h, name+".pool", 2, 2, 0)
+}
+
+// densenet builds DenseNet-121 (7.98 M parameters) or -169.
+func densenet(name string, blocks [4]int, img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder(name, inputShape(img))
+	x = b.Conv(x, "features.conv0", 64, 7, 2, 3)
+	x = b.BatchNorm(x, "features.norm0")
+	x = b.ReLU(x, "features.relu0")
+	x = b.MaxPool2d(x, "features.pool0", 3, 2, 1)
+	for bi, layers := range blocks {
+		for l := 0; l < layers; l++ {
+			x = denseLayer(b, x, fmt.Sprintf("features.denseblock%d.denselayer%d", bi+1, l+1))
+		}
+		if bi < len(blocks)-1 {
+			x = transition(b, x, fmt.Sprintf("features.transition%d", bi+1))
+		}
+	}
+	x = b.BatchNorm(x, "features.norm5")
+	x = b.ReLU(x, "features.relu5")
+	x = classifierHead(b, x, "head", NumClasses)
+	return b.Build()
+}

@@ -1,0 +1,95 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("efficientnet_b0", func(img int) (*graph.Graph, error) { return efficientNet("efficientnet_b0", 1.0, 1.0, img) })
+	register("efficientnet_b1", func(img int) (*graph.Graph, error) { return efficientNet("efficientnet_b1", 1.0, 1.1, img) })
+	register("efficientnet_b2", func(img int) (*graph.Graph, error) { return efficientNet("efficientnet_b2", 1.1, 1.2, img) })
+	register("efficientnet_b3", func(img int) (*graph.Graph, error) { return efficientNet("efficientnet_b3", 1.2, 1.4, img) })
+}
+
+// mbConv appends an EfficientNet MBConv block: 1×1 expansion (skipped for
+// expand ratio 1), depthwise k×k, squeeze-and-excitation with SiLU inner
+// activation and sigmoid gate (squeeze width = block input channels / 4),
+// and a linear projection; residual when stride 1 and shape preserved.
+func mbConv(b *graph.Builder, x graph.Ref, name string, expand, k, stride, out int) graph.Ref {
+	inC := b.Channels(x)
+	hidden := inC * expand
+	identity := x
+	h := x
+	if hidden != inC {
+		h = convBNAct(b, h, name+".expand", graph.ConvSpec{Out: hidden}, graph.SiLU)
+	}
+	h = convBNAct(b, h, name+".dw", graph.ConvSpec{
+		Out: hidden, KH: k, StrideH: stride, PadH: (k - 1) / 2, Groups: hidden,
+	}, graph.SiLU)
+	squeeze := inC / 4
+	if squeeze < 1 {
+		squeeze = 1
+	}
+	h = seBlockAct(b, h, name+".se", squeeze, graph.SiLU, graph.Sigmoid)
+	h = convBN(b, h, name+".project", graph.ConvSpec{Out: out})
+	if stride == 1 && inC == out {
+		return b.Add(name+".add", h, identity)
+	}
+	return h
+}
+
+// ceilMult scales a repeat count by the compound depth multiplier,
+// rounding up (the EfficientNet depth-scaling rule).
+func ceilMult(n int, mult float64) int {
+	v := float64(n) * mult
+	c := int(v)
+	if float64(c) < v {
+		c++
+	}
+	return c
+}
+
+// efficientNet builds an EfficientNet via the compound-scaling rule:
+// channel widths scale by widthMult (rounded to multiples of 8), repeats
+// by depthMult (rounded up). B0: 5.29 M parameters; B1: depth 1.1;
+// B2: width 1.1 / depth 1.2; B3: width 1.2 / depth 1.4.
+func efficientNet(name string, widthMult, depthMult float64, img int) (*graph.Graph, error) {
+	width := func(c int) int {
+		if widthMult == 1.0 {
+			return c
+		}
+		return makeDivisible(float64(c)*widthMult, 8)
+	}
+	b, x := graph.NewBuilder(name, inputShape(img))
+	x = convBNAct(b, x, "stem", graph.ConvSpec{Out: width(32), KH: 3, StrideH: 2, PadH: 1}, graph.SiLU)
+	// (expand ratio, kernel, first stride, output channels, base repeats)
+	cfg := []struct{ t, k, s, c, n int }{
+		{1, 3, 1, 16, 1},
+		{6, 3, 2, 24, 2},
+		{6, 5, 2, 40, 2},
+		{6, 3, 2, 80, 3},
+		{6, 5, 1, 112, 3},
+		{6, 5, 2, 192, 4},
+		{6, 3, 1, 320, 1},
+	}
+	blk := 0
+	for _, c := range cfg {
+		repeats := ceilMult(c.n, depthMult)
+		for i := 0; i < repeats; i++ {
+			s := 1
+			if i == 0 {
+				s = c.s
+			}
+			x = mbConv(b, x, fmt.Sprintf("features.%d", blk+1), c.t, c.k, s, width(c.c))
+			blk++
+		}
+	}
+	x = convBNAct(b, x, "head.conv", graph.ConvSpec{Out: 4 * width(320)}, graph.SiLU)
+	x = b.GlobalAvgPool(x, "head.pool")
+	x = b.Flatten(x, "head.flatten")
+	x = b.Dropout(x, "classifier.0", 0.2)
+	x = b.Linear(x, "classifier.1", NumClasses)
+	return b.Build()
+}

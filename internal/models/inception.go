@@ -1,0 +1,110 @@
+package models
+
+import "convmeter/internal/graph"
+
+func init() {
+	register("inception_v3", InceptionV3)
+}
+
+// basicConv is Inception's BasicConv2d: unbiased conv → BN → ReLU.
+func basicConv(b *graph.Builder, x graph.Ref, name string, spec graph.ConvSpec) graph.Ref {
+	return convBNAct(b, x, name, spec, graph.ReLU)
+}
+
+// inceptionA is the 35×35 mixed block with a parameterised pooling branch.
+func inceptionA(b *graph.Builder, x graph.Ref, name string, poolFeatures int) graph.Ref {
+	b1 := basicConv(b, x, name+".branch1x1", graph.ConvSpec{Out: 64})
+	b5 := basicConv(b, x, name+".branch5x5_1", graph.ConvSpec{Out: 48})
+	b5 = basicConv(b, b5, name+".branch5x5_2", graph.ConvSpec{Out: 64, KH: 5, PadH: 2})
+	d := basicConv(b, x, name+".branch3x3dbl_1", graph.ConvSpec{Out: 64})
+	d = basicConv(b, d, name+".branch3x3dbl_2", graph.ConvSpec{Out: 96, KH: 3, PadH: 1})
+	d = basicConv(b, d, name+".branch3x3dbl_3", graph.ConvSpec{Out: 96, KH: 3, PadH: 1})
+	p := b.AvgPool2d(x, name+".branch_pool_avg", 3, 1, 1)
+	p = basicConv(b, p, name+".branch_pool", graph.ConvSpec{Out: poolFeatures})
+	return b.Concat(name+".cat", b1, b5, d, p)
+}
+
+// inceptionB is the 35→17 grid-reduction block.
+func inceptionB(b *graph.Builder, x graph.Ref, name string) graph.Ref {
+	b3 := basicConv(b, x, name+".branch3x3", graph.ConvSpec{Out: 384, KH: 3, StrideH: 2})
+	d := basicConv(b, x, name+".branch3x3dbl_1", graph.ConvSpec{Out: 64})
+	d = basicConv(b, d, name+".branch3x3dbl_2", graph.ConvSpec{Out: 96, KH: 3, PadH: 1})
+	d = basicConv(b, d, name+".branch3x3dbl_3", graph.ConvSpec{Out: 96, KH: 3, StrideH: 2})
+	p := b.MaxPool2d(x, name+".branch_pool", 3, 2, 0)
+	return b.Concat(name+".cat", b3, d, p)
+}
+
+// inceptionC is the 17×17 block with factorised 7×7 convolutions.
+func inceptionC(b *graph.Builder, x graph.Ref, name string, c7 int) graph.Ref {
+	b1 := basicConv(b, x, name+".branch1x1", graph.ConvSpec{Out: 192})
+	b7 := basicConv(b, x, name+".branch7x7_1", graph.ConvSpec{Out: c7})
+	b7 = basicConv(b, b7, name+".branch7x7_2", graph.ConvSpec{Out: c7, KH: 1, KW: 7, PadW: 3})
+	b7 = basicConv(b, b7, name+".branch7x7_3", graph.ConvSpec{Out: 192, KH: 7, KW: 1, PadH: 3})
+	d := basicConv(b, x, name+".branch7x7dbl_1", graph.ConvSpec{Out: c7})
+	d = basicConv(b, d, name+".branch7x7dbl_2", graph.ConvSpec{Out: c7, KH: 7, KW: 1, PadH: 3})
+	d = basicConv(b, d, name+".branch7x7dbl_3", graph.ConvSpec{Out: c7, KH: 1, KW: 7, PadW: 3})
+	d = basicConv(b, d, name+".branch7x7dbl_4", graph.ConvSpec{Out: c7, KH: 7, KW: 1, PadH: 3})
+	d = basicConv(b, d, name+".branch7x7dbl_5", graph.ConvSpec{Out: 192, KH: 1, KW: 7, PadW: 3})
+	p := b.AvgPool2d(x, name+".branch_pool_avg", 3, 1, 1)
+	p = basicConv(b, p, name+".branch_pool", graph.ConvSpec{Out: 192})
+	return b.Concat(name+".cat", b1, b7, d, p)
+}
+
+// inceptionD is the 17→8 grid-reduction block.
+func inceptionD(b *graph.Builder, x graph.Ref, name string) graph.Ref {
+	b3 := basicConv(b, x, name+".branch3x3_1", graph.ConvSpec{Out: 192})
+	b3 = basicConv(b, b3, name+".branch3x3_2", graph.ConvSpec{Out: 320, KH: 3, StrideH: 2})
+	b7 := basicConv(b, x, name+".branch7x7x3_1", graph.ConvSpec{Out: 192})
+	b7 = basicConv(b, b7, name+".branch7x7x3_2", graph.ConvSpec{Out: 192, KH: 1, KW: 7, PadW: 3})
+	b7 = basicConv(b, b7, name+".branch7x7x3_3", graph.ConvSpec{Out: 192, KH: 7, KW: 1, PadH: 3})
+	b7 = basicConv(b, b7, name+".branch7x7x3_4", graph.ConvSpec{Out: 192, KH: 3, StrideH: 2})
+	p := b.MaxPool2d(x, name+".branch_pool", 3, 2, 0)
+	return b.Concat(name+".cat", b3, b7, p)
+}
+
+// inceptionE is the 8×8 block with split 3×3 factorisations.
+func inceptionE(b *graph.Builder, x graph.Ref, name string) graph.Ref {
+	b1 := basicConv(b, x, name+".branch1x1", graph.ConvSpec{Out: 320})
+	b3 := basicConv(b, x, name+".branch3x3_1", graph.ConvSpec{Out: 384})
+	b3a := basicConv(b, b3, name+".branch3x3_2a", graph.ConvSpec{Out: 384, KH: 1, KW: 3, PadW: 1})
+	b3b := basicConv(b, b3, name+".branch3x3_2b", graph.ConvSpec{Out: 384, KH: 3, KW: 1, PadH: 1})
+	b3c := b.Concat(name+".branch3x3_cat", b3a, b3b)
+	d := basicConv(b, x, name+".branch3x3dbl_1", graph.ConvSpec{Out: 448})
+	d = basicConv(b, d, name+".branch3x3dbl_2", graph.ConvSpec{Out: 384, KH: 3, PadH: 1})
+	da := basicConv(b, d, name+".branch3x3dbl_3a", graph.ConvSpec{Out: 384, KH: 1, KW: 3, PadW: 1})
+	db := basicConv(b, d, name+".branch3x3dbl_3b", graph.ConvSpec{Out: 384, KH: 3, KW: 1, PadH: 1})
+	dc := b.Concat(name+".branch3x3dbl_cat", da, db)
+	p := b.AvgPool2d(x, name+".branch_pool_avg", 3, 1, 1)
+	p = basicConv(b, p, name+".branch_pool", graph.ConvSpec{Out: 192})
+	return b.Concat(name+".cat", b1, b3c, dc, p)
+}
+
+// InceptionV3 builds the torchvision Inception-V3 without the auxiliary
+// classifier (23.8 M parameters). The canonical input is 299×299; smaller
+// images are accepted down to the architecture's structural minimum.
+func InceptionV3(img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder("inception_v3", inputShape(img))
+	x = basicConv(b, x, "Conv2d_1a_3x3", graph.ConvSpec{Out: 32, KH: 3, StrideH: 2})
+	x = basicConv(b, x, "Conv2d_2a_3x3", graph.ConvSpec{Out: 32, KH: 3})
+	x = basicConv(b, x, "Conv2d_2b_3x3", graph.ConvSpec{Out: 64, KH: 3, PadH: 1})
+	x = b.MaxPool2d(x, "maxpool1", 3, 2, 0)
+	x = basicConv(b, x, "Conv2d_3b_1x1", graph.ConvSpec{Out: 80})
+	x = basicConv(b, x, "Conv2d_4a_3x3", graph.ConvSpec{Out: 192, KH: 3})
+	x = b.MaxPool2d(x, "maxpool2", 3, 2, 0)
+	x = inceptionA(b, x, "Mixed_5b", 32)
+	x = inceptionA(b, x, "Mixed_5c", 64)
+	x = inceptionA(b, x, "Mixed_5d", 64)
+	x = inceptionB(b, x, "Mixed_6a")
+	x = inceptionC(b, x, "Mixed_6b", 128)
+	x = inceptionC(b, x, "Mixed_6c", 160)
+	x = inceptionC(b, x, "Mixed_6d", 160)
+	x = inceptionC(b, x, "Mixed_6e", 192)
+	x = inceptionD(b, x, "Mixed_7a")
+	x = inceptionE(b, x, "Mixed_7b")
+	x = inceptionE(b, x, "Mixed_7c")
+	x = b.GlobalAvgPool(x, "avgpool")
+	x = b.Flatten(x, "flatten")
+	x = b.Dropout(x, "dropout", 0.5)
+	x = b.Linear(x, "fc", NumClasses)
+	return b.Build()
+}

@@ -1,0 +1,63 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("mnasnet1_0", MNASNet10)
+}
+
+// mnasBlock appends an MNASNet inverted residual: 1×1 expansion,
+// depthwise k×k, linear 1×1 projection, residual when shape-preserving.
+func mnasBlock(b *graph.Builder, x graph.Ref, name string, expand, k, stride, out int) graph.Ref {
+	inC := b.Channels(x)
+	hidden := inC * expand
+	identity := x
+	h := convBNAct(b, x, name+".expand", graph.ConvSpec{Out: hidden}, graph.ReLU)
+	h = convBNAct(b, h, name+".dw", graph.ConvSpec{
+		Out: hidden, KH: k, StrideH: stride, PadH: (k - 1) / 2, Groups: hidden,
+	}, graph.ReLU)
+	h = convBN(b, h, name+".project", graph.ConvSpec{Out: out})
+	if stride == 1 && inC == out {
+		return b.Add(name+".add", h, identity)
+	}
+	return h
+}
+
+// MNASNet10 builds the torchvision MNASNet 1.0 (4.38 M parameters): a
+// depthwise-separable stem followed by six inverted-residual stacks found
+// by platform-aware NAS — one of the architecture-search outcomes the
+// paper's NAS motivation refers to.
+func MNASNet10(img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder("mnasnet1_0", inputShape(img))
+	x = convBNAct(b, x, "layers.0", graph.ConvSpec{Out: 32, KH: 3, StrideH: 2, PadH: 1}, graph.ReLU)
+	x = convBNAct(b, x, "layers.3", graph.ConvSpec{Out: 32, KH: 3, PadH: 1, Groups: 32}, graph.ReLU)
+	x = convBN(b, x, "layers.6", graph.ConvSpec{Out: 16})
+	// (expansion, kernel, first stride, output channels, repeats)
+	cfg := []struct{ t, k, s, c, n int }{
+		{3, 3, 2, 24, 3},
+		{3, 5, 2, 40, 3},
+		{6, 5, 2, 80, 3},
+		{6, 3, 1, 96, 2},
+		{6, 5, 2, 192, 4},
+		{6, 3, 1, 320, 1},
+	}
+	for si, stack := range cfg {
+		for i := 0; i < stack.n; i++ {
+			s := 1
+			if i == 0 {
+				s = stack.s
+			}
+			x = mnasBlock(b, x, fmt.Sprintf("layers.%d.%d", 8+si, i), stack.t, stack.k, s, stack.c)
+		}
+	}
+	x = convBNAct(b, x, "layers.14", graph.ConvSpec{Out: 1280}, graph.ReLU)
+	x = b.GlobalAvgPool(x, "pool")
+	x = b.Flatten(x, "flatten")
+	x = b.Dropout(x, "classifier.0", 0.2)
+	x = b.Linear(x, "classifier.1", NumClasses)
+	return b.Build()
+}

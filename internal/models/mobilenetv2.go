@@ -1,0 +1,64 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("mobilenet_v2", MobileNetV2)
+}
+
+// invertedResidualV2 appends a MobileNet-V2 inverted residual: optional
+// 1×1 expansion, depthwise 3×3, and a linear 1×1 projection, with a
+// residual connection when the stride is 1 and channels are preserved.
+func invertedResidualV2(b *graph.Builder, x graph.Ref, name string, expand, out, stride int) graph.Ref {
+	inC := b.Channels(x)
+	hidden := inC * expand
+	identity := x
+	h := x
+	if expand != 1 {
+		h = convBNAct(b, h, name+".expand", graph.ConvSpec{Out: hidden}, graph.ReLU6)
+	}
+	h = convBNAct(b, h, name+".dw", graph.ConvSpec{Out: hidden, KH: 3, StrideH: stride, PadH: 1, Groups: hidden}, graph.ReLU6)
+	h = convBN(b, h, name+".project", graph.ConvSpec{Out: out})
+	if stride == 1 && inC == out {
+		return b.Add(name+".add", h, identity)
+	}
+	return h
+}
+
+// MobileNetV2 builds the torchvision MobileNet-V2 (3.50 M parameters):
+// a ReLU6 stem, seven inverted-residual stages, and a 1280-wide head.
+func MobileNetV2(img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder("mobilenet_v2", inputShape(img))
+	x = convBNAct(b, x, "stem", graph.ConvSpec{Out: 32, KH: 3, StrideH: 2, PadH: 1}, graph.ReLU6)
+	// (expansion t, output channels c, repeats n, first stride s)
+	cfg := []struct{ t, c, n, s int }{
+		{1, 16, 1, 1},
+		{6, 24, 2, 2},
+		{6, 32, 3, 2},
+		{6, 64, 4, 2},
+		{6, 96, 3, 1},
+		{6, 160, 3, 2},
+		{6, 320, 1, 1},
+	}
+	blk := 0
+	for _, c := range cfg {
+		for i := 0; i < c.n; i++ {
+			s := 1
+			if i == 0 {
+				s = c.s
+			}
+			x = invertedResidualV2(b, x, fmt.Sprintf("features.%d", blk+1), c.t, c.c, s)
+			blk++
+		}
+	}
+	x = convBNAct(b, x, "head.conv", graph.ConvSpec{Out: 1280}, graph.ReLU6)
+	x = b.GlobalAvgPool(x, "head.pool")
+	x = b.Flatten(x, "head.flatten")
+	x = b.Dropout(x, "classifier.0", 0.2)
+	x = b.Linear(x, "classifier.1", NumClasses)
+	return b.Build()
+}

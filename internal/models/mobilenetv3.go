@@ -1,0 +1,103 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("mobilenet_v3_large", func(img int) (*graph.Graph, error) { return mobileNetV3("mobilenet_v3_large", true, img) })
+	register("mobilenet_v3_small", func(img int) (*graph.Graph, error) { return mobileNetV3("mobilenet_v3_small", false, img) })
+}
+
+// v3Block is one MobileNet-V3 bottleneck row: kernel size, expanded width,
+// output channels, squeeze-and-excitation flag, activation, stride.
+type v3Block struct {
+	k, exp, out int
+	se          bool
+	act         graph.ActFunc
+	stride      int
+}
+
+// invertedResidualV3 appends a MobileNet-V3 bottleneck: optional 1×1
+// expansion, depthwise k×k, optional SE gate (hard-sigmoid scaling,
+// squeeze width rounded to multiples of 8), and a linear projection.
+func invertedResidualV3(b *graph.Builder, x graph.Ref, name string, cfg v3Block) graph.Ref {
+	inC := b.Channels(x)
+	identity := x
+	h := x
+	if cfg.exp != inC {
+		h = convBNAct(b, h, name+".expand", graph.ConvSpec{Out: cfg.exp}, cfg.act)
+	}
+	h = convBNAct(b, h, name+".dw", graph.ConvSpec{
+		Out: cfg.exp, KH: cfg.k, StrideH: cfg.stride, PadH: (cfg.k - 1) / 2, Groups: cfg.exp,
+	}, cfg.act)
+	if cfg.se {
+		h = seBlock(b, h, name+".se", makeDivisible(float64(cfg.exp)/4, 8), graph.HardSigmoid)
+	}
+	h = convBN(b, h, name+".project", graph.ConvSpec{Out: cfg.out})
+	if cfg.stride == 1 && inC == cfg.out {
+		return b.Add(name+".add", h, identity)
+	}
+	return h
+}
+
+// mobileNetV3 builds the torchvision MobileNet-V3 Large (5.48 M
+// parameters) or Small (2.54 M) variants with hard-swish stem and head.
+func mobileNetV3(name string, large bool, img int) (*graph.Graph, error) {
+	const (
+		re = graph.ReLU
+		hs = graph.HardSwish
+	)
+	var blocks []v3Block
+	var lastConv, hiddenFC int
+	if large {
+		blocks = []v3Block{
+			{3, 16, 16, false, re, 1},
+			{3, 64, 24, false, re, 2},
+			{3, 72, 24, false, re, 1},
+			{5, 72, 40, true, re, 2},
+			{5, 120, 40, true, re, 1},
+			{5, 120, 40, true, re, 1},
+			{3, 240, 80, false, hs, 2},
+			{3, 200, 80, false, hs, 1},
+			{3, 184, 80, false, hs, 1},
+			{3, 184, 80, false, hs, 1},
+			{3, 480, 112, true, hs, 1},
+			{3, 672, 112, true, hs, 1},
+			{5, 672, 160, true, hs, 2},
+			{5, 960, 160, true, hs, 1},
+			{5, 960, 160, true, hs, 1},
+		}
+		lastConv, hiddenFC = 960, 1280
+	} else {
+		blocks = []v3Block{
+			{3, 16, 16, true, re, 2},
+			{3, 72, 24, false, re, 2},
+			{3, 88, 24, false, re, 1},
+			{5, 96, 40, true, hs, 2},
+			{5, 240, 40, true, hs, 1},
+			{5, 240, 40, true, hs, 1},
+			{5, 120, 48, true, hs, 1},
+			{5, 144, 48, true, hs, 1},
+			{5, 288, 96, true, hs, 2},
+			{5, 576, 96, true, hs, 1},
+			{5, 576, 96, true, hs, 1},
+		}
+		lastConv, hiddenFC = 576, 1024
+	}
+	b, x := graph.NewBuilder(name, inputShape(img))
+	x = convBNAct(b, x, "stem", graph.ConvSpec{Out: 16, KH: 3, StrideH: 2, PadH: 1}, hs)
+	for i, blk := range blocks {
+		x = invertedResidualV3(b, x, fmt.Sprintf("features.%d", i+1), blk)
+	}
+	x = convBNAct(b, x, "head.conv", graph.ConvSpec{Out: lastConv}, hs)
+	x = b.GlobalAvgPool(x, "head.pool")
+	x = b.Flatten(x, "head.flatten")
+	x = b.Linear(x, "classifier.0", hiddenFC)
+	x = b.Act(x, "classifier.1", hs)
+	x = b.Dropout(x, "classifier.2", 0.2)
+	x = b.Linear(x, "classifier.3", NumClasses)
+	return b.Build()
+}

@@ -1,0 +1,89 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("regnet_x_400mf", func(img int) (*graph.Graph, error) {
+		return regnet("regnet_x_400mf", regnetCfg{
+			depths: [4]int{1, 2, 7, 12}, widths: [4]int{32, 64, 160, 400}, groupWidth: 16,
+		}, img)
+	})
+	register("regnet_x_8gf", func(img int) (*graph.Graph, error) {
+		return regnet("regnet_x_8gf", regnetCfg{
+			depths: [4]int{2, 5, 15, 1}, widths: [4]int{80, 240, 720, 1920}, groupWidth: 120,
+		}, img)
+	})
+	register("regnet_y_400mf", func(img int) (*graph.Graph, error) {
+		return regnet("regnet_y_400mf", regnetCfg{
+			depths: [4]int{1, 3, 6, 6}, widths: [4]int{48, 104, 208, 440}, groupWidth: 8, se: true,
+		}, img)
+	})
+	register("regnet_y_8gf", func(img int) (*graph.Graph, error) {
+		return regnet("regnet_y_8gf", regnetCfg{
+			depths: [4]int{2, 4, 10, 1}, widths: [4]int{224, 448, 896, 2016}, groupWidth: 56, se: true,
+		}, img)
+	})
+}
+
+// regnetCfg describes a RegNet instance: per-stage depths and widths, the
+// group width of the 3×3 convolutions, and whether squeeze-and-excitation
+// is used (the Y family).
+type regnetCfg struct {
+	depths     [4]int
+	widths     [4]int
+	groupWidth int
+	se         bool
+}
+
+// resBottleneckBlock appends a RegNet residual bottleneck (bottleneck
+// multiplier 1.0): 1×1, grouped 3×3 with stride, optional SE, linear 1×1,
+// projection shortcut on any shape change.
+func resBottleneckBlock(b *graph.Builder, x graph.Ref, name string, out, stride, groupWidth int, se bool) graph.Ref {
+	inC := b.Channels(x)
+	// torchvision compatibility rule: group width never exceeds the
+	// bottleneck width.
+	g := groupWidth
+	if g > out {
+		g = out
+	}
+	groups := out / g
+	identity := x
+	h := convBNAct(b, x, name+".a", graph.ConvSpec{Out: out}, graph.ReLU)
+	h = convBNAct(b, h, name+".b", graph.ConvSpec{Out: out, KH: 3, StrideH: stride, PadH: 1, Groups: groups}, graph.ReLU)
+	if se {
+		squeeze := inC / 4
+		if squeeze < 1 {
+			squeeze = 1
+		}
+		h = seBlock(b, h, name+".se", squeeze, graph.Sigmoid)
+	}
+	h = convBN(b, h, name+".c", graph.ConvSpec{Out: out})
+	if stride != 1 || inC != out {
+		identity = convBN(b, x, name+".proj", graph.ConvSpec{Out: out, StrideH: stride})
+	}
+	h = b.Add(name+".add", h, identity)
+	return b.ReLU(h, name+".out")
+}
+
+// regnet assembles the RegNet stem, four downsampling stages, and head
+// (X-400MF: 5.50 M parameters; Y-400MF: 4.34 M; X-8GF: 39.6 M).
+func regnet(name string, cfg regnetCfg, img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder(name, inputShape(img))
+	x = convBNAct(b, x, "stem", graph.ConvSpec{Out: 32, KH: 3, StrideH: 2, PadH: 1}, graph.ReLU)
+	for stage := 0; stage < 4; stage++ {
+		for blk := 0; blk < cfg.depths[stage]; blk++ {
+			stride := 1
+			if blk == 0 {
+				stride = 2
+			}
+			x = resBottleneckBlock(b, x, fmt.Sprintf("trunk.block%d-%d", stage+1, blk),
+				cfg.widths[stage], stride, cfg.groupWidth, cfg.se)
+		}
+	}
+	x = classifierHead(b, x, "head", NumClasses)
+	return b.Build()
+}

@@ -1,0 +1,114 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("resnet18", func(img int) (*graph.Graph, error) {
+		return resnet("resnet18", resnetCfg{layers: [4]int{2, 2, 2, 2}, basic: true}, img)
+	})
+	register("resnet34", func(img int) (*graph.Graph, error) {
+		return resnet("resnet34", resnetCfg{layers: [4]int{3, 4, 6, 3}, basic: true}, img)
+	})
+	register("resnet50", func(img int) (*graph.Graph, error) {
+		return resnet("resnet50", resnetCfg{layers: [4]int{3, 4, 6, 3}, baseWidth: 64}, img)
+	})
+	register("resnet101", func(img int) (*graph.Graph, error) {
+		return resnet("resnet101", resnetCfg{layers: [4]int{3, 4, 23, 3}, baseWidth: 64}, img)
+	})
+	register("resnet152", func(img int) (*graph.Graph, error) {
+		return resnet("resnet152", resnetCfg{layers: [4]int{3, 8, 36, 3}, baseWidth: 64}, img)
+	})
+	register("wide_resnet50_2", func(img int) (*graph.Graph, error) {
+		return resnet("wide_resnet50_2", resnetCfg{layers: [4]int{3, 4, 6, 3}, baseWidth: 128}, img)
+	})
+	register("wide_resnet101_2", func(img int) (*graph.Graph, error) {
+		return resnet("wide_resnet101_2", resnetCfg{layers: [4]int{3, 4, 23, 3}, baseWidth: 128}, img)
+	})
+	register("resnext101_64x4d", func(img int) (*graph.Graph, error) {
+		return resnet("resnext101_64x4d", resnetCfg{layers: [4]int{3, 4, 23, 3}, baseWidth: 4, groups: 64}, img)
+	})
+	register("resnext50_32x4d", func(img int) (*graph.Graph, error) {
+		return resnet("resnext50_32x4d", resnetCfg{layers: [4]int{3, 4, 6, 3}, baseWidth: 4, groups: 32}, img)
+	})
+	register("resnext101_32x8d", func(img int) (*graph.Graph, error) {
+		return resnet("resnext101_32x8d", resnetCfg{layers: [4]int{3, 4, 23, 3}, baseWidth: 8, groups: 32}, img)
+	})
+}
+
+// resnetCfg selects the residual family variant: BasicBlock vs Bottleneck,
+// the per-stage block counts, and the ResNeXt/Wide-ResNet width rules.
+type resnetCfg struct {
+	layers    [4]int
+	basic     bool // BasicBlock (ResNet-18/34) instead of Bottleneck
+	baseWidth int  // 64 plain, 128 wide, 4/8 for ResNeXt
+	groups    int  // 1 plain/wide, 32 for ResNeXt
+}
+
+const bottleneckExpansion = 4
+
+// basicBlock appends a ResNet BasicBlock (two 3×3 convolutions) with an
+// optional projection shortcut.
+func basicBlock(b *graph.Builder, x graph.Ref, name string, planes, stride int) graph.Ref {
+	identity := x
+	out := convBNAct(b, x, name+".1", graph.ConvSpec{Out: planes, KH: 3, StrideH: stride, PadH: 1}, graph.ReLU)
+	out = convBN(b, out, name+".2", graph.ConvSpec{Out: planes, KH: 3, PadH: 1})
+	if stride != 1 || b.Channels(x) != planes {
+		identity = convBN(b, x, name+".downsample", graph.ConvSpec{Out: planes, StrideH: stride})
+	}
+	out = b.Add(name+".add", out, identity)
+	return b.ReLU(out, name+".out")
+}
+
+// bottleneckBlock appends a ResNet Bottleneck (1×1 reduce, 3×3 grouped,
+// 1×1 expand ×4) with an optional projection shortcut. The width rule
+// width = planes · baseWidth/64 · groups covers plain ResNet
+// (baseWidth 64), Wide-ResNet (128) and ResNeXt (4 or 8 with 32 groups).
+func bottleneckBlock(b *graph.Builder, x graph.Ref, name string, planes, stride, baseWidth, groups int) graph.Ref {
+	width := planes * baseWidth / 64 * groups
+	outC := planes * bottleneckExpansion
+	identity := x
+	out := convBNAct(b, x, name+".1", graph.ConvSpec{Out: width}, graph.ReLU)
+	out = convBNAct(b, out, name+".2", graph.ConvSpec{Out: width, KH: 3, StrideH: stride, PadH: 1, Groups: groups}, graph.ReLU)
+	out = convBN(b, out, name+".3", graph.ConvSpec{Out: outC})
+	if stride != 1 || b.Channels(x) != outC {
+		identity = convBN(b, x, name+".downsample", graph.ConvSpec{Out: outC, StrideH: stride})
+	}
+	out = b.Add(name+".add", out, identity)
+	return b.ReLU(out, name+".out")
+}
+
+// resnet assembles the stem, four residual stages, and classifier head.
+func resnet(name string, cfg resnetCfg, img int) (*graph.Graph, error) {
+	if cfg.groups == 0 {
+		cfg.groups = 1
+	}
+	b, x := graph.NewBuilder(name, inputShape(img))
+	x = convBNAct(b, x, "stem", graph.ConvSpec{Out: 64, KH: 7, StrideH: 2, PadH: 3}, graph.ReLU)
+	x = b.MaxPool2d(x, "stem.pool", 3, 2, 1)
+	planes := 64
+	for stage := 0; stage < 4; stage++ {
+		stride := 2
+		if stage == 0 {
+			stride = 1
+		}
+		for blk := 0; blk < cfg.layers[stage]; blk++ {
+			s := 1
+			if blk == 0 {
+				s = stride
+			}
+			blockName := fmt.Sprintf("layer%d.%d", stage+1, blk)
+			if cfg.basic {
+				x = basicBlock(b, x, blockName, planes, s)
+			} else {
+				x = bottleneckBlock(b, x, blockName, planes, s, cfg.baseWidth, cfg.groups)
+			}
+		}
+		planes *= 2
+	}
+	x = classifierHead(b, x, "head", NumClasses)
+	return b.Build()
+}

@@ -1,0 +1,64 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("shufflenet_v2_x1_0", func(img int) (*graph.Graph, error) {
+		return shufflenetV2("shufflenet_v2_x1_0", [3]int{116, 232, 464}, 1024, img)
+	})
+}
+
+// shuffleBranch is the main ShuffleNet-V2 branch: 1×1 → depthwise 3×3 →
+// 1×1, batch-normalised, producing out channels.
+func shuffleBranch(b *graph.Builder, x graph.Ref, name string, out, stride int) graph.Ref {
+	h := convBNAct(b, x, name+".pw1", graph.ConvSpec{Out: out}, graph.ReLU)
+	h = convBN(b, h, name+".dw", graph.ConvSpec{Out: out, KH: 3, StrideH: stride, PadH: 1, Groups: out})
+	return convBNAct(b, h, name+".pw2", graph.ConvSpec{Out: out}, graph.ReLU)
+}
+
+// shuffleUnit appends a ShuffleNet-V2 unit. Stride 1: channel split, main
+// branch on one half, concat, channel shuffle. Stride 2: both branches
+// process the full input (the downsampling unit), doubling the width.
+func shuffleUnit(b *graph.Builder, x graph.Ref, name string, out, stride int) graph.Ref {
+	half := out / 2
+	var left, right graph.Ref
+	if stride == 1 {
+		inC := b.Channels(x)
+		left = b.SliceChannels(x, name+".split_l", 0, inC/2)
+		rightIn := b.SliceChannels(x, name+".split_r", inC/2, inC)
+		right = shuffleBranch(b, rightIn, name+".branch2", half, 1)
+	} else {
+		l := convBN(b, x, name+".branch1.dw", graph.ConvSpec{Out: b.Channels(x), KH: 3, StrideH: 2, PadH: 1, Groups: b.Channels(x)})
+		left = convBNAct(b, l, name+".branch1.pw", graph.ConvSpec{Out: half}, graph.ReLU)
+		right = shuffleBranch(b, x, name+".branch2", half, 2)
+	}
+	cat := b.Concat(name+".cat", left, right)
+	return b.ShuffleChannels(cat, name+".shuffle", 2)
+}
+
+// shufflenetV2 builds ShuffleNet-V2 (x1.0: 2.28 M parameters), the
+// memory-traffic-optimised mobile architecture whose design guidelines
+// (minimise memory access cost, not FLOPs) are exactly the phenomenon
+// that makes FLOPs-only runtime prediction fail.
+func shufflenetV2(name string, stageOut [3]int, lastConv, img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder(name, inputShape(img))
+	x = convBNAct(b, x, "conv1", graph.ConvSpec{Out: 24, KH: 3, StrideH: 2, PadH: 1}, graph.ReLU)
+	x = b.MaxPool2d(x, "maxpool", 3, 2, 1)
+	repeats := [3]int{4, 8, 4}
+	for stage := 0; stage < 3; stage++ {
+		for i := 0; i < repeats[stage]; i++ {
+			stride := 1
+			if i == 0 {
+				stride = 2
+			}
+			x = shuffleUnit(b, x, fmt.Sprintf("stage%d.%d", stage+2, i), stageOut[stage], stride)
+		}
+	}
+	x = convBNAct(b, x, "conv5", graph.ConvSpec{Out: lastConv}, graph.ReLU)
+	x = classifierHead(b, x, "head", NumClasses)
+	return b.Build()
+}

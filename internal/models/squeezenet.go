@@ -1,0 +1,69 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("squeezenet1_0", func(img int) (*graph.Graph, error) { return squeezenet("squeezenet1_0", true, img) })
+	register("squeezenet1_1", func(img int) (*graph.Graph, error) { return squeezenet("squeezenet1_1", false, img) })
+}
+
+// fire appends a SqueezeNet Fire module: a 1×1 squeeze convolution
+// followed by parallel 1×1 and 3×3 expand convolutions whose outputs are
+// concatenated. All convolutions are biased (SqueezeNet predates batch
+// norm adoption).
+func fire(b *graph.Builder, x graph.Ref, name string, squeeze, expand1, expand3 int) graph.Ref {
+	s := b.Conv2d(x, name+".squeeze", graph.ConvSpec{Out: squeeze, Bias: true})
+	s = b.ReLU(s, name+".squeeze_act")
+	e1 := b.Conv2d(s, name+".expand1x1", graph.ConvSpec{Out: expand1, Bias: true})
+	e1 = b.ReLU(e1, name+".expand1x1_act")
+	e3 := b.Conv2d(s, name+".expand3x3", graph.ConvSpec{Out: expand3, KH: 3, PadH: 1, Bias: true})
+	e3 = b.ReLU(e3, name+".expand3x3_act")
+	return b.Concat(name+".cat", e1, e3)
+}
+
+// squeezenet builds SqueezeNet 1.0 (v10=true) or 1.1. The classifier is a
+// 1×1 convolution followed by global average pooling (1.25 M parameters
+// for 1.0), torchvision layout.
+func squeezenet(name string, v10 bool, img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder(name, inputShape(img))
+	type fireCfg struct{ s, e1, e3 int }
+	var fires []fireCfg
+	var poolAfter map[int]bool // fire index after which a max pool sits
+	if v10 {
+		x = b.ConvBias(x, "features.0", 96, 7, 2, 0)
+		x = b.ReLU(x, "features.1")
+		x = b.MaxPool2d(x, "features.2", 3, 2, 0)
+		fires = []fireCfg{
+			{16, 64, 64}, {16, 64, 64}, {32, 128, 128},
+			{32, 128, 128}, {48, 192, 192}, {48, 192, 192}, {64, 256, 256},
+			{64, 256, 256},
+		}
+		poolAfter = map[int]bool{2: true, 6: true}
+	} else {
+		x = b.ConvBias(x, "features.0", 64, 3, 2, 0)
+		x = b.ReLU(x, "features.1")
+		x = b.MaxPool2d(x, "features.2", 3, 2, 0)
+		fires = []fireCfg{
+			{16, 64, 64}, {16, 64, 64},
+			{32, 128, 128}, {32, 128, 128},
+			{48, 192, 192}, {48, 192, 192}, {64, 256, 256}, {64, 256, 256},
+		}
+		poolAfter = map[int]bool{1: true, 3: true}
+	}
+	for i, f := range fires {
+		x = fire(b, x, fmt.Sprintf("features.fire%d", i+2), f.s, f.e1, f.e3)
+		if poolAfter[i] {
+			x = b.MaxPool2d(x, fmt.Sprintf("features.pool%d", i+2), 3, 2, 0)
+		}
+	}
+	x = b.Dropout(x, "classifier.0", 0.5)
+	x = b.Conv2d(x, "classifier.1", graph.ConvSpec{Out: NumClasses, Bias: true})
+	x = b.ReLU(x, "classifier.2")
+	x = b.GlobalAvgPool(x, "classifier.3")
+	x = b.Flatten(x, "flatten")
+	return b.Build()
+}

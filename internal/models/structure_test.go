@@ -1,0 +1,192 @@
+package models
+
+import (
+	"strings"
+	"testing"
+
+	"convmeter/internal/graph"
+)
+
+// shapeAfter returns the output shape of the last node whose name has the
+// given prefix.
+func shapeAfter(t *testing.T, g *graph.Graph, prefix string) graph.Shape {
+	t.Helper()
+	var out graph.Shape
+	found := false
+	for _, n := range g.Nodes {
+		if strings.HasPrefix(n.Name, prefix) {
+			out = n.Out
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no node with prefix %q", prefix)
+	}
+	return out
+}
+
+func TestResNet50StagePlan(t *testing.T) {
+	// The canonical ResNet feature-map plan at 224 px:
+	// stem 64×56×56 (after pool), layer1 256×56×56, layer2 512×28×28,
+	// layer3 1024×14×14, layer4 2048×7×7.
+	g, err := Build("resnet50", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]graph.Shape{
+		"stem.pool": {C: 64, H: 56, W: 56},
+		"layer1":    {C: 256, H: 56, W: 56},
+		"layer2":    {C: 512, H: 28, W: 28},
+		"layer3":    {C: 1024, H: 14, W: 14},
+		"layer4":    {C: 2048, H: 7, W: 7},
+	}
+	for prefix, shape := range want {
+		if got := shapeAfter(t, g, prefix); got != shape {
+			t.Errorf("%s: %v, want %v", prefix, got, shape)
+		}
+	}
+}
+
+func TestMobileNetV2StagePlan(t *testing.T) {
+	g, err := Build("mobilenet_v2", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final inverted residual emits 320×7×7; the head expands to 1280.
+	if got := shapeAfter(t, g, "features.17"); got != (graph.Shape{C: 320, H: 7, W: 7}) {
+		t.Errorf("last block: %v", got)
+	}
+	if got := shapeAfter(t, g, "head.conv"); got.C != 1280 {
+		t.Errorf("head width: %v", got)
+	}
+}
+
+func TestViTTokenPlan(t *testing.T) {
+	g, err := Build("vit_b_16", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 224/16 = 14 → 196 patches + class token.
+	if got := shapeAfter(t, g, "encoder.tokens"); got != (graph.Shape{C: 768, H: 197, W: 1}) {
+		t.Errorf("token sequence: %v", got)
+	}
+	if got := shapeAfter(t, g, "encoder.ln"); got != (graph.Shape{C: 768, H: 197, W: 1}) {
+		t.Errorf("final LN: %v", got)
+	}
+}
+
+func TestInceptionMixedWidths(t *testing.T) {
+	// The canonical Inception-V3 concat widths at 299 px input.
+	g, err := Build("inception_v3", 299)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{
+		"Mixed_5b.cat": 256,
+		"Mixed_5c.cat": 288,
+		"Mixed_6a.cat": 768,
+		"Mixed_6e.cat": 768,
+		"Mixed_7a.cat": 1280,
+		"Mixed_7c.cat": 2048,
+	}
+	for name, c := range want {
+		if got := shapeAfter(t, g, name); got.C != c {
+			t.Errorf("%s: %d channels, want %d", name, got.C, c)
+		}
+	}
+	// At the canonical 299 px the mixed blocks run at 35/17/8 px.
+	if got := shapeAfter(t, g, "Mixed_5b.cat"); got.H != 35 {
+		t.Errorf("Mixed_5b spatial %d, want 35", got.H)
+	}
+	if got := shapeAfter(t, g, "Mixed_6e.cat"); got.H != 17 {
+		t.Errorf("Mixed_6e spatial %d, want 17", got.H)
+	}
+	if got := shapeAfter(t, g, "Mixed_7c.cat"); got.H != 8 {
+		t.Errorf("Mixed_7c spatial %d, want 8", got.H)
+	}
+}
+
+func TestShuffleNetChannelPlan(t *testing.T) {
+	g, err := Build("shufflenet_v2_x1_0", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]graph.Shape{
+		"stage2": {C: 116, H: 28, W: 28},
+		"stage3": {C: 232, H: 14, W: 14},
+		"stage4": {C: 464, H: 7, W: 7},
+		"conv5":  {C: 1024, H: 7, W: 7},
+	}
+	for prefix, shape := range want {
+		if got := shapeAfter(t, g, prefix); got != shape {
+			t.Errorf("%s: %v, want %v", prefix, got, shape)
+		}
+	}
+}
+
+func TestConvNeXtStagePlan(t *testing.T) {
+	g, err := Build("convnext_tiny", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stem /4, then /2 per downsample: 56, 28, 14, 7 at widths 96..768.
+	want := map[string]graph.Shape{
+		"features.1": {C: 96, H: 56, W: 56},
+		"features.3": {C: 192, H: 28, W: 28},
+		"features.5": {C: 384, H: 14, W: 14},
+		"features.7": {C: 768, H: 7, W: 7},
+	}
+	for prefix, shape := range want {
+		if got := shapeAfter(t, g, prefix); got != shape {
+			t.Errorf("%s: %v, want %v", prefix, got, shape)
+		}
+	}
+}
+
+func TestDepthwiseConvsAreGrouped(t *testing.T) {
+	// Every mobile-family depthwise convolution must really be grouped
+	// (groups == in-channels) — the property the simulator's efficiency
+	// model keys on.
+	for _, name := range []string{"mobilenet_v2", "mobilenet_v3_large", "efficientnet_b0", "mnasnet1_0"} {
+		g, err := Build(name, 224)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw := 0
+		for _, n := range g.Nodes {
+			if conv, ok := n.Op.(*graph.Conv2dOp); ok && conv.Groups > 1 {
+				if conv.Groups != conv.InC || conv.InC != conv.OutC {
+					t.Errorf("%s %s: groups %d, in %d, out %d — not depthwise",
+						name, n.Name, conv.Groups, conv.InC, conv.OutC)
+				}
+				dw++
+			}
+		}
+		if dw < 10 {
+			t.Errorf("%s: only %d depthwise convolutions found", name, dw)
+		}
+	}
+}
+
+func TestSqueezeExcitationWiring(t *testing.T) {
+	// Every SE gate must be a C×1×1 tensor multiplied into a full map.
+	g, err := Build("efficientnet_b0", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, n := range g.Nodes {
+		if _, ok := n.Op.(*graph.MulOp); !ok {
+			continue
+		}
+		full := g.Nodes[n.Inputs[0]].Out
+		gate := g.Nodes[n.Inputs[1]].Out
+		if gate.H != 1 || gate.W != 1 || gate.C != full.C {
+			t.Errorf("%s: gate %v vs full %v", n.Name, gate, full)
+		}
+		seen++
+	}
+	if seen != 16 { // one SE per MBConv block in B0
+		t.Errorf("efficientnet_b0 has %d SE gates, want 16", seen)
+	}
+}

@@ -1,0 +1,54 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+func init() {
+	register("vgg11", func(img int) (*graph.Graph, error) { return vgg("vgg11", vggCfgA, false, img) })
+	register("vgg13", func(img int) (*graph.Graph, error) { return vgg("vgg13", vggCfgB, false, img) })
+	register("vgg16", func(img int) (*graph.Graph, error) { return vgg("vgg16", vggCfgD, false, img) })
+	register("vgg19", func(img int) (*graph.Graph, error) { return vgg("vgg19", vggCfgE, false, img) })
+	register("vgg16_bn", func(img int) (*graph.Graph, error) { return vgg("vgg16_bn", vggCfgD, true, img) })
+	register("vgg19_bn", func(img int) (*graph.Graph, error) { return vgg("vgg19_bn", vggCfgE, true, img) })
+}
+
+// VGG stage configurations (torchvision cfgs A/B/D/E); -1 marks max pooling.
+var (
+	vggCfgA = []int{64, -1, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}
+	vggCfgB = []int{64, 64, -1, 128, 128, -1, 256, 256, -1, 512, 512, -1, 512, 512, -1}
+	vggCfgD = []int{64, 64, -1, 128, 128, -1, 256, 256, 256, -1, 512, 512, 512, -1, 512, 512, 512, -1}
+	vggCfgE = []int{64, 64, -1, 128, 128, -1, 256, 256, 256, 256, -1, 512, 512, 512, 512, -1, 512, 512, 512, 512, -1}
+)
+
+// vgg builds a VGG variant: stacked biased 3×3 convolutions (with batch
+// norm for the _bn family), five max-pool stages, a 7×7 adaptive pool,
+// and a 4096-4096-1000 classifier (VGG-16: 138.4 M parameters).
+func vgg(name string, cfg []int, bn bool, img int) (*graph.Graph, error) {
+	b, x := graph.NewBuilder(name, inputShape(img))
+	layer := 0
+	for _, c := range cfg {
+		if c == -1 {
+			x = b.MaxPool2d(x, fmt.Sprintf("features.pool%d", layer), 2, 2, 0)
+		} else {
+			x = b.ConvBias(x, fmt.Sprintf("features.conv%d", layer), c, 3, 1, 1)
+			if bn {
+				x = b.BatchNorm(x, fmt.Sprintf("features.bn%d", layer))
+			}
+			x = b.ReLU(x, fmt.Sprintf("features.relu%d", layer))
+		}
+		layer++
+	}
+	x = b.AdaptiveAvgPool(x, "avgpool", 7)
+	x = b.Flatten(x, "flatten")
+	x = b.Linear(x, "classifier.0", 4096)
+	x = b.ReLU(x, "classifier.1")
+	x = b.Dropout(x, "classifier.2", 0.5)
+	x = b.Linear(x, "classifier.3", 4096)
+	x = b.ReLU(x, "classifier.4")
+	x = b.Dropout(x, "classifier.5", 0.5)
+	x = b.Linear(x, "classifier.6", NumClasses)
+	return b.Build()
+}

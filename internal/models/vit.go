@@ -1,0 +1,70 @@
+package models
+
+import (
+	"fmt"
+
+	"convmeter/internal/graph"
+)
+
+// Vision transformers — the paper's future-work extension. The graphs
+// follow torchvision's vit_* implementations (patch-embedding convolution,
+// class token + position embeddings, pre-norm encoder blocks with fused
+// QKV attention and GELU MLPs); parameter counts are verified against the
+// published values in the tests.
+
+func init() {
+	register("vit_b_16", func(img int) (*graph.Graph, error) {
+		return vit("vit_b_16", vitCfg{patch: 16, dim: 768, depth: 12, heads: 12, mlp: 3072}, img)
+	})
+	register("vit_b_32", func(img int) (*graph.Graph, error) {
+		return vit("vit_b_32", vitCfg{patch: 32, dim: 768, depth: 12, heads: 12, mlp: 3072}, img)
+	})
+	register("vit_l_16", func(img int) (*graph.Graph, error) {
+		return vit("vit_l_16", vitCfg{patch: 16, dim: 1024, depth: 24, heads: 16, mlp: 4096}, img)
+	})
+}
+
+// vitCfg is a ViT instance: patch size, embedding dim, encoder depth,
+// attention heads, and MLP hidden width.
+type vitCfg struct {
+	patch, dim, depth, heads, mlp int
+}
+
+// encoderBlock appends one pre-norm transformer encoder block:
+// LN → fused-QKV attention → projection → residual, then
+// LN → MLP (GELU) → residual.
+func encoderBlock(b *graph.Builder, x graph.Ref, name string, cfg vitCfg) graph.Ref {
+	h := b.LayerNorm(x, name+".ln_1")
+	h = b.TokenLinear(h, name+".self_attention.qkv", 3*cfg.dim, true)
+	h = b.AttentionCore(h, name+".self_attention.core", cfg.dim, cfg.heads)
+	h = b.TokenLinear(h, name+".self_attention.out_proj", cfg.dim, true)
+	x = b.Add(name+".add_1", x, h)
+	h = b.LayerNorm(x, name+".ln_2")
+	h = b.TokenLinear(h, name+".mlp.0", cfg.mlp, true)
+	h = b.Act(h, name+".mlp.gelu", graph.GELU)
+	h = b.TokenLinear(h, name+".mlp.3", cfg.dim, true)
+	return b.Add(name+".add_2", x, h)
+}
+
+// vit assembles a vision transformer (ViT-B/16: 86.6 M parameters at
+// 224 px). The input image edge must be a multiple of the patch size; the
+// position-embedding table — and hence the parameter count — grows with
+// the token count, as in flexible-resolution ViT implementations.
+func vit(name string, cfg vitCfg, img int) (*graph.Graph, error) {
+	if img%cfg.patch != 0 {
+		return nil, fmt.Errorf("models: %s needs the image size to be a multiple of %d, got %d", name, cfg.patch, img)
+	}
+	b, x := graph.NewBuilder(name, inputShape(img))
+	x = b.Conv2d(x, "conv_proj", graph.ConvSpec{
+		Out: cfg.dim, KH: cfg.patch, StrideH: cfg.patch, Bias: true,
+	})
+	x = b.ToTokens(x, "encoder.tokens")
+	for l := 0; l < cfg.depth; l++ {
+		x = encoderBlock(b, x, fmt.Sprintf("encoder.layers.%d", l), cfg)
+	}
+	x = b.LayerNorm(x, "encoder.ln")
+	x = b.TakeToken(x, "class_token")
+	x = b.Flatten(x, "flatten")
+	x = b.Linear(x, "heads.head", NumClasses)
+	return b.Build()
+}

@@ -1,0 +1,98 @@
+package models
+
+import (
+	"testing"
+
+	"convmeter/internal/metrics"
+)
+
+func TestViTRequiresPatchMultiple(t *testing.T) {
+	if _, err := Build("vit_b_16", 224); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build("vit_b_16", 100); err == nil {
+		t.Fatal("100px is not a multiple of 16, build must fail")
+	}
+	if _, err := Build("vit_b_32", 96); err != nil {
+		t.Fatalf("96px is a multiple of 32: %v", err)
+	}
+}
+
+func TestViTPosEmbedGrowsWithResolution(t *testing.T) {
+	// Flexible-resolution ViT: the position-embedding table (and hence the
+	// parameter count) grows with the token count.
+	small, err := Build("vit_b_16", 160) // 100 tokens + cls
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Build("vit_b_16", 224) // 196 tokens + cls
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := large.TotalParams() - small.TotalParams()
+	wantDiff := int64((196 - 100) * 768)
+	if diff != wantDiff {
+		t.Fatalf("param growth = %d, want %d (96 position rows)", diff, wantDiff)
+	}
+}
+
+func TestViTStructure(t *testing.T) {
+	g, err := Build("vit_b_16", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.CountKind("attention"); got != 12 {
+		t.Fatalf("attention cores = %d, want 12", got)
+	}
+	if got := g.CountKind("layernorm"); got != 25 { // 2 per block + final
+		t.Fatalf("layernorms = %d, want 25", got)
+	}
+	if got := g.CountKind("token_linear"); got != 4*12 {
+		t.Fatalf("token linears = %d, want 48", got)
+	}
+	if got := g.CountKind("conv2d"); got != 1 {
+		t.Fatalf("convs = %d, want 1 (patch embedding)", got)
+	}
+}
+
+func TestViTMetricsDominatedByTokenOps(t *testing.T) {
+	g, err := Build("vit_b_16", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := metrics.FromGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ViT-B/16 at 224px is ≈17.6 GFLOPs per image (2×8.8 GMACs +
+	// attention softmax terms); check the magnitude.
+	if m.FLOPs < 30e9 || m.FLOPs > 40e9 {
+		t.Fatalf("vit_b_16 FLOPs = %.3g, want ≈35e9 (2 FLOPs/MAC convention)", m.FLOPs)
+	}
+	// Token ops must dominate the I/O metrics over the single patch conv.
+	if m.Inputs < 10*float64(3*224*224) {
+		t.Fatalf("Inputs = %g suspiciously small — token ops not counted?", m.Inputs)
+	}
+}
+
+func TestViTBigBrotherOrdering(t *testing.T) {
+	b16, err := Build("vit_b_16", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b32, err := Build("vit_b_32", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l16, err := Build("vit_l_16", 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fewer tokens (patch 32) → far fewer FLOPs at nearly equal params.
+	if b32.TotalFLOPs() >= b16.TotalFLOPs() {
+		t.Fatal("vit_b_32 should be cheaper than vit_b_16")
+	}
+	if l16.TotalFLOPs() <= b16.TotalFLOPs() || l16.TotalParams() <= b16.TotalParams() {
+		t.Fatal("vit_l_16 should dwarf vit_b_16")
+	}
+}

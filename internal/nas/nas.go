@@ -1,0 +1,293 @@
+// Package nas is a hardware-aware neural-architecture-search harness —
+// the application the paper positions ConvMeter for ("a crucial feature
+// needed by NAS methods": cheap, per-candidate latency prediction). The
+// search space is a MobileNet-style inverted-bottleneck backbone with
+// per-block kernel size, expansion ratio and squeeze-and-excitation
+// choices (the ProxylessNAS/FBNet/MnasNet space family the paper cites).
+//
+// A candidate's latency is *predicted* from its static metrics via a
+// fitted ConvMeter model — evaluating one candidate costs microseconds of
+// arithmetic instead of a device benchmark, which is exactly what makes
+// thousands-of-candidates searches tractable. The accuracy side of NAS is
+// outside this repository's scope (no candidate is trained); following
+// standard practice for search-harness evaluation, a monotone capacity
+// proxy stands in for trained accuracy, and the tests verify the
+// *latency* machinery: feasibility of selected candidates against the
+// ground-truth simulator, budget monotonicity, and prediction-guided
+// search matching measurement-guided search.
+package nas
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"convmeter/internal/core"
+	"convmeter/internal/graph"
+	"convmeter/internal/metrics"
+)
+
+// BlockChoice configures one searchable inverted-bottleneck block.
+type BlockChoice struct {
+	Kernel int  // 3, 5 or 7
+	Expand int  // 1, 3 or 6
+	SE     bool // squeeze-and-excitation gate
+}
+
+// kernels and expands enumerate the per-block choice axes.
+var (
+	kernels = []int{3, 5, 7}
+	expands = []int{1, 3, 6}
+)
+
+// stageCfg fixes the backbone skeleton (widths, strides, block counts);
+// the search varies what happens inside each block.
+type stageCfg struct {
+	out, blocks, stride int
+}
+
+var backbone = []stageCfg{
+	{24, 2, 2},
+	{40, 2, 2},
+	{80, 3, 2},
+	{112, 3, 1},
+	{160, 2, 2},
+}
+
+// NumBlocks is the number of searchable block positions.
+func NumBlocks() int {
+	n := 0
+	for _, s := range backbone {
+		n += s.blocks
+	}
+	return n
+}
+
+// Candidate is one point of the search space.
+type Candidate struct {
+	Choices []BlockChoice
+}
+
+// validate checks the candidate against the space.
+func (c Candidate) validate() error {
+	if len(c.Choices) != NumBlocks() {
+		return fmt.Errorf("nas: candidate has %d choices, space has %d blocks", len(c.Choices), NumBlocks())
+	}
+	for i, ch := range c.Choices {
+		okK := ch.Kernel == 3 || ch.Kernel == 5 || ch.Kernel == 7
+		okE := ch.Expand == 1 || ch.Expand == 3 || ch.Expand == 6
+		if !okK || !okE {
+			return fmt.Errorf("nas: block %d has invalid choice %+v", i, ch)
+		}
+	}
+	return nil
+}
+
+// Build constructs the candidate's graph for a square img input.
+func (c Candidate) Build(img int) (*graph.Graph, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	b, x := graph.NewBuilder("nas-candidate", graph.Shape{C: 3, H: img, W: img})
+	x = b.Conv(x, "stem.conv", 16, 3, 2, 1)
+	x = b.BatchNorm(x, "stem.bn")
+	x = b.Act(x, "stem.act", graph.HardSwish)
+	idx := 0
+	for si, stage := range backbone {
+		for blk := 0; blk < stage.blocks; blk++ {
+			stride := 1
+			if blk == 0 {
+				stride = stage.stride
+			}
+			x = invertedBlock(b, x, fmt.Sprintf("stage%d.%d", si, blk), c.Choices[idx], stage.out, stride)
+			idx++
+		}
+	}
+	x = b.Conv(x, "head.conv", 640, 1, 1, 0)
+	x = b.BatchNorm(x, "head.bn")
+	x = b.Act(x, "head.act", graph.HardSwish)
+	x = b.GlobalAvgPool(x, "head.pool")
+	x = b.Flatten(x, "head.flatten")
+	x = b.Linear(x, "head.fc", 1000)
+	return b.Build()
+}
+
+// invertedBlock appends one searchable inverted-bottleneck block.
+func invertedBlock(b *graph.Builder, x graph.Ref, name string, ch BlockChoice, out, stride int) graph.Ref {
+	inC := b.Channels(x)
+	hidden := inC * ch.Expand
+	identity := x
+	h := x
+	if ch.Expand != 1 {
+		h = b.Conv(h, name+".expand", hidden, 1, 1, 0)
+		h = b.BatchNorm(h, name+".expand_bn")
+		h = b.Act(h, name+".expand_act", graph.HardSwish)
+	}
+	h = b.Conv2d(h, name+".dw", graph.ConvSpec{
+		Out: hidden, KH: ch.Kernel, StrideH: stride, PadH: (ch.Kernel - 1) / 2, Groups: hidden,
+	})
+	h = b.BatchNorm(h, name+".dw_bn")
+	h = b.Act(h, name+".dw_act", graph.HardSwish)
+	if ch.SE {
+		squeeze := hidden / 4
+		if squeeze < 1 {
+			squeeze = 1
+		}
+		gate := b.GlobalAvgPool(h, name+".se_squeeze")
+		gate = b.Conv2d(gate, name+".se_fc1", graph.ConvSpec{Out: squeeze, Bias: true})
+		gate = b.ReLU(gate, name+".se_act")
+		gate = b.Conv2d(gate, name+".se_fc2", graph.ConvSpec{Out: hidden, Bias: true})
+		gate = b.Act(gate, name+".se_gate", graph.HardSigmoid)
+		h = b.Mul(name+".se_scale", h, gate)
+	}
+	h = b.Conv(h, name+".project", out, 1, 1, 0)
+	h = b.BatchNorm(h, name+".project_bn")
+	if stride == 1 && inC == out {
+		return b.Add(name+".add", h, identity)
+	}
+	return h
+}
+
+// RandomCandidate samples a uniform point of the space.
+func RandomCandidate(rng *rand.Rand) Candidate {
+	choices := make([]BlockChoice, NumBlocks())
+	for i := range choices {
+		choices[i] = BlockChoice{
+			Kernel: kernels[rng.Intn(len(kernels))],
+			Expand: expands[rng.Intn(len(expands))],
+			SE:     rng.Intn(2) == 1,
+		}
+	}
+	return Candidate{Choices: choices}
+}
+
+// mutate flips a few block choices.
+func mutate(rng *rand.Rand, c Candidate, flips int) Candidate {
+	out := Candidate{Choices: append([]BlockChoice(nil), c.Choices...)}
+	for f := 0; f < flips; f++ {
+		i := rng.Intn(len(out.Choices))
+		switch rng.Intn(3) {
+		case 0:
+			out.Choices[i].Kernel = kernels[rng.Intn(len(kernels))]
+		case 1:
+			out.Choices[i].Expand = expands[rng.Intn(len(expands))]
+		default:
+			out.Choices[i].SE = !out.Choices[i].SE
+		}
+	}
+	return out
+}
+
+// AccuracyProxy is the monotone capacity score standing in for trained
+// accuracy: bigger kernels, expansions and SE gates raise it, with
+// diminishing returns (log scale) — mirroring the accuracy/latency
+// trade-off curves real NAS navigates.
+func AccuracyProxy(met metrics.Metrics) float64 {
+	return math.Log(met.FLOPs) + 0.3*math.Log(met.Weights)
+}
+
+// Evaluator scores candidates with a latency oracle.
+type Evaluator struct {
+	// Latency returns the (predicted or measured) forward time in seconds
+	// for a candidate graph at the evaluation batch size.
+	Latency func(g *graph.Graph, met metrics.Metrics) (float64, error)
+}
+
+// PredictedEvaluator wraps a fitted ConvMeter model — the NAS fast path.
+func PredictedEvaluator(m *core.InferenceModel, batch float64) Evaluator {
+	return Evaluator{Latency: func(g *graph.Graph, met metrics.Metrics) (float64, error) {
+		return m.Predict(met, batch), nil
+	}}
+}
+
+// Result is the outcome of a search.
+type Result struct {
+	Best        Candidate
+	BestGraph   *graph.Graph
+	BestMetrics metrics.Metrics
+	BestScore   float64
+	BestLatency float64
+	Evaluated   int
+	Feasible    int
+}
+
+// Search runs latency-constrained evolutionary search: maximise the
+// accuracy proxy subject to Latency ≤ budget. It starts from random
+// candidates and evolves the feasible elite by mutation.
+func Search(eval Evaluator, img int, budget float64, population, generations int, seed int64) (*Result, error) {
+	if budget <= 0 || population < 2 || generations < 1 {
+		return nil, fmt.Errorf("nas: invalid search configuration (budget %g, pop %d, gen %d)", budget, population, generations)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	res := &Result{BestScore: math.Inf(-1)}
+	consider := func(c Candidate) (float64, error) {
+		g, err := c.Build(img)
+		if err != nil {
+			return math.Inf(-1), err
+		}
+		met, err := metrics.FromGraph(g)
+		if err != nil {
+			return math.Inf(-1), err
+		}
+		lat, err := eval.Latency(g, met)
+		if err != nil {
+			return math.Inf(-1), err
+		}
+		res.Evaluated++
+		if lat > budget {
+			return math.Inf(-1), nil // infeasible
+		}
+		res.Feasible++
+		score := AccuracyProxy(met)
+		if score > res.BestScore {
+			res.Best, res.BestGraph, res.BestMetrics = c, g, met
+			res.BestScore, res.BestLatency = score, lat
+		}
+		return score, nil
+	}
+	// Generation 0: random population.
+	type scored struct {
+		c Candidate
+		s float64
+	}
+	pop := make([]scored, 0, population)
+	for i := 0; i < population; i++ {
+		c := RandomCandidate(rng)
+		s, err := consider(c)
+		if err != nil {
+			return nil, err
+		}
+		pop = append(pop, scored{c, s})
+	}
+	for gen := 1; gen < generations; gen++ {
+		// Elite selection: keep the top half by score.
+		for i := 0; i < len(pop); i++ {
+			for j := i + 1; j < len(pop); j++ {
+				if pop[j].s > pop[i].s {
+					pop[i], pop[j] = pop[j], pop[i]
+				}
+			}
+		}
+		elite := pop[:population/2]
+		next := make([]scored, 0, population)
+		next = append(next, elite...)
+		for len(next) < population {
+			parent := elite[rng.Intn(len(elite))].c
+			if math.IsInf(elite[0].s, -1) {
+				// No feasible candidate yet: keep exploring randomly.
+				parent = RandomCandidate(rng)
+			}
+			child := mutate(rng, parent, 1+rng.Intn(3))
+			s, err := consider(child)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, scored{child, s})
+		}
+		pop = next
+	}
+	if math.IsInf(res.BestScore, -1) {
+		return nil, fmt.Errorf("nas: no feasible candidate within %.4g s after %d evaluations", budget, res.Evaluated)
+	}
+	return res, nil
+}

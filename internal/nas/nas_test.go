@@ -1,0 +1,178 @@
+package nas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"convmeter/internal/bench"
+	"convmeter/internal/core"
+	"convmeter/internal/graph"
+	"convmeter/internal/hwsim"
+	"convmeter/internal/metrics"
+)
+
+// fitModel fits the block-capable inference model used by the searches.
+func fitModel(t *testing.T) *core.InferenceModel {
+	t.Helper()
+	sc := bench.DefaultInferenceScenario(hwsim.A100(), 5)
+	sc.Models = []string{"mobilenet_v2", "mobilenet_v3_large", "efficientnet_b0", "mnasnet1_0", "resnet18", "regnet_x_400mf"}
+	sc.Images = []int{64, 128, 224}
+	sc.Batches = []int{1, 8, 64}
+	samples, err := bench.CollectInference(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.FitInference(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCandidateBuildsAndValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		c := RandomCandidate(rng)
+		g, err := c.Build(128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		out, err := g.OutputShape()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != (graph.Shape{C: 1000, H: 1, W: 1}) {
+			t.Fatalf("candidate output %v", out)
+		}
+	}
+}
+
+func TestCandidateValidation(t *testing.T) {
+	if _, err := (Candidate{}).Build(128); err == nil {
+		t.Fatal("expected choice-count error")
+	}
+	rng := rand.New(rand.NewSource(2))
+	c := RandomCandidate(rng)
+	c.Choices[0].Kernel = 4
+	if _, err := c.Build(128); err == nil {
+		t.Fatal("expected invalid-kernel error")
+	}
+}
+
+func TestChoiceAxesChangeCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := RandomCandidate(rng)
+	for i := range base.Choices {
+		base.Choices[i] = BlockChoice{Kernel: 3, Expand: 3, SE: false}
+	}
+	big := Candidate{Choices: append([]BlockChoice(nil), base.Choices...)}
+	for i := range big.Choices {
+		big.Choices[i] = BlockChoice{Kernel: 7, Expand: 6, SE: true}
+	}
+	gSmall, err := base.Build(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBig, err := big.Build(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gBig.TotalFLOPs() <= gSmall.TotalFLOPs() || gBig.TotalParams() <= gSmall.TotalParams() {
+		t.Fatal("maximal choices must cost more than minimal choices")
+	}
+	mSmall, _ := metrics.FromGraph(gSmall)
+	mBig, _ := metrics.FromGraph(gBig)
+	if AccuracyProxy(mBig) <= AccuracyProxy(mSmall) {
+		t.Fatal("accuracy proxy must be monotone in capacity")
+	}
+}
+
+func TestSearchRespectsBudgetAgainstGroundTruth(t *testing.T) {
+	model := fitModel(t)
+	sim := hwsim.NewSimulator(hwsim.A100(), 0, 9)
+	const (
+		img    = 128
+		batch  = 64
+		budget = 0.0025 // 2.5 ms at batch 64 — binding for large candidates
+	)
+	res, err := Search(PredictedEvaluator(model, batch), img, budget, 12, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible == 0 || res.Evaluated < 12 {
+		t.Fatalf("search bookkeeping off: %+v", res)
+	}
+	if res.BestLatency > budget {
+		t.Fatalf("selected candidate predicted at %.4g s over budget %.4g", res.BestLatency, budget)
+	}
+	// Ground truth: the simulator must agree the winner is (near) budget.
+	actual := sim.ForwardExact(res.BestGraph, batch)
+	if actual > budget*1.4 {
+		t.Fatalf("selected candidate actually takes %.4g s, budget %.4g — prediction misled the search", actual, budget)
+	}
+}
+
+func TestTighterBudgetSelectsSmallerNetworks(t *testing.T) {
+	model := fitModel(t)
+	loose, err := Search(PredictedEvaluator(model, 64), 128, 0.0030, 12, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Search(PredictedEvaluator(model, 64), 128, 0.0012, 12, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.BestMetrics.FLOPs >= loose.BestMetrics.FLOPs {
+		t.Fatalf("tight budget picked %.3g FLOPs, loose %.3g — constraint not binding",
+			tight.BestMetrics.FLOPs, loose.BestMetrics.FLOPs)
+	}
+	if tight.BestScore >= loose.BestScore {
+		t.Fatalf("tighter budget cannot reach a higher proxy score")
+	}
+}
+
+func TestPredictionGuidedMatchesMeasurementGuided(t *testing.T) {
+	// The paper's pitch: searching with predictions finds (nearly) the
+	// same architecture quality as searching with measurements. Run both
+	// searches with identical seeds and compare the winners' scores.
+	model := fitModel(t)
+	sim := hwsim.NewSimulator(hwsim.A100(), 0, 9)
+	measured := Evaluator{Latency: func(g *graph.Graph, met metrics.Metrics) (float64, error) {
+		return sim.ForwardExact(g, 64), nil
+	}}
+	const budget = 0.0015
+	predRes, err := Search(PredictedEvaluator(model, 64), 128, budget, 12, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measRes, err := Search(measured, 128, budget, 12, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(predRes.BestScore - measRes.BestScore); diff > 0.35 {
+		t.Fatalf("prediction-guided score %.3f vs measurement-guided %.3f (diff %.3f)",
+			predRes.BestScore, measRes.BestScore, diff)
+	}
+}
+
+func TestSearchConfigValidation(t *testing.T) {
+	model := fitModel(t)
+	ev := PredictedEvaluator(model, 64)
+	if _, err := Search(ev, 128, 0, 12, 5, 1); err == nil {
+		t.Fatal("expected budget error")
+	}
+	if _, err := Search(ev, 128, 0.01, 1, 5, 1); err == nil {
+		t.Fatal("expected population error")
+	}
+	if _, err := Search(ev, 128, 0.01, 12, 0, 1); err == nil {
+		t.Fatal("expected generation error")
+	}
+	// An impossible budget must report infeasibility, not hang.
+	if _, err := Search(ev, 128, 1e-9, 8, 2, 1); err == nil {
+		t.Fatal("expected no-feasible-candidate error")
+	}
+}

@@ -1,0 +1,172 @@
+// Package netsim models the communication substrate of distributed data-
+// parallel training: hierarchical ring all-reduce over NVLink within a
+// node and InfiniBand between nodes, Horovod-style per-layer gradient
+// buckets with tensor fusion, and the overlap of communication with the
+// backward pass.
+//
+// It substitutes for the paper's NCCL + Horovod + 4×HDR-200 InfiniBand
+// cluster fabric, reproducing its phenomenology: synchronisation cost
+// grows with the number of layers (per-layer sync), with the model size,
+// and with the node count; inter-node links are the bottleneck; and
+// communication jitter makes multi-node measurements noisier than
+// single-node ones (paper §4.2.1).
+package netsim
+
+import "fmt"
+
+// Fabric describes the interconnect of a GPU cluster.
+type Fabric struct {
+	// GPUsPerNode is the number of devices that share NVLink (4 in the
+	// paper's nodes).
+	GPUsPerNode int
+	// IntraBW is the per-GPU NVLink ring bandwidth in bytes/s.
+	IntraBW float64
+	// IntraLatency is the per-hop NVLink latency in seconds.
+	IntraLatency float64
+	// InterBW is the per-GPU share of inter-node bandwidth in bytes/s
+	// (the paper's nodes have one HDR-200 NIC per GPU).
+	InterBW float64
+	// InterLatency is the per-hop network latency in seconds.
+	InterLatency float64
+	// PerTensorOverhead is the fixed cost of launching one fused
+	// all-reduce operation (NCCL kernel launch + Horovod coordination).
+	PerTensorOverhead float64
+}
+
+// Cluster returns the fabric of the paper's HPC cluster: four A100s per
+// node on NVLink (≈200 GB/s effective per-GPU ring bandwidth) and four
+// HDR-200 InfiniBand cards per node (≈25 GB/s per GPU).
+func Cluster() Fabric {
+	return Fabric{
+		GPUsPerNode:       4,
+		IntraBW:           2.0e11,
+		IntraLatency:      3e-6,
+		InterBW:           2.2e10,
+		InterLatency:      8e-6,
+		PerTensorOverhead: 2.5e-5,
+	}
+}
+
+// Validate checks the fabric for usable values.
+func (f Fabric) Validate() error {
+	if f.GPUsPerNode <= 0 {
+		return fmt.Errorf("netsim: GPUsPerNode = %d", f.GPUsPerNode)
+	}
+	if f.IntraBW <= 0 || f.InterBW <= 0 {
+		return fmt.Errorf("netsim: non-positive bandwidth (intra %g, inter %g)", f.IntraBW, f.InterBW)
+	}
+	if f.IntraLatency < 0 || f.InterLatency < 0 || f.PerTensorOverhead < 0 {
+		return fmt.Errorf("netsim: negative latency")
+	}
+	return nil
+}
+
+// AllReduce returns the time in seconds for a ring all-reduce of the
+// given payload (bytes) across devices spread over nodes.
+//
+// Single node: one ring over g GPUs costs 2(g−1)/g · S/bw plus 2(g−1)
+// latency hops. Multi node: hierarchical reduce-scatter within the node,
+// ring all-reduce of the per-GPU shard across nodes on the per-GPU NIC
+// share, then intra-node all-gather.
+func (f Fabric) AllReduce(bytes float64, devices, nodes int) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if bytes < 0 {
+		return 0, fmt.Errorf("netsim: negative payload %g", bytes)
+	}
+	if nodes <= 0 || devices <= 0 {
+		return 0, fmt.Errorf("netsim: devices=%d nodes=%d", devices, nodes)
+	}
+	if devices < nodes {
+		return 0, fmt.Errorf("netsim: %d devices cannot span %d nodes", devices, nodes)
+	}
+	perNode := devices / nodes
+	if perNode > f.GPUsPerNode {
+		return 0, fmt.Errorf("netsim: %d GPUs per node exceeds fabric capacity %d", perNode, f.GPUsPerNode)
+	}
+	if devices == 1 {
+		// Nothing to synchronise with; Horovod still touches the tensor
+		// once (identity all-reduce), charge only the fixed overhead.
+		return f.PerTensorOverhead, nil
+	}
+	t := f.PerTensorOverhead
+	if nodes == 1 {
+		g := float64(perNode)
+		t += 2 * (g - 1) / g * bytes / f.IntraBW
+		t += 2 * (g - 1) * f.IntraLatency
+		return t, nil
+	}
+	n := float64(nodes)
+	if perNode > 1 {
+		g := float64(perNode)
+		// Intra-node reduce-scatter then (after the inter phase) all-gather:
+		// each costs (g−1)/g · S/bw, summing to the full ring term.
+		t += 2 * (g - 1) / g * bytes / f.IntraBW
+		t += 2 * (g - 1) * f.IntraLatency
+		// The inter-node ring operates on the per-GPU shard.
+		bytes /= g
+	}
+	t += 2 * (n - 1) / n * bytes / f.InterBW
+	t += 2 * (n - 1) * f.InterLatency
+	return t, nil
+}
+
+// Bucket is a fused group of per-layer gradient tensors (Horovod tensor
+// fusion): Bytes of payload that become ready for synchronisation at
+// ReadyAt seconds into the backward pass.
+type Bucket struct {
+	Bytes   float64
+	ReadyAt float64
+}
+
+// CommEvent is one scheduled bucket all-reduce on the link timeline.
+type CommEvent struct {
+	Bucket     int
+	Bytes      float64
+	Start, End float64 // seconds from the start of the backward pass
+}
+
+// Schedule plays fused gradient buckets against a network that processes
+// them in order: each all-reduce starts when its bucket is ready and the
+// link is free. It returns the per-bucket spans.
+func (f Fabric) Schedule(buckets []Bucket, devices, nodes int) ([]CommEvent, error) {
+	events := make([]CommEvent, 0, len(buckets))
+	linkFree := 0.0
+	for i, b := range buckets {
+		if b.Bytes < 0 || b.ReadyAt < 0 {
+			return nil, fmt.Errorf("netsim: bucket %d malformed (%g bytes at %g)", i, b.Bytes, b.ReadyAt)
+		}
+		start := b.ReadyAt
+		if linkFree > start {
+			start = linkFree
+		}
+		dur, err := f.AllReduce(b.Bytes, devices, nodes)
+		if err != nil {
+			return nil, err
+		}
+		linkFree = start + dur
+		events = append(events, CommEvent{Bucket: i, Bytes: b.Bytes, Start: start, End: linkFree})
+	}
+	return events, nil
+}
+
+// OverlapTimeline returns the time at which the last all-reduce completes
+// (measured from the start of the backward pass) and the exposed
+// communication time beyond backwardEnd.
+func (f Fabric) OverlapTimeline(buckets []Bucket, devices, nodes int, backwardEnd float64) (commEnd, exposed float64, err error) {
+	events, err := f.Schedule(buckets, devices, nodes)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, e := range events {
+		if e.End > commEnd {
+			commEnd = e.End
+		}
+	}
+	exposed = commEnd - backwardEnd
+	if exposed < 0 {
+		exposed = 0
+	}
+	return commEnd, exposed, nil
+}

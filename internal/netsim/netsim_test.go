@@ -1,0 +1,175 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllReduceSingleDevice(t *testing.T) {
+	f := Cluster()
+	got, err := f.AllReduce(1e8, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f.PerTensorOverhead {
+		t.Fatalf("single-device all-reduce = %g, want bare overhead %g", got, f.PerTensorOverhead)
+	}
+}
+
+func TestAllReduceMonotonicInPayload(t *testing.T) {
+	f := Cluster()
+	prev := -1.0
+	for _, s := range []float64{0, 1e6, 1e7, 1e8, 1e9} {
+		cur, err := f.AllReduce(s, 4, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur <= prev {
+			t.Fatalf("all-reduce not increasing at payload %g", s)
+		}
+		prev = cur
+	}
+}
+
+func TestAllReduceInterNodeSlower(t *testing.T) {
+	f := Cluster()
+	intra, err := f.AllReduce(1e8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := f.AllReduce(1e8, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter <= intra {
+		t.Fatalf("inter-node (%g) should exceed intra-node (%g)", inter, intra)
+	}
+}
+
+func TestAllReduceGrowsWithNodes(t *testing.T) {
+	f := Cluster()
+	prev := 0.0
+	for _, nodes := range []int{2, 4, 8, 16} {
+		cur, err := f.AllReduce(2.5e8, nodes*4, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur <= prev {
+			t.Fatalf("all-reduce should grow with node count at %d nodes: %g <= %g", nodes, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestAllReduceBandwidthTermSaturates(t *testing.T) {
+	// The ring bandwidth factor 2(n−1)/n approaches 2, so doubling nodes
+	// far out must barely change the bandwidth cost of a big payload.
+	f := Cluster()
+	t8, _ := f.AllReduce(1e9, 32, 8)
+	t16, _ := f.AllReduce(1e9, 64, 16)
+	if ratio := t16 / t8; ratio > 1.25 {
+		t.Fatalf("large-scale all-reduce ratio = %g, want near saturation", ratio)
+	}
+}
+
+func TestAllReduceErrors(t *testing.T) {
+	f := Cluster()
+	cases := []struct {
+		name           string
+		bytes          float64
+		devices, nodes int
+	}{
+		{"negative payload", -1, 4, 1},
+		{"zero devices", 1e6, 0, 1},
+		{"zero nodes", 1e6, 4, 0},
+		{"devices < nodes", 1e6, 2, 4},
+		{"too many gpus per node", 1e6, 16, 2},
+	}
+	for _, c := range cases {
+		if _, err := f.AllReduce(c.bytes, c.devices, c.nodes); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+	bad := Fabric{}
+	if _, err := bad.AllReduce(1, 1, 1); err == nil {
+		t.Error("invalid fabric must be rejected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	f := Cluster()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f.IntraLatency = -1
+	if err := f.Validate(); err == nil {
+		t.Fatal("expected negative-latency error")
+	}
+}
+
+func TestOverlapFullyHidden(t *testing.T) {
+	f := Cluster()
+	// One tiny bucket ready early against a long backward pass: fully
+	// hidden communication.
+	buckets := []Bucket{{Bytes: 1e6, ReadyAt: 0.001}}
+	commEnd, exposed, err := f.OverlapTimeline(buckets, 4, 1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exposed != 0 {
+		t.Fatalf("tiny early bucket should be hidden, exposed = %g", exposed)
+	}
+	if commEnd <= buckets[0].ReadyAt {
+		t.Fatal("commEnd must be after bucket ready time")
+	}
+}
+
+func TestOverlapExposedTail(t *testing.T) {
+	f := Cluster()
+	// A huge bucket ready at the very end of the backward pass: exposed.
+	buckets := []Bucket{{Bytes: 5e9, ReadyAt: 0.010}}
+	_, exposed, err := f.OverlapTimeline(buckets, 8, 2, 0.010)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exposed <= 0 {
+		t.Fatal("late large bucket must expose communication")
+	}
+}
+
+func TestOverlapSerialisesLink(t *testing.T) {
+	f := Cluster()
+	// Two buckets ready simultaneously: the second must wait for the link.
+	dur, _ := f.AllReduce(1e8, 4, 1)
+	buckets := []Bucket{
+		{Bytes: 1e8, ReadyAt: 0},
+		{Bytes: 1e8, ReadyAt: 0},
+	}
+	commEnd, _, err := f.OverlapTimeline(buckets, 4, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if commEnd < 2*dur*0.999 {
+		t.Fatalf("link must serialise buckets: end %g < 2×%g", commEnd, dur)
+	}
+}
+
+func TestOverlapMalformedBucket(t *testing.T) {
+	f := Cluster()
+	if _, _, err := f.OverlapTimeline([]Bucket{{Bytes: -1}}, 4, 1, 0); err == nil {
+		t.Fatal("expected malformed-bucket error")
+	}
+}
+
+func TestAllReduceNonNegativeProperty(t *testing.T) {
+	f := Cluster()
+	check := func(rawBytes uint32, rawNodes uint8) bool {
+		nodes := int(rawNodes%16) + 1
+		devices := nodes * 4
+		tm, err := f.AllReduce(float64(rawBytes), devices, nodes)
+		return err == nil && tm >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package pipesim extends ConvMeter to pipeline model parallelism — the
+// extension the paper sketches in §3: "ConvMeter can be extended to
+// support other parallelization strategies, such as model parallelism, by
+// leveraging ConvMeter's capability to predict subgraphs or blocks".
+//
+// A network's topologically ordered node list is partitioned into K
+// contiguous stages, each placed on its own device. Inference flows
+// through the pipeline in micro-batches (GPipe-style): after a fill phase
+// the pipeline's steady-state rate is set by the slowest stage plus the
+// activation transfer between stages. pipesim provides both a *simulator*
+// of that execution (the measurement source) and a *predictor* that
+// composes ConvMeter's fitted block-wise model over the stage subgraphs —
+// no pipeline ever has to run to be planned.
+package pipesim
+
+import (
+	"fmt"
+
+	"convmeter/internal/core"
+	"convmeter/internal/graph"
+	"convmeter/internal/hwsim"
+	"convmeter/internal/metrics"
+)
+
+// Stage is one contiguous pipeline stage.
+type Stage struct {
+	From, To      int             // node range [From, To)
+	Met           metrics.Metrics // stage subgraph metrics (batch 1)
+	BoundaryElems int64           // activation elements crossing into the next stage, per image
+}
+
+// boundaryElems counts activation elements produced inside [from, to)
+// and consumed at or after node `to` — the inter-stage transfer volume.
+func boundaryElems(g *graph.Graph, from, to int) int64 {
+	needed := map[int]bool{}
+	for i := to; i < len(g.Nodes); i++ {
+		for _, in := range g.Nodes[i].Inputs {
+			if in >= from && in < to {
+				needed[in] = true
+			}
+		}
+	}
+	var total int64
+	for id := range needed {
+		total += g.Nodes[id].Out.Elems()
+	}
+	return total
+}
+
+// Partition splits the graph into k contiguous stages balanced by FLOPs
+// (the standard first-order pipeline balancing criterion). The input node
+// stays in the first stage.
+func Partition(g *graph.Graph, k int) ([]Stage, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.Nodes)
+	if k < 1 || k > n-1 {
+		return nil, fmt.Errorf("pipesim: cannot split %d nodes into %d stages", n, k)
+	}
+	total := float64(g.TotalFLOPs())
+	if total <= 0 {
+		return nil, fmt.Errorf("pipesim: graph %s has no work to partition", g.Name)
+	}
+	var stages []Stage
+	from := 0
+	acc := 0.0
+	remaining := total
+	for i := 0; i < n; i++ {
+		acc += float64(g.NodeFLOPs(i))
+		remStages := k - len(stages)
+		remNodes := n - i - 1
+		// Close the stage when it reached its fair share of the remaining
+		// work, when later stages would otherwise run out of nodes, or at
+		// the end of the graph. Recomputing the target from the remaining
+		// work keeps the partition balanced even when a single heavy node
+		// overshoots an earlier target.
+		cut := i == n-1
+		if !cut && remStages > 1 {
+			cut = acc >= remaining/float64(remStages) || remNodes == remStages-1
+		}
+		if cut {
+			to := i + 1
+			met, err := metrics.FromGraphRange(g, from, to)
+			if err != nil {
+				return nil, err
+			}
+			stages = append(stages, Stage{
+				From: from, To: to, Met: met,
+				BoundaryElems: boundaryElems(g, from, to),
+			})
+			from = to
+			remaining -= acc
+			acc = 0
+		}
+	}
+	if len(stages) != k {
+		return nil, fmt.Errorf("pipesim: produced %d stages, wanted %d", len(stages), k)
+	}
+	return stages, nil
+}
+
+// Link models the inter-stage transport (e.g. NVLink between pipeline
+// neighbours).
+type Link struct {
+	BW      float64 // bytes/s
+	Latency float64 // seconds per transfer
+}
+
+// NVLink returns a per-pair NVLink-like link profile.
+func NVLink() Link { return Link{BW: 2.0e11, Latency: 3e-6} }
+
+// transferTime is the per-micro-batch activation transfer after a stage.
+func (l Link) transferTime(elems int64, microBatch int) float64 {
+	if elems == 0 {
+		return 0
+	}
+	bytes := float64(elems) * float64(microBatch) * hwsim.BytesPerElem
+	return bytes/l.BW + l.Latency
+}
+
+// Simulate executes a GPipe-style inference pipeline on the simulator's
+// device: `batch` images are split into micro-batches of size
+// `microBatch`; the total time is the pipeline fill (every stage once)
+// plus steady-state draining at the bottleneck-stage rate.
+func Simulate(sim *hwsim.Simulator, g *graph.Graph, stages []Stage, link Link, batch, microBatch int) (float64, error) {
+	if batch <= 0 || microBatch <= 0 || microBatch > batch {
+		return 0, fmt.Errorf("pipesim: batch %d / micro-batch %d invalid", batch, microBatch)
+	}
+	if len(stages) == 0 {
+		return 0, fmt.Errorf("pipesim: no stages")
+	}
+	nMicro := (batch + microBatch - 1) / microBatch
+	fill := 0.0
+	bottleneck := 0.0
+	for i, st := range stages {
+		t := sim.ForwardRangeExact(g, st.From, st.To, microBatch)
+		if i < len(stages)-1 {
+			t += link.transferTime(st.BoundaryElems, microBatch)
+		}
+		fill += t
+		if t > bottleneck {
+			bottleneck = t
+		}
+	}
+	return fill + float64(nMicro-1)*bottleneck, nil
+}
+
+// Predictor estimates pipeline time from a fitted ConvMeter inference
+// model: each stage's compute time is the block-wise prediction on the
+// stage's subgraph metrics, composed with the same fill + steady-state
+// pipeline algebra. No execution — stages are planned purely from static
+// metrics plus the platform coefficients.
+type Predictor struct {
+	Model *core.InferenceModel
+	Link  Link
+}
+
+// Predict estimates the pipeline time for the given stages.
+func (p *Predictor) Predict(stages []Stage, batch, microBatch int) (float64, error) {
+	if p.Model == nil {
+		return 0, fmt.Errorf("pipesim: predictor without a fitted model")
+	}
+	if batch <= 0 || microBatch <= 0 || microBatch > batch {
+		return 0, fmt.Errorf("pipesim: batch %d / micro-batch %d invalid", batch, microBatch)
+	}
+	if len(stages) == 0 {
+		return 0, fmt.Errorf("pipesim: no stages")
+	}
+	nMicro := (batch + microBatch - 1) / microBatch
+	fill := 0.0
+	bottleneck := 0.0
+	for i, st := range stages {
+		t := p.Model.Predict(st.Met, float64(microBatch))
+		if t < 0 {
+			t = 0
+		}
+		if i < len(stages)-1 {
+			t += p.Link.transferTime(st.BoundaryElems, microBatch)
+		}
+		fill += t
+		if t > bottleneck {
+			bottleneck = t
+		}
+	}
+	return fill + float64(nMicro-1)*bottleneck, nil
+}
+
+// BestStageCount scans stage counts 1..maxK and returns the count with
+// the highest predicted throughput for the workload — the planning
+// question model parallelism poses.
+func (p *Predictor) BestStageCount(g *graph.Graph, maxK, batch, microBatch int) (int, float64, error) {
+	bestK, bestT := 0, 0.0
+	for k := 1; k <= maxK; k++ {
+		stages, err := Partition(g, k)
+		if err != nil {
+			return 0, 0, err
+		}
+		t, err := p.Predict(stages, batch, microBatch)
+		if err != nil {
+			return 0, 0, err
+		}
+		tput := float64(batch) / t
+		if tput > bestT {
+			bestK, bestT = k, tput
+		}
+	}
+	if bestK == 0 {
+		return 0, 0, fmt.Errorf("pipesim: no feasible stage count up to %d", maxK)
+	}
+	return bestK, bestT, nil
+}

@@ -1,0 +1,223 @@
+package pipesim
+
+import (
+	"math"
+	"testing"
+
+	"convmeter/internal/bench"
+	"convmeter/internal/core"
+	"convmeter/internal/graph"
+	"convmeter/internal/hwsim"
+	"convmeter/internal/models"
+)
+
+func buildNet(t *testing.T, name string) *graph.Graph {
+	t.Helper()
+	g, err := models.Build(name, 224)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionBalancesFLOPs(t *testing.T) {
+	g := buildNet(t, "resnet50")
+	for _, k := range []int{1, 2, 4, 8} {
+		stages, err := Partition(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if len(stages) != k {
+			t.Fatalf("k=%d: got %d stages", k, len(stages))
+		}
+		// Stages must tile the node list exactly.
+		if stages[0].From != 0 || stages[len(stages)-1].To != len(g.Nodes) {
+			t.Fatalf("k=%d: stages do not cover the graph", k)
+		}
+		for i := 1; i < k; i++ {
+			if stages[i].From != stages[i-1].To {
+				t.Fatalf("k=%d: gap between stages %d and %d", k, i-1, i)
+			}
+		}
+		// FLOPs balance: no stage above 2× the ideal share (ResNet-50's
+		// block granularity permits good balance).
+		total := 0.0
+		maxStage := 0.0
+		for _, st := range stages {
+			total += st.Met.FLOPs
+			if st.Met.FLOPs > maxStage {
+				maxStage = st.Met.FLOPs
+			}
+		}
+		if math.Abs(total-float64(g.TotalFLOPs())) > 1 {
+			t.Fatalf("k=%d: stage FLOPs do not sum to total", k)
+		}
+		if k > 1 && maxStage > 2*total/float64(k) {
+			t.Fatalf("k=%d: bottleneck stage has %.2gx the ideal share", k, maxStage*float64(k)/total)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := buildNet(t, "resnet18")
+	if _, err := Partition(g, 0); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if _, err := Partition(g, len(g.Nodes)); err == nil {
+		t.Fatal("expected error for k >= node count")
+	}
+}
+
+func TestBoundaryElemsSequentialChain(t *testing.T) {
+	// In a linear chain the boundary is exactly the last node's output.
+	b, x := graph.NewBuilder("chain", graph.Shape{C: 4, H: 8, W: 8})
+	x = b.Conv(x, "c1", 8, 3, 1, 1)
+	x = b.ReLU(x, "r1")
+	x = b.Conv(x, "c2", 16, 3, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := boundaryElems(g, 0, 3); got != 8*8*8 {
+		t.Fatalf("boundary = %d, want %d", got, 8*8*8)
+	}
+	_ = x
+}
+
+func TestBoundaryCountsSkipConnections(t *testing.T) {
+	// A residual edge crossing the cut must be counted in addition to the
+	// main path.
+	b, x := graph.NewBuilder("res", graph.Shape{C: 8, H: 4, W: 4})
+	c1 := b.Conv(x, "c1", 8, 3, 1, 1)
+	r1 := b.ReLU(c1, "r1")
+	sum := b.Add("sum", r1, x) // skip edge from the input
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sum
+	// Cut between r1 (node 2) and sum (node 3): both r1's output and the
+	// input's output cross.
+	if got := boundaryElems(g, 0, 3); got != 2*8*4*4 {
+		t.Fatalf("boundary = %d, want %d", got, 2*8*4*4)
+	}
+}
+
+func TestSimulateMoreMicroBatchesAmortiseFill(t *testing.T) {
+	g := buildNet(t, "resnet50")
+	stages, err := Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := hwsim.NewSimulator(hwsim.A100(), 0, 1)
+	// One big micro-batch (no pipelining) vs 16 micro-batches.
+	mono, err := Simulate(sim, g, stages, NVLink(), 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := Simulate(sim, g, stages, NVLink(), 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe <= 0 || mono <= 0 {
+		t.Fatal("non-positive pipeline times")
+	}
+	// With 4 stages, pipelining must not be slower than the unpipelined
+	// execution of the same partition.
+	if pipe > mono {
+		t.Fatalf("pipelined %g should beat monolithic %g", pipe, mono)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	g := buildNet(t, "resnet18")
+	stages, _ := Partition(g, 2)
+	sim := hwsim.NewSimulator(hwsim.A100(), 0, 1)
+	if _, err := Simulate(sim, g, stages, NVLink(), 0, 1); err == nil {
+		t.Fatal("expected invalid batch error")
+	}
+	if _, err := Simulate(sim, g, stages, NVLink(), 4, 8); err == nil {
+		t.Fatal("expected micro-batch > batch error")
+	}
+	if _, err := Simulate(sim, g, nil, NVLink(), 4, 2); err == nil {
+		t.Fatal("expected no-stages error")
+	}
+}
+
+// fitBlockModel fits the block-wise inference model used by the pipeline
+// predictor, exactly as in the paper's Table 2 setting.
+func fitBlockModel(t *testing.T) *core.InferenceModel {
+	t.Helper()
+	sc := bench.DefaultBlockScenario(5)
+	samples, err := bench.CollectBlocks(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.FitInference(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPredictorTracksSimulator(t *testing.T) {
+	g := buildNet(t, "resnet50")
+	model := fitBlockModel(t)
+	sim := hwsim.NewSimulator(hwsim.A100(), 0, 1)
+	p := &Predictor{Model: model, Link: NVLink()}
+	for _, k := range []int{2, 4} {
+		stages, err := Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := p.Predict(stages, 64, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := Simulate(sim, g, stages, NVLink(), 64, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(pred-meas) / meas; rel > 0.6 {
+			t.Fatalf("k=%d: prediction %g vs simulated %g (rel %.2f)", k, pred, meas, rel)
+		}
+	}
+}
+
+func TestPredictorErrors(t *testing.T) {
+	p := &Predictor{}
+	if _, err := p.Predict([]Stage{{}}, 4, 2); err == nil {
+		t.Fatal("expected unfitted-model error")
+	}
+	p.Model = fitBlockModel(t)
+	if _, err := p.Predict(nil, 4, 2); err == nil {
+		t.Fatal("expected no-stages error")
+	}
+	if _, err := p.Predict([]Stage{{}}, 2, 4); err == nil {
+		t.Fatal("expected micro-batch error")
+	}
+}
+
+func TestBestStageCount(t *testing.T) {
+	g := buildNet(t, "vgg16")
+	p := &Predictor{Model: fitBlockModel(t), Link: NVLink()}
+	k, tput, err := p.BestStageCount(g, 6, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 || k > 6 || tput <= 0 {
+		t.Fatalf("best k=%d tput=%g", k, tput)
+	}
+	// Throughput at the chosen k must beat k=1 (otherwise why pipeline).
+	one, err := Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := p.Predict(one, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k > 1 && tput < 64/t1 {
+		t.Fatalf("chosen k=%d tput %g below k=1 tput %g", k, tput, 64/t1)
+	}
+}

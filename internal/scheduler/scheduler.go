@@ -1,0 +1,229 @@
+// Package scheduler is the downstream use case the paper's introduction
+// motivates: DNN-specific training schedulers "commonly depend on or can
+// profit from a performance prediction tool". It plans node allocations
+// for a set of training jobs on a shared GPU cluster using ConvMeter's
+// predicted epoch times — no job has to run before the plan is made —
+// and is evaluated against the training simulator as ground truth.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"convmeter/internal/core"
+	"convmeter/internal/metrics"
+	"convmeter/internal/models"
+	"convmeter/internal/trainsim"
+)
+
+// Job is one training job to place.
+type Job struct {
+	ID             string
+	Model          string // zoo model name
+	Image          int    // input image size
+	DatasetSize    int    // images per epoch
+	Epochs         int
+	BatchPerDevice int
+}
+
+// validate rejects malformed jobs.
+func (j Job) validate() error {
+	if j.ID == "" {
+		return errors.New("scheduler: job without ID")
+	}
+	if j.DatasetSize <= 0 || j.Epochs <= 0 || j.BatchPerDevice <= 0 || j.Image <= 0 {
+		return fmt.Errorf("scheduler: job %s has non-positive parameters", j.ID)
+	}
+	return nil
+}
+
+// Cluster is a pool of identical GPU nodes.
+type Cluster struct {
+	Nodes       int
+	GPUsPerNode int
+}
+
+// Allocation maps job IDs to node counts. Jobs run side by side, each on
+// its own node subset.
+type Allocation map[string]int
+
+// TotalNodes sums the allocated nodes.
+func (a Allocation) TotalNodes() int {
+	total := 0
+	for _, n := range a {
+		total += n
+	}
+	return total
+}
+
+// Planner allocates cluster nodes using a fitted ConvMeter training
+// model.
+type Planner struct {
+	tm *core.TrainingModel
+	// met caches job-model metrics.
+	met map[string]metrics.Metrics
+}
+
+// NewPlanner wraps a fitted training model.
+func NewPlanner(tm *core.TrainingModel) *Planner {
+	return &Planner{tm: tm, met: map[string]metrics.Metrics{}}
+}
+
+// jobMetrics builds (and caches) the metrics for a job's model/image.
+func (p *Planner) jobMetrics(j Job) (metrics.Metrics, error) {
+	key := fmt.Sprintf("%s@%d", j.Model, j.Image)
+	if m, ok := p.met[key]; ok {
+		return m, nil
+	}
+	g, err := models.Build(j.Model, j.Image)
+	if err != nil {
+		return metrics.Metrics{}, err
+	}
+	m, err := metrics.FromGraph(g)
+	if err != nil {
+		return metrics.Metrics{}, err
+	}
+	p.met[key] = m
+	return m, nil
+}
+
+// PredictJobTime estimates a job's total training time on the given node
+// count.
+func (p *Planner) PredictJobTime(j Job, nodes, gpusPerNode int) (float64, error) {
+	if err := j.validate(); err != nil {
+		return 0, err
+	}
+	if nodes <= 0 || gpusPerNode <= 0 {
+		return 0, fmt.Errorf("scheduler: invalid topology %d nodes × %d GPUs", nodes, gpusPerNode)
+	}
+	m, err := p.jobMetrics(j)
+	if err != nil {
+		return 0, err
+	}
+	devices := nodes * gpusPerNode
+	epoch := p.tm.PredictEpoch(m, j.DatasetSize, float64(j.BatchPerDevice), devices, nodes)
+	return epoch * float64(j.Epochs), nil
+}
+
+// Plan allocates every node of the cluster across the jobs to minimise
+// the predicted makespan (the time until the slowest job finishes). The
+// algorithm starts every job on one node, then repeatedly grants one more
+// node to the job that currently dominates the makespan as long as the
+// grant helps — a classic greedy that is optimal for monotone speedup
+// curves at this granularity.
+func (p *Planner) Plan(jobs []Job, cluster Cluster) (Allocation, float64, error) {
+	if len(jobs) == 0 {
+		return nil, 0, errors.New("scheduler: no jobs")
+	}
+	if cluster.Nodes < len(jobs) {
+		return nil, 0, fmt.Errorf("scheduler: %d jobs need at least as many nodes, cluster has %d", len(jobs), cluster.Nodes)
+	}
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if err := j.validate(); err != nil {
+			return nil, 0, err
+		}
+		if seen[j.ID] {
+			return nil, 0, fmt.Errorf("scheduler: duplicate job ID %q", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	alloc := Allocation{}
+	times := map[string]float64{}
+	for _, j := range jobs {
+		alloc[j.ID] = 1
+		t, err := p.PredictJobTime(j, 1, cluster.GPUsPerNode)
+		if err != nil {
+			return nil, 0, err
+		}
+		times[j.ID] = t
+	}
+	free := cluster.Nodes - len(jobs)
+	byID := map[string]Job{}
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	for free > 0 {
+		// Find the job dominating the makespan.
+		worstID := ""
+		worst := -1.0
+		for id, t := range times {
+			if t > worst {
+				worst, worstID = t, id
+			}
+		}
+		j := byID[worstID]
+		t, err := p.PredictJobTime(j, alloc[worstID]+1, cluster.GPUsPerNode)
+		if err != nil {
+			return nil, 0, err
+		}
+		if t >= times[worstID] {
+			// Adding a node no longer helps the bottleneck job; granting
+			// it elsewhere cannot reduce the makespan either.
+			break
+		}
+		alloc[worstID]++
+		times[worstID] = t
+		free--
+	}
+	makespan := 0.0
+	for _, t := range times {
+		if t > makespan {
+			makespan = t
+		}
+	}
+	return alloc, makespan, nil
+}
+
+// EqualSplit is the prediction-free baseline: nodes divided as evenly as
+// possible, remainders to the first jobs in ID order.
+func EqualSplit(jobs []Job, cluster Cluster) (Allocation, error) {
+	if len(jobs) == 0 {
+		return nil, errors.New("scheduler: no jobs")
+	}
+	if cluster.Nodes < len(jobs) {
+		return nil, fmt.Errorf("scheduler: %d jobs, %d nodes", len(jobs), cluster.Nodes)
+	}
+	ids := make([]string, 0, len(jobs))
+	for _, j := range jobs {
+		ids = append(ids, j.ID)
+	}
+	sort.Strings(ids)
+	alloc := Allocation{}
+	base := cluster.Nodes / len(jobs)
+	rem := cluster.Nodes % len(jobs)
+	for i, id := range ids {
+		alloc[id] = base
+		if i < rem {
+			alloc[id]++
+		}
+	}
+	return alloc, nil
+}
+
+// SimulateMakespan measures an allocation's actual makespan with the
+// training simulator as ground truth.
+func SimulateMakespan(jobs []Job, alloc Allocation, cluster Cluster, sim *trainsim.Simulator) (float64, error) {
+	makespan := 0.0
+	for _, j := range jobs {
+		nodes, ok := alloc[j.ID]
+		if !ok || nodes <= 0 {
+			return 0, fmt.Errorf("scheduler: job %s missing from allocation", j.ID)
+		}
+		g, err := models.Build(j.Model, j.Image)
+		if err != nil {
+			return 0, err
+		}
+		devices := nodes * cluster.GPUsPerNode
+		p, err := sim.TrainStepExact(g, j.BatchPerDevice, devices, nodes)
+		if err != nil {
+			return 0, err
+		}
+		epoch := trainsim.EpochTime(p.Iter, j.DatasetSize, j.BatchPerDevice, devices)
+		if t := epoch * float64(j.Epochs); t > makespan {
+			makespan = t
+		}
+	}
+	return makespan, nil
+}

@@ -1,0 +1,82 @@
+// Package tracefmt serialises simulated training-step timelines into the
+// Chrome trace-event JSON format (chrome://tracing, Perfetto), so the
+// phase structure the paper's Figure 1 sketches — forward, backward, the
+// overlapped per-bucket gradient all-reduces, the optimizer tail — can be
+// inspected visually for any model and cluster topology.
+package tracefmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"convmeter/internal/trainsim"
+)
+
+// chromeEvent is one complete ("ph":"X") trace event. Timestamps are in
+// microseconds per the trace-event spec.
+type chromeEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	Ts    float64
+	Dur   float64
+	Pid   int `json:"pid"`
+	Tid   int `json:"tid"`
+}
+
+// MarshalJSON renders the event with the spec's lower-case keys.
+func (e chromeEvent) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"name": e.Name, "ph": e.Phase,
+		"ts": e.Ts, "dur": e.Dur,
+		"pid": e.Pid, "tid": e.Tid,
+	})
+}
+
+// trackNames labels the two tracks of a training-step timeline.
+var trackNames = map[int]string{0: "compute", 1: "network"}
+
+// WriteChromeTrace writes the events as a Chrome trace-event JSON
+// document (object form with a traceEvents array plus thread-name
+// metadata).
+func WriteChromeTrace(w io.Writer, events []trainsim.TimelineEvent) error {
+	if len(events) == 0 {
+		return fmt.Errorf("tracefmt: no events")
+	}
+	var out struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	seenTracks := map[int]bool{}
+	for _, e := range events {
+		if e.Dur < 0 || e.Start < 0 {
+			return fmt.Errorf("tracefmt: event %q has negative time", e.Name)
+		}
+		seenTracks[e.Track] = true
+		raw, err := json.Marshal(chromeEvent{
+			Name: e.Name, Phase: "X",
+			Ts: e.Start * 1e6, Dur: e.Dur * 1e6,
+			Pid: 1, Tid: e.Track,
+		})
+		if err != nil {
+			return err
+		}
+		out.TraceEvents = append(out.TraceEvents, raw)
+	}
+	for track := range seenTracks {
+		name := trackNames[track]
+		if name == "" {
+			name = fmt.Sprintf("track %d", track)
+		}
+		meta, err := json.Marshal(map[string]any{
+			"name": "thread_name", "ph": "M", "pid": 1, "tid": track,
+			"args": map[string]string{"name": name},
+		})
+		if err != nil {
+			return err
+		}
+		out.TraceEvents = append(out.TraceEvents, meta)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

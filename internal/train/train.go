@@ -1,0 +1,220 @@
+// Package train is a working data-parallel trainer — the real counterpart
+// of the distributed-training pipeline the paper models: N worker
+// replicas (one goroutine each) compute gradients on their own data
+// shards with the real execution engine (internal/exec), synchronise them
+// with the real ring all-reduce (internal/allreduce), and apply identical
+// SGD updates, exactly the Horovod data-parallel semantics of §2. The
+// tests verify the properties the paper's performance model presumes:
+// replicas stay bit-synchronised, and N-way data parallelism computes the
+// same update as one large batch.
+package train
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"convmeter/internal/allreduce"
+	"convmeter/internal/exec"
+	"convmeter/internal/graph"
+)
+
+// Batch is one worker's training micro-batch.
+type Batch struct {
+	Input  *exec.Tensor
+	Labels []int
+}
+
+// DataSource supplies each worker's batch for a step.
+type DataSource func(worker, step int) (Batch, error)
+
+// Optimizer selects the parameter-update rule.
+type Optimizer int
+
+// Available optimizers.
+const (
+	SGD Optimizer = iota
+	// Adam is the optimizer of the paper's training setup ("Adam as the
+	// optimizer method").
+	Adam
+)
+
+// Config controls a data-parallel run.
+type Config struct {
+	Workers   int
+	GroupSize int     // hierarchical all-reduce group size; 0 = flat ring
+	LR        float32 // learning rate
+	Optimizer Optimizer
+	Seed      int64 // weight initialisation seed (shared by all replicas)
+}
+
+// Result reports a training run.
+type Result struct {
+	// Losses holds the per-step mean loss across workers.
+	Losses []float64
+	// Checksums holds each worker's weight digest after the final step;
+	// data-parallel training is correct only if they are all equal.
+	Checksums []float64
+}
+
+// DataParallel trains the graph for the given number of steps. All
+// replicas start from the same seed (identical weights), compute local
+// gradients concurrently, average them with ring all-reduce, and step.
+func DataParallel(g *graph.Graph, cfg Config, steps int, data DataSource) (*Result, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("train: %d workers", cfg.Workers)
+	}
+	if cfg.LR <= 0 {
+		return nil, fmt.Errorf("train: non-positive learning rate %g", cfg.LR)
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("train: %d steps", steps)
+	}
+	replicas := make([]*exec.Executor, cfg.Workers)
+	adam := make([]*exec.AdamState, cfg.Workers)
+	for w := range replicas {
+		e, err := exec.NewExecutor(g, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		replicas[w] = e
+		if cfg.Optimizer == Adam {
+			adam[w] = exec.NewAdamState()
+		}
+	}
+	res := &Result{}
+	scale := float32(1) / float32(cfg.Workers)
+	for step := 0; step < steps; step++ {
+		losses := make([]float64, cfg.Workers)
+		gradMaps := make([]map[int]*exec.WeightGrads, cfg.Workers)
+		vectors := make([][]float32, cfg.Workers)
+		errs := make([]error, cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				batch, err := data(w, step)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				loss, grads, err := replicas[w].Gradients(batch.Input, batch.Labels)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				losses[w] = loss
+				gradMaps[w] = grads
+				vectors[w] = replicas[w].FlattenGrads(grads)
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Gradient synchronisation: the real ring all-reduce.
+		var err error
+		if cfg.GroupSize > 0 && cfg.Workers%cfg.GroupSize == 0 {
+			err = allreduce.Hierarchical(vectors, cfg.GroupSize)
+		} else {
+			err = allreduce.Ring(vectors)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Average and apply — every replica performs the identical update.
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				v := vectors[w]
+				for i := range v {
+					v[i] *= scale
+				}
+				if err := replicas[w].UnflattenGrads(v, gradMaps[w]); err != nil {
+					errs[w] = err
+					return
+				}
+				if cfg.Optimizer == Adam {
+					replicas[w].ApplyAdam(adam[w], gradMaps[w], cfg.LR)
+				} else {
+					replicas[w].ApplySGD(gradMaps[w], cfg.LR)
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		mean := 0.0
+		for _, l := range losses {
+			mean += l
+		}
+		res.Losses = append(res.Losses, mean/float64(cfg.Workers))
+	}
+	for _, r := range replicas {
+		res.Checksums = append(res.Checksums, r.WeightChecksum())
+	}
+	return res, nil
+}
+
+// PrototypeTask builds a learnable synthetic classification task: each
+// class has a fixed random prototype tensor; samples are the class
+// prototype plus Gaussian noise. A small CNN separates the classes within
+// a few SGD steps.
+type PrototypeTask struct {
+	protos  []*exec.Tensor
+	noise   float32
+	classes int
+	shape   graph.Shape
+}
+
+// NewPrototypeTask creates a task over the graph's input shape.
+func NewPrototypeTask(g *graph.Graph, classes int, noise float32, seed int64) (*PrototypeTask, error) {
+	in, err := g.InputShape()
+	if err != nil {
+		return nil, err
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("train: need >=2 classes, got %d", classes)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	task := &PrototypeTask{noise: noise, classes: classes, shape: in}
+	for c := 0; c < classes; c++ {
+		p := exec.NewTensor(1, in)
+		for i := range p.Data {
+			p.Data[i] = float32(rng.NormFloat64())
+		}
+		task.protos = append(task.protos, p)
+	}
+	return task, nil
+}
+
+// Source returns a DataSource producing batchPerWorker samples per worker
+// per step, deterministically derived from (worker, step).
+func (t *PrototypeTask) Source(batchPerWorker int) DataSource {
+	return func(worker, step int) (Batch, error) {
+		if batchPerWorker <= 0 {
+			return Batch{}, fmt.Errorf("train: batch %d", batchPerWorker)
+		}
+		rng := rand.New(rand.NewSource(int64(worker)*1_000_003 + int64(step)*7919 + 17))
+		in := exec.NewTensor(batchPerWorker, t.shape)
+		labels := make([]int, batchPerWorker)
+		n := int(t.shape.Elems())
+		for b := 0; b < batchPerWorker; b++ {
+			l := rng.Intn(t.classes)
+			labels[b] = l
+			dst := in.Data[b*n : (b+1)*n]
+			src := t.protos[l].Data
+			for i := range dst {
+				dst[i] = src[i] + t.noise*float32(rng.NormFloat64())
+			}
+		}
+		return Batch{Input: in, Labels: labels}, nil
+	}
+}
