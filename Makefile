@@ -1,0 +1,34 @@
+# ConvMeter build & verification entry points. `make ci` is the one
+# command that runs everything CI runs, in the same order.
+
+GO       ?= go
+FUZZTIME ?= 15s
+
+.PHONY: build vet lint test race fuzz ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# convlint: the repo's own analyzer suite (see README "Static analysis
+# & CI"). Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/convlint ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent packages (ring all-reduce, parallel bench collector,
+# data-parallel trainer) run under the race detector.
+race:
+	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/...
+
+# Short fuzz smoke of every fuzz target; seed corpora live under the
+# packages' testdata/fuzz/ directories and always run as part of `test`.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/bench
+	$(GO) test -run '^$$' -fuzz FuzzGraphJSON -fuzztime $(FUZZTIME) ./internal/graph
+
+ci: build vet lint test race

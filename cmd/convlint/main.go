@@ -1,0 +1,90 @@
+// Command convlint runs ConvMeter's custom static-analysis suite over
+// Go packages:
+//
+//	convlint [-config lint.config] [packages...]
+//
+// With no packages it analyses ./... . Findings print one per line as
+// file:line:col analyzer: message, and the exit status is 1 when any
+// finding survives suppression (2 on usage or load errors). Suppress a
+// finding with `//lint:ignore <analyzer> <reason>` on the offending
+// line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"convmeter/internal/lint"
+)
+
+func main() {
+	configPath := flag.String("config", "", "path to lint.config (default: auto-discovered next to go.mod)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: convlint [-config lint.config] [packages...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	os.Exit(run(*configPath, flag.Args()))
+}
+
+func run(configPath string, patterns []string) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convlint:", err)
+		return 2
+	}
+	if configPath == "" {
+		configPath = findConfig(wd)
+		if configPath == "" {
+			fmt.Fprintln(os.Stderr, "convlint: no lint.config found between here and the filesystem root; pass -config")
+			return 2
+		}
+	}
+	cfg, err := lint.LoadConfig(configPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convlint:", err)
+		return 2
+	}
+	pkgs, err := lint.NewLoader(wd).Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "convlint:", err)
+		return 2
+	}
+	findings := lint.Run(pkgs, lint.Suite(cfg))
+	for _, f := range findings {
+		fmt.Println(rel(wd, f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "convlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// findConfig walks from dir toward the root looking for lint.config.
+func findConfig(dir string) string {
+	for {
+		p := filepath.Join(dir, "lint.config")
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+// rel shortens finding paths relative to the working directory.
+func rel(wd string, f lint.Finding) string {
+	if r, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !filepath.IsAbs(r) {
+		f.Pos.Filename = r
+	}
+	return f.String()
+}

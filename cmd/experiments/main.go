@@ -16,60 +16,73 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"convmeter"
 )
 
 func main() {
-	run := flag.String("run", "all", "experiment id (fig2, table1, table2, table3single, fig6, table3multi, fig8, fig9, ablation, extvit, extedge, extpipeline, extreal, extstrong) or 'all'")
+	id := flag.String("run", "all", "experiment id (fig2, table1, table2, table3single, fig6, table3multi, fig8, fig9, ablation, extvit, extedge, extpipeline, extreal, extstrong) or 'all'")
 	seed := flag.Int64("seed", 1, "simulator/fitting seed")
 	quick := flag.Bool("quick", false, "use reduced sweeps (for smoke runs)")
 	out := flag.String("out", "", "also write the output to this file")
 	csvDir := flag.String("csvdir", "", "write figure data series as CSV files into this directory")
 	flag.Parse()
+	if err := run(*id, *seed, *quick, *out, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
 
-	cfg := convmeter.ExperimentConfig{Seed: *seed, Quick: *quick}
+func run(id string, seed int64, quick bool, outPath, csvDir string) (err error) {
+	cfg := convmeter.ExperimentConfig{Seed: seed, Quick: quick}
 	var results []*convmeter.ExperimentResult
-	if *run == "all" {
-		all, err := convmeter.RunAllExperiments(cfg)
+	if id == "all" {
+		results, err = convmeter.RunAllExperiments(cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
-		results = all
 	} else {
-		res, err := convmeter.RunExperiment(*run, cfg)
+		res, err := convmeter.RunExperiment(id, cfg)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
 		results = append(results, res)
 	}
-	var sinks []io.Writer = []io.Writer{os.Stdout}
-	if *out != "" {
-		f, err := os.Create(*out)
+	sinks := []io.Writer{os.Stdout}
+	if outPath != "" {
+		f, err := os.Create(outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			return err
 		}
-		defer f.Close()
+		// A report that silently lost its tail is worse than an error:
+		// surface the close failure unless something already failed.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		sinks = append(sinks, f)
 	}
 	w := io.MultiWriter(sinks...)
+	rule := strings.Repeat("=", 62)
 	for _, res := range results {
-		fmt.Fprintf(w, "==============================================================\n")
-		fmt.Fprintf(w, "%s\n", res.Title)
-		fmt.Fprintf(w, "==============================================================\n")
-		fmt.Fprintln(w, res.Text)
-		if *csvDir != "" {
-			for name, doc := range res.Series {
-				path := filepath.Join(*csvDir, name+".csv")
-				if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
-					fmt.Fprintln(os.Stderr, "experiments:", err)
-					os.Exit(1)
-				}
-				fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", path)
+		if _, err := fmt.Fprintf(w, "%s\n%s\n%s\n", rule, res.Title, rule); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w, res.Text); err != nil {
+			return err
+		}
+		if csvDir == "" {
+			continue
+		}
+		for name, doc := range res.Series {
+			path := filepath.Join(csvDir, name+".csv")
+			if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+				return err
 			}
+			fmt.Fprintf(os.Stderr, "experiments: wrote %s\n", path)
 		}
 	}
+	return nil
 }

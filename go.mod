@@ -1,3 +1,7 @@
 module convmeter
 
 go 1.22
+
+// Pin the toolchain so `go vet`, convlint's type-checking and CI all
+// agree on one compiler version (setup-go in ci.yml matches this).
+toolchain go1.24.0

@@ -75,10 +75,10 @@ func RingTCP(vectors [][]float32) error {
 	}
 	defer func() {
 		for _, c := range inConns {
-			c.Close()
+			_ = c.Close() // teardown of loopback conns; nothing to report to
 		}
 		for _, c := range outConns {
-			c.Close()
+			_ = c.Close()
 		}
 	}()
 

@@ -4,6 +4,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 
 	"convmeter/internal/core"
@@ -69,6 +70,9 @@ func ReadCSV(r io.Reader) ([]core.Sample, error) {
 			if err != nil {
 				return nil, fmt.Errorf("bench: csv line %d col %d: %w", ln+2, 2+i, err)
 			}
+			if v <= 0 {
+				return nil, fmt.Errorf("bench: csv line %d col %d: %s must be positive, got %d", ln+2, 2+i, csvHeader[1+i], v)
+			}
 			ints[i] = v
 		}
 		floats := make([]float64, 8)
@@ -76,6 +80,11 @@ func ReadCSV(r io.Reader) ([]core.Sample, error) {
 			v, err := strconv.ParseFloat(rec[5+i], 64)
 			if err != nil {
 				return nil, fmt.Errorf("bench: csv line %d col %d: %w", ln+2, 6+i, err)
+			}
+			// A NaN or Inf metric poisons every downstream least-squares
+			// fit without failing it; reject at the trust boundary.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("bench: csv line %d col %d: non-finite value %q", ln+2, 6+i, rec[5+i])
 			}
 			floats[i] = v
 		}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -30,11 +31,28 @@ func FuzzReadCSV(f *testing.F) {
 	f.Add(strings.Replace(valid, "resnet18", "", 1))
 	f.Add(strings.Replace(valid, "1", "NaN", 2))
 	f.Add("model,extra\nx,y\n")
+	// Non-finite fields must be rejected, never parsed into samples.
+	f.Add(nonFiniteRow("NaN"))
+	f.Add(nonFiniteRow("+Inf"))
+	f.Add(nonFiniteRow("-Inf"))
+	f.Add(nonFiniteRow("1e999"))
 
 	f.Fuzz(func(t *testing.T, input string) {
 		got, err := ReadCSV(strings.NewReader(input))
 		if err != nil {
 			return // rejection is fine; panics are not
+		}
+		// Everything accepted must be finite: a NaN that slips through
+		// here poisons every least-squares fit downstream.
+		for i, s := range got {
+			for _, v := range []float64{
+				s.Met.FLOPs, s.Met.Inputs, s.Met.Outputs, s.Met.Weights, s.Met.Layers,
+				s.Fwd, s.Bwd, s.Grad,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("sample %d: accepted non-finite value %v", i, v)
+				}
+			}
 		}
 		// Accepted data must survive a write/read cycle unchanged.
 		var out bytes.Buffer
@@ -49,4 +67,14 @@ func FuzzReadCSV(f *testing.F) {
 			t.Fatalf("round trip changed row count: %d vs %d", len(back), len(got))
 		}
 	})
+}
+
+// nonFiniteRow builds a syntactically valid dataset whose float
+// columns hold the given token — ReadCSV must reject it.
+func nonFiniteRow(token string) string {
+	row := []string{"m", "32", "1", "1", "1"}
+	for i := 0; i < 8; i++ {
+		row = append(row, token)
+	}
+	return strings.Join(csvHeader, ",") + "\n" + strings.Join(row, ",") + "\n"
 }

@@ -13,10 +13,11 @@ import (
 // scheduling order.
 func deriveSeed(base int64, parts ...string) int64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%d", base)
+	// hash.Hash.Write is documented never to return an error.
+	_, _ = fmt.Fprintf(h, "%d", base)
 	for _, p := range parts {
-		h.Write([]byte{0})
-		h.Write([]byte(p))
+		_, _ = h.Write([]byte{0})
+		_, _ = h.Write([]byte(p))
 	}
 	return int64(h.Sum64() >> 1) // keep it non-negative
 }

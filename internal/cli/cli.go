@@ -28,6 +28,20 @@ type Env struct {
 	Stderr io.Writer
 }
 
+// printf and printLn write best-effort console output. The CLI's
+// contract is its exit code plus the error path on stderr; once a
+// stdout write fails (closed pipe, full disk) there is no better
+// channel left to report on, so the write error is discarded here —
+// and only here, so convlint's droppederr stays meaningful everywhere
+// else.
+func printf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...)
+}
+
+func printLn(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...)
+}
+
 // Run dispatches a full argument vector (without the program name) and
 // returns the process exit code.
 func Run(args []string, env Env) int {
@@ -46,12 +60,12 @@ func Run(args []string, env Env) int {
 	switch cmd {
 	case "models":
 		for _, n := range models.Names() {
-			fmt.Fprintln(env.Stdout, n)
+			printLn(env.Stdout, n)
 		}
 	case "blocks":
 		for _, n := range models.BlockNames() {
 			info, _ := models.Block(n)
-			fmt.Fprintf(env.Stdout, "%-22s from %-18s natural input %dx%dx%d\n",
+			printf(env.Stdout, "%-22s from %-18s natural input %dx%dx%d\n",
 				n, info.Source, info.InC, info.NaturalHW, info.NaturalHW)
 		}
 	case "metrics":
@@ -75,19 +89,19 @@ func Run(args []string, env Env) int {
 	case "help", "-h", "--help":
 		usage(env.Stdout)
 	default:
-		fmt.Fprintf(env.Stderr, "convmeter: unknown command %q\n\n", cmd)
+		printf(env.Stderr, "convmeter: unknown command %q\n\n", cmd)
 		usage(env.Stderr)
 		return 2
 	}
 	if err != nil {
-		fmt.Fprintln(env.Stderr, "convmeter:", err)
+		printLn(env.Stderr, "convmeter:", err)
 		return 1
 	}
 	return 0
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `convmeter — ConvNet runtime & scalability prediction (ICPP'24 reproduction)
+	printLn(w, `convmeter — ConvNet runtime & scalability prediction (ICPP'24 reproduction)
 
 commands:
   models      list the ConvNet zoo
@@ -138,13 +152,13 @@ func runMetrics(args []string, env Env) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(env.Stdout, "model:    %s @ %dx%d\n", *model, *image, *image)
-	fmt.Fprintf(env.Stdout, "FLOPs:    %.4g\n", met.FLOPs)
-	fmt.Fprintf(env.Stdout, "Inputs:   %.4g elements\n", met.Inputs)
-	fmt.Fprintf(env.Stdout, "Outputs:  %.4g elements\n", met.Outputs)
-	fmt.Fprintf(env.Stdout, "Weights:  %.0f parameters\n", met.Weights)
-	fmt.Fprintf(env.Stdout, "Layers:   %.0f parameterised layers\n", met.Layers)
-	fmt.Fprintf(env.Stdout, "Graph:    %d nodes\n", len(g.Nodes))
+	printf(env.Stdout, "model:    %s @ %dx%d\n", *model, *image, *image)
+	printf(env.Stdout, "FLOPs:    %.4g\n", met.FLOPs)
+	printf(env.Stdout, "Inputs:   %.4g elements\n", met.Inputs)
+	printf(env.Stdout, "Outputs:  %.4g elements\n", met.Outputs)
+	printf(env.Stdout, "Weights:  %.0f parameters\n", met.Weights)
+	printf(env.Stdout, "Layers:   %.0f parameterised layers\n", met.Layers)
+	printf(env.Stdout, "Graph:    %d nodes\n", len(g.Nodes))
 	return nil
 }
 
@@ -248,16 +262,16 @@ func runDissect(args []string, env Env) error {
 		rows = append(rows, row{seg: s, met: sm, pred: p})
 		sum += p
 	}
-	fmt.Fprintf(env.Stdout, "dissection of %s @ %dpx, batch %d (predicted total %.3f ms):\n",
+	printf(env.Stdout, "dissection of %s @ %dpx, batch %d (predicted total %.3f ms):\n",
 		*model, *image, *batch, total*1e3)
-	fmt.Fprintf(env.Stdout, "  %-14s %10s %10s %10s %9s %7s\n",
+	printf(env.Stdout, "  %-14s %10s %10s %10s %9s %7s\n",
 		"segment", "GFLOPs", "In(M)", "Out(M)", "pred ms", "share")
 	for _, r := range rows {
 		share := 0.0
 		if sum > 0 {
 			share = r.pred / sum
 		}
-		fmt.Fprintf(env.Stdout, "  %-14s %10.2f %10.2f %10.2f %9.3f %6.1f%%\n",
+		printf(env.Stdout, "  %-14s %10.2f %10.2f %10.2f %9.3f %6.1f%%\n",
 			r.seg.name,
 			r.met.FLOPs*float64(*batch)/1e9,
 			r.met.Inputs*float64(*batch)/1e6,
@@ -302,7 +316,7 @@ func runTimeline(args []string, env Env) error {
 	if err := tracefmt.WriteChromeTrace(w, events); err != nil {
 		return err
 	}
-	fmt.Fprintf(env.Stderr, "step %.3f ms (fwd %.3f, bwd %.3f, grad %.3f) — open in chrome://tracing or Perfetto\n",
+	printf(env.Stderr, "step %.3f ms (fwd %.3f, bwd %.3f, grad %.3f) — open in chrome://tracing or Perfetto\n",
 		phases.Iter*1e3, phases.Fwd*1e3, phases.Bwd*1e3, phases.Grad*1e3)
 	return nil
 }
@@ -366,9 +380,9 @@ func runFit(args []string, env Env) error {
 		}
 		if *stats {
 			names := []string{"c1 (FLOPs)", "c2 (Inputs)", "c3 (Outputs)", "c4 (intercept)"}
-			fmt.Fprintf(env.Stderr, "coefficient statistics (%d samples, %d dof):\n", len(samples), cs.DoF)
+			printf(env.Stderr, "coefficient statistics (%d samples, %d dof):\n", len(samples), cs.DoF)
 			for j, name := range names {
-				fmt.Fprintf(env.Stderr, "  %-14s %12.4g ± %-10.3g t=%8.1f\n",
+				printf(env.Stderr, "  %-14s %12.4g ± %-10.3g t=%8.1f\n",
 					name, cs.Estimate[j], cs.StdErr[j], cs.TValue[j])
 			}
 		}
@@ -477,7 +491,7 @@ func runPredict(args []string, env Env) error {
 		return err
 	}
 	t := m.Predict(met, float64(*batch))
-	fmt.Fprintf(env.Stdout, "predicted inference time for %s @ %dpx, batch %d: %.4g ms (%.1f images/s)\n",
+	printf(env.Stdout, "predicted inference time for %s @ %dpx, batch %d: %.4g ms (%.1f images/s)\n",
 		*model, *image, *batch, t*1e3, float64(*batch)/t)
 	return nil
 }
@@ -504,15 +518,15 @@ func runTrain(args []string, env Env) error {
 		return err
 	}
 	p := tm.PredictPhases(met, float64(*batch), *gpus, *nodes)
-	fmt.Fprintf(env.Stdout, "training-step prediction for %s @ %dpx, batch %d/device on %d GPU(s) over %d node(s):\n",
+	printf(env.Stdout, "training-step prediction for %s @ %dpx, batch %d/device on %d GPU(s) over %d node(s):\n",
 		*model, *image, *batch, *gpus, *nodes)
-	fmt.Fprintf(env.Stdout, "  forward:   %8.3f ms\n", p.Fwd*1e3)
-	fmt.Fprintf(env.Stdout, "  backward:  %8.3f ms\n", p.Bwd*1e3)
-	fmt.Fprintf(env.Stdout, "  gradient:  %8.3f ms\n", p.Grad*1e3)
-	fmt.Fprintf(env.Stdout, "  step:      %8.3f ms  (%.1f images/s)\n", p.Iter*1e3,
+	printf(env.Stdout, "  forward:   %8.3f ms\n", p.Fwd*1e3)
+	printf(env.Stdout, "  backward:  %8.3f ms\n", p.Bwd*1e3)
+	printf(env.Stdout, "  gradient:  %8.3f ms\n", p.Grad*1e3)
+	printf(env.Stdout, "  step:      %8.3f ms  (%.1f images/s)\n", p.Iter*1e3,
 		float64(*batch**gpus)/p.Iter)
 	epoch := tm.PredictEpoch(met, *dataset, float64(*batch), *gpus, *nodes)
-	fmt.Fprintf(env.Stdout, "  epoch over %d images: %.1f s\n", *dataset, epoch)
+	printf(env.Stdout, "  epoch over %d images: %.1f s\n", *dataset, epoch)
 	return nil
 }
 
@@ -546,24 +560,24 @@ func runScale(args []string, env Env) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(env.Stdout, "strong scaling of %s @ %dpx, global batch %d, %d GPUs/node:\n",
+		printf(env.Stdout, "strong scaling of %s @ %dpx, global batch %d, %d GPUs/node:\n",
 			*model, *image, *globalBatch, *gpn)
 		for _, p := range points {
-			fmt.Fprintf(env.Stdout, "  %3d node(s): step %8.3f ms, %9.0f images/s, speedup %.2fx (b=%.3g/device)\n",
+			printf(env.Stdout, "  %3d node(s): step %8.3f ms, %9.0f images/s, speedup %.2fx (b=%.3g/device)\n",
 				p.Nodes, p.Iter*1e3, p.Throughput, p.Speedup, p.BatchPerDevice)
 		}
 		return nil
 	}
-	fmt.Fprintf(env.Stdout, "weak scaling of %s @ %dpx, batch %d/device, %d GPUs/node:\n",
+	printf(env.Stdout, "weak scaling of %s @ %dpx, batch %d/device, %d GPUs/node:\n",
 		*model, *image, *batch, *gpn)
 	for _, n := range nodeCounts {
 		tput := tm.PredictThroughput(met, float64(*batch), n**gpn, n)
-		fmt.Fprintf(env.Stdout, "  %3d node(s): %9.0f images/s\n", n, tput)
+		printf(env.Stdout, "  %3d node(s): %9.0f images/s\n", n, tput)
 	}
 	tp, err := tm.TurningPoint(met, float64(*batch), *gpn, *maxNodes, 0.10)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(env.Stdout, "diminishing-return turning point (<10%% gain per added node): %d node(s)\n", tp)
+	printf(env.Stdout, "diminishing-return turning point (<10%% gain per added node): %d node(s)\n", tp)
 	return nil
 }

@@ -416,7 +416,7 @@ func pool2dBackward(in *Tensor, op *graph.Pool2dOp, out, dOut, dIn *Tensor) {
 							idx := ih*in.Shape.W + iw
 							if op.PoolKind == graph.AvgPool {
 								di[idx] += g
-							} else if !routed && src[idx] == fwd[oh*out.Shape.W+ow] {
+							} else if !routed && src[idx] == fwd[oh*out.Shape.W+ow] { //lint:ignore floatcmp max-pool argmax routing: the forward pass stored exactly this value, bit-equality is the intended test
 								di[idx] += g
 								routed = true
 							}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Config is the parsed lint.config: the classification of packages
+// into analytical and measured sides of the paper's boundary, plus an
+// allowlist of explicitly sanctioned analytical→measured imports.
+//
+// The file format is line-oriented:
+//
+//	# comment
+//	analytical <import-path-prefix>
+//	measured   <import-path-prefix>
+//	allow      <importer-prefix> <imported-prefix>
+//
+// Prefixes match whole path segments: "convmeter/internal/core" covers
+// that package and everything below it.
+type Config struct {
+	Analytical []string
+	Measured   []string
+	Allow      [][2]string
+}
+
+// ParseConfig reads a lint.config stream. Every malformed line is
+// reported — bad configuration must fail loudly, or a typo could
+// silently disable the boundary rule.
+func ParseConfig(r io.Reader, name string) (*Config, error) {
+	cfg := &Config{}
+	var errs []string
+	sc := bufio.NewScanner(r)
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "analytical", "measured":
+			if len(fields) != 2 {
+				errs = append(errs, fmt.Sprintf("%s:%d: %q takes exactly one import path, got %d fields", name, ln, fields[0], len(fields)-1))
+				continue
+			}
+			if fields[0] == "analytical" {
+				cfg.Analytical = append(cfg.Analytical, fields[1])
+			} else {
+				cfg.Measured = append(cfg.Measured, fields[1])
+			}
+		case "allow":
+			if len(fields) != 3 {
+				errs = append(errs, fmt.Sprintf("%s:%d: \"allow\" takes importer and imported paths, got %d fields", name, ln, len(fields)-1))
+				continue
+			}
+			cfg.Allow = append(cfg.Allow, [2]string{fields[1], fields[2]})
+		default:
+			errs = append(errs, fmt.Sprintf("%s:%d: unknown directive %q (want analytical, measured or allow)", name, ln, fields[0]))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %v", name, err)
+	}
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lint: invalid config:\n\t%s", strings.Join(errs, "\n\t"))
+	}
+	return cfg, nil
+}
+
+// LoadConfig parses a lint.config file from disk.
+func LoadConfig(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ParseConfig(f, path)
+}
+
+// pathHasPrefix reports whether the import path is the prefix itself
+// or lies below it in the package hierarchy.
+func pathHasPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+// classify returns which side of the boundary a package falls on:
+// "analytical", "measured", or "" for unclassified packages.
+func (c *Config) classify(importPath string) string {
+	for _, p := range c.Analytical {
+		if pathHasPrefix(importPath, p) {
+			return "analytical"
+		}
+	}
+	for _, p := range c.Measured {
+		if pathHasPrefix(importPath, p) {
+			return "measured"
+		}
+	}
+	return ""
+}
+
+// allowed reports whether the analytical→measured import has an
+// explicit allowlist entry.
+func (c *Config) allowed(importer, imported string) bool {
+	for _, a := range c.Allow {
+		if pathHasPrefix(importer, a[0]) && pathHasPrefix(imported, a[1]) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestParseConfig covers the happy path: comments, blank lines, and
+// all three directives, with prefix matching over path segments.
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(`
+# the boundary
+analytical convmeter/internal/core
+measured   convmeter/internal/exec
+allow      convmeter/internal/core convmeter/internal/exec
+`), "test.config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.classify("convmeter/internal/core"); got != "analytical" {
+		t.Errorf("classify(core) = %q", got)
+	}
+	if got := cfg.classify("convmeter/internal/core/sub"); got != "analytical" {
+		t.Errorf("classify(core/sub) = %q, want prefix match on path segments", got)
+	}
+	if got := cfg.classify("convmeter/internal/corette"); got != "" {
+		t.Errorf("classify(corette) = %q, want no match: %q is not a path-segment prefix", got, "core")
+	}
+	if got := cfg.classify("convmeter/internal/exec"); got != "measured" {
+		t.Errorf("classify(exec) = %q", got)
+	}
+	if !cfg.allowed("convmeter/internal/core", "convmeter/internal/exec") {
+		t.Error("allow entry not honoured")
+	}
+	if cfg.allowed("convmeter/internal/metrics", "convmeter/internal/exec") {
+		t.Error("allow entry leaked to a different importer")
+	}
+}
+
+// TestParseConfigBadLines: every malformed line must be reported with
+// its line number — bad config must fail loudly, never be skipped.
+func TestParseConfigBadLines(t *testing.T) {
+	_, err := ParseConfig(strings.NewReader(`analytical convmeter/internal/core
+analytycal convmeter/internal/metrics
+measured
+allow convmeter/internal/core
+analytical a b c
+`), "bad.config")
+	if err == nil {
+		t.Fatal("malformed config parsed without error")
+	}
+	msg := err.Error()
+	for _, wantLine := range []string{"bad.config:2", "bad.config:3", "bad.config:4", "bad.config:5"} {
+		if !strings.Contains(msg, wantLine) {
+			t.Errorf("error does not report %s:\n%s", wantLine, msg)
+		}
+	}
+	if !strings.Contains(msg, "unknown directive") {
+		t.Errorf("error does not name the unknown directive:\n%s", msg)
+	}
+}
+
+// TestRepoConfig guards the checked-in lint.config against drift: the
+// paper's analytical and measured sides must stay classified.
+func TestRepoConfig(t *testing.T) {
+	cfg, err := LoadConfig(filepath.Join(repoRoot(t), "lint.config"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{"core", "metrics", "graph", "regress", "linalg"} {
+		if got := cfg.classify("convmeter/internal/" + p); got != "analytical" {
+			t.Errorf("lint.config classifies %s as %q, want analytical", p, got)
+		}
+	}
+	for _, p := range []string{"exec", "hwsim", "hwreal", "netsim", "trainsim", "pipesim", "allreduce"} {
+		if got := cfg.classify("convmeter/internal/" + p); got != "measured" {
+			t.Errorf("lint.config classifies %s as %q, want measured", p, got)
+		}
+	}
+	if len(cfg.Allow) != 0 {
+		t.Errorf("lint.config has %d allow entries; each one is a hole in the analytical boundary and needs a test update with justification", len(cfg.Allow))
+	}
+}
+
+// TestBoundaryAllowlist exercises the allow mechanics end to end on a
+// synthetic pass: the same import is a finding without the entry and
+// silent with it.
+func TestBoundaryAllowlist(t *testing.T) {
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "boundary")
+	pkg, err := NewLoader(root).LoadDir(dir, "convmeter/internal/lint/testdata/boundary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fixtureConfig()
+	cfg.Allow = nil // drop the netsim allowlist entry
+	findings := Run([]*Package{pkg}, []*Analyzer{NewBoundary(cfg)})
+	var netsim int
+	for _, f := range findings {
+		if strings.Contains(f.Message, "netsim") {
+			netsim++
+		}
+	}
+	if netsim != 1 {
+		t.Errorf("without the allow entry the netsim import must be a finding; got %v", findings)
+	}
+}

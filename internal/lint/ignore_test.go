@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// loadSource type-checks one import-free source file from a temp dir.
+func loadSource(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader(dir).LoadDir(dir, "example.com/fix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// analyzerNames extracts the analyzer of each finding in order.
+func analyzerNames(findings []Finding) []string {
+	out := make([]string, len(findings))
+	for i, f := range findings {
+		out[i] = f.Analyzer
+	}
+	return out
+}
+
+// TestIgnorePlacement pins where a //lint:ignore directive acts: the
+// same line and the line immediately above suppress; two lines away
+// does not.
+func TestIgnorePlacement(t *testing.T) {
+	pkg := loadSource(t, `package fix
+
+func cmp(a, b, c, d float64) []bool {
+	return []bool{
+		a == b, //lint:ignore floatcmp same-line directive
+		//lint:ignore floatcmp line-above directive
+		a == c,
+		//lint:ignore floatcmp too far away to act
+
+		a == d,
+	}
+}
+`)
+	findings := Run([]*Package{pkg}, []*Analyzer{FloatCmp})
+	if len(findings) != 1 {
+		t.Fatalf("got findings %v, want exactly the two-lines-away comparison", findings)
+	}
+	if findings[0].Pos.Line != 10 {
+		t.Errorf("finding at line %d, want line 10 (a == d)", findings[0].Pos.Line)
+	}
+}
+
+// TestIgnoreWrongAnalyzer: a directive only suppresses the analyzer it
+// names.
+func TestIgnoreWrongAnalyzer(t *testing.T) {
+	pkg := loadSource(t, `package fix
+
+func cmp(a, b float64) bool {
+	//lint:ignore droppederr names the wrong analyzer
+	return a == b
+}
+`)
+	findings := Run([]*Package{pkg}, []*Analyzer{FloatCmp})
+	if got := analyzerNames(findings); len(got) != 1 || got[0] != "floatcmp" {
+		t.Fatalf("got %v, want exactly one floatcmp finding", got)
+	}
+}
+
+// TestMalformedIgnoreReported: a directive without a reason (or
+// without an analyzer) must itself become a finding — a typo must not
+// silently suppress nothing, or worse, be believed to suppress.
+func TestMalformedIgnoreReported(t *testing.T) {
+	pkg := loadSource(t, `package fix
+
+func cmp(a, b float64) bool {
+	//lint:ignore floatcmp
+	return a == b
+}
+`)
+	findings := Run([]*Package{pkg}, []*Analyzer{FloatCmp})
+	var sawMalformed, sawFloatcmp bool
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "lint":
+			sawMalformed = true
+		case "floatcmp":
+			sawFloatcmp = true
+		}
+	}
+	if !sawMalformed {
+		t.Errorf("malformed directive not reported: %v", findings)
+	}
+	if !sawFloatcmp {
+		t.Errorf("malformed directive suppressed the finding anyway: %v", findings)
+	}
+}

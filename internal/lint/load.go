@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Loader loads and type-checks packages for analysis. It resolves
+// dependencies through the go toolchain's export data (`go list
+// -export`), so it needs no module dependencies of its own and agrees
+// exactly with the compiler about types.
+type Loader struct {
+	// ModuleDir is the directory `go list` runs in; it anchors package
+	// pattern resolution (e.g. "./...") and import path lookup.
+	ModuleDir string
+
+	fset    *token.FileSet
+	imp     types.ImporterFrom
+	exports map[string]string // import path -> export data file
+}
+
+// NewLoader returns a loader anchored at the given module directory.
+func NewLoader(moduleDir string) *Loader {
+	l := &Loader{
+		ModuleDir: moduleDir,
+		fset:      token.NewFileSet(),
+		exports:   make(map[string]string),
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", l.lookup).(types.ImporterFrom)
+	return l
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+}
+
+// goList invokes the go toolchain and decodes its JSON package stream.
+func (l *Loader) goList(args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.ModuleDir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// lookup feeds the gc importer export data for an import path,
+// shelling out to `go list -export` for paths not already known.
+func (l *Loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		pkgs, err := l.goList("-export", "-json", "--", path)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range pkgs {
+			if p.Export != "" {
+				l.exports[p.ImportPath] = p.Export
+			}
+		}
+		file = l.exports[path]
+		if file == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Load lists, parses and type-checks every package matching the given
+// patterns (e.g. "./..."). Test files are excluded: convlint's rules
+// govern production code, and several analyzers exempt tests anyway.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	listed, err := l.goList(append([]string{"-export", "-deps", "-json"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var targets []listPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	out := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := l.check(t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks all .go files of a single directory
+// as one package with the given import path. Used for analyzer
+// fixtures under testdata/, which the go tool never lists. Unlike
+// Load, files named *_test.go are included (they must declare the same
+// package) so fixtures can prove the analyzers' test-file exemptions.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	return l.check(importPath, dir, files)
+}
+
+// check parses the given files and type-checks them as one package.
+func (l *Loader) check(importPath, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", fn, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l.imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, len(typeErrs))
+		for i, e := range typeErrs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("lint: type-checking %s:\n\t%s", importPath, strings.Join(msgs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		TypesPkg:   tpkg,
+		TypesInfo:  info,
+	}, nil
+}

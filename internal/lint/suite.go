@@ -1,0 +1,13 @@
+package lint
+
+// Suite returns the full convlint analyzer set in reporting order.
+// The boundary analyzer is configured from the repo's lint.config.
+func Suite(cfg *Config) []*Analyzer {
+	return []*Analyzer{
+		NewBoundary(cfg),
+		FloatCmp,
+		DroppedErr,
+		SyncCopy,
+		GoLeak,
+	}
+}

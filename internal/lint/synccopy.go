@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// syncNoCopy is the set of sync types whose by-value copies are bugs:
+// a copied Mutex forks the lock state, a copied WaitGroup forks the
+// counter — both produce the exact silent-corruption failure mode the
+// ring all-reduce and the parallel bench collector cannot afford.
+var syncNoCopy = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// SyncCopy flags functions that pass or return sync.Mutex, WaitGroup
+// and friends by value — in parameters, results, or receivers. These
+// must travel as pointers (or live in a struct passed by pointer).
+var SyncCopy = &Analyzer{
+	Name: "synccopy",
+	Doc:  "flag sync.Mutex/sync.WaitGroup (and friends) passed or received by value",
+	Run: func(pass *Pass) {
+		check := func(ft *ast.FuncType, recv *ast.FieldList) {
+			lists := []*ast.FieldList{recv, ft.Params, ft.Results}
+			for _, fl := range lists {
+				if fl == nil {
+					continue
+				}
+				for _, field := range fl.List {
+					if name := syncValueType(pass, field.Type); name != "" {
+						pass.Reportf("synccopy", field.Type.Pos(),
+							"sync.%s passed by value; copying it copies its internal state — use *sync.%s", name, name)
+					}
+				}
+			}
+		}
+		for _, file := range pass.Pkg.Files {
+			if isTestFile(pass.Pkg.Fset, file.Pos()) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					check(fn.Type, fn.Recv)
+				case *ast.FuncLit:
+					check(fn.Type, nil)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// syncValueType returns the bare type name ("Mutex", "WaitGroup", …)
+// when the expression's type is one of the no-copy sync types held by
+// value, or "" otherwise. Pointers to them are fine.
+func syncValueType(pass *Pass, e ast.Expr) string {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return ""
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || !syncNoCopy[obj.Name()] {
+		return ""
+	}
+	return obj.Name()
+}

@@ -1,0 +1,12 @@
+// Package boundaryfix stands in for an analytical package: the test's
+// config classifies this fixture's import path as analytical, hwsim
+// and exec as measured, and allowlists the netsim import.
+package boundaryfix
+
+import (
+	_ "convmeter/internal/graph"  // analytical importing analytical: fine
+	_ "convmeter/internal/hwsim"  // want boundary
+	_ "convmeter/internal/netsim" // allowlisted by the test config
+	//lint:ignore boundary fixture proves suppression works
+	_ "convmeter/internal/exec"
+)

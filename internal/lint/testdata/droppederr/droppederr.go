@@ -1,0 +1,37 @@
+// Package droppederrfix seeds droppederr violations for the analyzer
+// test.
+package droppederrfix
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail() error            { return errors.New("boom") }
+func pair() (int, error)     { return 0, errors.New("boom") }
+func value() int             { return 1 }
+func cleanup() func() error  { return func() error { return nil } }
+
+func drops(sb *strings.Builder) {
+	fail()      // want droppederr
+	pair()      // want droppederr
+	cleanup()() // want droppederr
+	value()     // fine: no error result
+
+	_ = fail()     // explicit discard: fine
+	_, _ = pair()  // explicit discard: fine
+	if err := fail(); err != nil {
+		_ = err
+	}
+
+	fmt.Println("ok")            // exempt: best-effort console printer
+	fmt.Fprintf(os.Stderr, "x")  // exempt: writes to os.Stderr
+	fmt.Fprintln(os.Stdout, "x") // exempt: writes to os.Stdout
+	fmt.Fprintf(sb, "x")         // exempt: strings.Builder never fails
+	sb.WriteString("x")          // exempt: strings.Builder method
+
+	//lint:ignore droppederr fixture proves suppression works
+	fail()
+}

@@ -1,0 +1,9 @@
+// Test files are outside floatcmp's jurisdiction: exact comparisons
+// are how tests assert bit-identical results. Nothing here may be
+// reported even though the fixture loader feeds this file through the
+// analyzers.
+package floatcmpfix
+
+func inTest(a, b float64) bool {
+	return a == b // exempt: *_test.go
+}

@@ -1,0 +1,21 @@
+// Package floatcmpfix seeds floatcmp violations for the analyzer test.
+// Lines carrying a marker comment naming the analyzer must be
+// reported; all other lines must stay silent.
+package floatcmpfix
+
+type seconds float64
+
+func compare(a, b float64, c float32, s, t seconds) []bool {
+	return []bool{
+		a == b,          // want floatcmp
+		a != b,          // want floatcmp
+		float64(c) == a, // want floatcmp
+		s == t,          // want floatcmp
+		a == 1.0,        // want floatcmp
+		a == 0,          // exact-zero guard: exempt
+		0.0 != b,        // exact-zero guard: exempt
+		len("x") == 1,   // integers: not this analyzer's business
+		//lint:ignore floatcmp fixture proves suppression works
+		a == 3.14,
+	}
+}

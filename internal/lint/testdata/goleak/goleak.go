@@ -1,0 +1,34 @@
+// Package goleakfix seeds goleak violations for the analyzer test.
+package goleakfix
+
+import "sync"
+
+func spawn(done chan struct{}) {
+	go func() { // want goleak
+		_ = 1 + 1
+	}()
+
+	go func() { // joined: channel send
+		done <- struct{}{}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // joined: deferred WaitGroup.Done
+		defer wg.Done()
+	}()
+	wg.Wait()
+
+	ch := make(chan int)
+	go func() { // joined: close signals completion
+		close(ch)
+	}()
+	<-ch
+
+	go named() // named functions document their own lifecycle: not flagged
+
+	//lint:ignore goleak fixture proves suppression works
+	go func() {}()
+}
+
+func named() {}

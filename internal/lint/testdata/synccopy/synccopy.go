@@ -1,0 +1,27 @@
+// Package synccopyfix seeds synccopy violations for the analyzer test.
+package synccopyfix
+
+import "sync"
+
+func byValue(mu sync.Mutex)   {} // want synccopy
+func byPointer(mu *sync.Mutex) {}
+
+func returnsWG() sync.WaitGroup { // want synccopy
+	var wg sync.WaitGroup
+	return wg
+}
+
+func inLiteral() {
+	f := func(o sync.Once) {} // want synccopy
+	f(sync.Once{})
+}
+
+// holder embeds a mutex; passing holder by value is a real hazard too,
+// but this analyzer deliberately flags only direct sync types — go
+// vet's copylocks covers transitive cases.
+type holder struct{ mu sync.Mutex }
+
+func (h holder) method() {}
+
+//lint:ignore synccopy fixture proves suppression works
+func ignored(m sync.Map) {}

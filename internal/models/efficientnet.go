@@ -57,6 +57,7 @@ func ceilMult(n int, mult float64) int {
 // B2: width 1.1 / depth 1.2; B3: width 1.2 / depth 1.4.
 func efficientNet(name string, widthMult, depthMult float64, img int) (*graph.Graph, error) {
 	width := func(c int) int {
+		//lint:ignore floatcmp widthMult is a literal from the registry (1.0, 1.1, …); exact match on the B0 sentinel is intended
 		if widthMult == 1.0 {
 			return c
 		}

@@ -304,10 +304,11 @@ func RMSE(actual, pred []float64) float64 {
 func NRMSE(actual, pred []float64) float64 {
 	lo, hi := linalg.MinMax(actual)
 	rmse := RMSE(actual, pred)
-	if hi == lo {
+	rng := hi - lo
+	if rng == 0 {
 		return rmse
 	}
-	return rmse / (hi - lo)
+	return rmse / rng
 }
 
 // MAPE returns the mean absolute percentage error as a fraction.
