@@ -4,7 +4,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build vet lint test race fuzz ci
+.PHONY: build vet lint test race fuzz obs-smoke obs-bench ci
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,25 @@ test:
 	$(GO) test ./...
 
 # The concurrent packages (ring all-reduce, parallel bench collector,
-# data-parallel trainer) run under the race detector.
+# data-parallel trainer, telemetry registry/tracer) run under the race
+# detector.
 race:
-	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/...
+	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/... ./internal/obs/...
+
+# obs-smoke: run a real experiment with the telemetry flags and validate
+# the artefacts with cmd/obscheck — catches exposition/trace formatting
+# regressions that unit tests on the exporters alone would miss.
+obs-smoke:
+	rm -rf .obs-smoke && mkdir -p .obs-smoke
+	$(GO) run ./cmd/experiments -run exttrainreal -quick \
+		-metrics-out .obs-smoke/metrics.prom -trace-out .obs-smoke/trace.json > .obs-smoke/report.txt
+	$(GO) run ./cmd/obscheck -metrics .obs-smoke/metrics.prom -trace .obs-smoke/trace.json
+	rm -rf .obs-smoke
+
+# obs-bench: exporter and hot-path benchmarks; the Disabled* benchmarks
+# must report 0 allocs/op (also asserted by TestDisabledPathZeroAllocs).
+obs-bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/obs
 
 # Short fuzz smoke of every fuzz target; seed corpora live under the
 # packages' testdata/fuzz/ directories and always run as part of `test`.
@@ -31,4 +47,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/bench
 	$(GO) test -run '^$$' -fuzz FuzzGraphJSON -fuzztime $(FUZZTIME) ./internal/graph
 
-ci: build vet lint test race
+ci: build vet lint test race obs-smoke

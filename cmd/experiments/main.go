@@ -19,39 +19,68 @@ import (
 	"strings"
 
 	"convmeter"
+	"convmeter/internal/obs"
 )
 
 func main() {
-	id := flag.String("run", "all", "experiment id (fig2, table1, table2, table3single, fig6, table3multi, fig8, fig9, ablation, extvit, extedge, extpipeline, extreal, extstrong) or 'all'")
-	seed := flag.Int64("seed", 1, "simulator/fitting seed")
-	quick := flag.Bool("quick", false, "use reduced sweeps (for smoke runs)")
-	out := flag.String("out", "", "also write the output to this file")
-	csvDir := flag.String("csvdir", "", "write figure data series as CSV files into this directory")
+	opts := options{}
+	flag.StringVar(&opts.id, "run", "all", "experiment id (fig2, table1, table2, table3single, fig6, table3multi, fig8, fig9, ablation, extvit, extedge, extpipeline, extreal, exttrainreal, extstrong) or 'all'")
+	flag.Int64Var(&opts.seed, "seed", 1, "simulator/fitting seed")
+	flag.BoolVar(&opts.quick, "quick", false, "use reduced sweeps (for smoke runs)")
+	flag.StringVar(&opts.outPath, "out", "", "also write the output to this file")
+	flag.StringVar(&opts.csvDir, "csvdir", "", "write figure data series as CSV files into this directory")
+	flag.StringVar(&opts.metricsOut, "metrics-out", "", "write collected runtime metrics to this file (Prometheus text; JSONL when the path ends in .jsonl)")
+	flag.StringVar(&opts.traceOut, "trace-out", "", "write recorded spans as Chrome trace-event JSON to this file (open in Perfetto)")
+	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run; off by default")
 	flag.Parse()
-	if err := run(*id, *seed, *quick, *out, *csvDir); err != nil {
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id string, seed int64, quick bool, outPath, csvDir string) (err error) {
-	cfg := convmeter.ExperimentConfig{Seed: seed, Quick: quick}
+// options carries the full flag surface of one invocation.
+type options struct {
+	id                              string
+	seed                            int64
+	quick                           bool
+	outPath, csvDir                 string
+	metricsOut, traceOut, pprofAddr string
+}
+
+func run(opts options) (err error) {
+	if opts.pprofAddr != "" {
+		stop, err := obs.StartPprof(opts.pprofAddr)
+		if err != nil {
+			return err
+		}
+		defer stop()
+	}
+	cfg := convmeter.ExperimentConfig{Seed: opts.seed, Quick: opts.quick}
+	var bundle *obs.Obs
+	if opts.metricsOut != "" || opts.traceOut != "" {
+		bundle = obs.New()
+		cfg.Obs = bundle
+	}
 	var results []*convmeter.ExperimentResult
-	if id == "all" {
+	if opts.id == "all" {
 		results, err = convmeter.RunAllExperiments(cfg)
 		if err != nil {
 			return err
 		}
 	} else {
-		res, err := convmeter.RunExperiment(id, cfg)
+		res, err := convmeter.RunExperiment(opts.id, cfg)
 		if err != nil {
 			return err
 		}
 		results = append(results, res)
 	}
+	if err := bundle.Export(opts.metricsOut, opts.traceOut); err != nil {
+		return err
+	}
 	sinks := []io.Writer{os.Stdout}
-	if outPath != "" {
-		f, err := os.Create(outPath)
+	if opts.outPath != "" {
+		f, err := os.Create(opts.outPath)
 		if err != nil {
 			return err
 		}
@@ -73,11 +102,11 @@ func run(id string, seed int64, quick bool, outPath, csvDir string) (err error) 
 		if _, err := fmt.Fprintln(w, res.Text); err != nil {
 			return err
 		}
-		if csvDir == "" {
+		if opts.csvDir == "" {
 			continue
 		}
 		for name, doc := range res.Series {
-			path := filepath.Join(csvDir, name+".csv")
+			path := filepath.Join(opts.csvDir, name+".csv")
 			if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 				return err
 			}

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestRunWithTelemetry is the acceptance test for the telemetry flags: a
+// real exttrainreal run with -metrics-out and -trace-out must produce a
+// Prometheus metrics file whose step counter matches the training loop
+// and a Chrome trace whose fwd/bwd/grad events are time-contained within
+// the experiment event.
+func TestRunWithTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	tracePath := filepath.Join(dir, "trace.json")
+	outPath := filepath.Join(dir, "report.txt")
+	opts := options{
+		id: "exttrainreal", seed: 5, quick: true,
+		outPath: outPath, metricsOut: metricsPath, traceOut: tracePath,
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// Metrics: parse the exposition text into name -> value and check the
+	// training-loop counters against the quick fixture's known shape
+	// (2 workers × 6 steps).
+	values := parsePromFile(t, metricsPath)
+	const wantSteps = 6
+	if got := values["convmeter_train_steps_total"]; got != wantSteps {
+		t.Fatalf("convmeter_train_steps_total = %g, want %d", got, wantSteps)
+	}
+	if got := values["convmeter_experiments_total"]; got != 1 {
+		t.Fatalf("convmeter_experiments_total = %g, want 1", got)
+	}
+	if got := values[`convmeter_allreduce_steps_total{transport="chan"}`]; got == 0 {
+		t.Fatal("no allreduce steps recorded")
+	}
+	convmeterSamples := 0
+	for name := range values {
+		if strings.HasPrefix(name, "convmeter_") {
+			convmeterSamples++
+		}
+	}
+	if convmeterSamples < 10 {
+		t.Fatalf("only %d convmeter_ samples; the run barely recorded anything", convmeterSamples)
+	}
+
+	// Trace: fwd/bwd/grad events must sit inside the experiment event.
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TsUS  float64 `json:"ts"`
+			DurUS float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	var expStart, expEnd float64
+	haveExp := false
+	for _, e := range doc.TraceEvents {
+		if e.Phase == "X" && e.Name == "experiment:exttrainreal" {
+			expStart, expEnd = e.TsUS, e.TsUS+e.DurUS
+			haveExp = true
+		}
+	}
+	if !haveExp {
+		t.Fatal("trace has no experiment:exttrainreal event")
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		if e.Phase != "X" {
+			continue
+		}
+		switch e.Name {
+		case "fwd", "bwd", "grad":
+			counts[e.Name]++
+			if e.TsUS < expStart || e.TsUS+e.DurUS > expEnd {
+				t.Fatalf("%s event [%g, %g] escapes the experiment window [%g, %g]",
+					e.Name, e.TsUS, e.TsUS+e.DurUS, expStart, expEnd)
+			}
+		}
+	}
+	if counts["grad"] != wantSteps {
+		t.Fatalf("%d grad events, want %d", counts["grad"], wantSteps)
+	}
+	if counts["fwd"] == 0 || counts["bwd"] == 0 {
+		t.Fatalf("missing exec events: %v", counts)
+	}
+
+	// The report itself must still have been written.
+	report, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), "data-parallel training") {
+		t.Fatal("report missing experiment output")
+	}
+}
+
+// TestRunWithoutTelemetry keeps the default path dark: no flags, no files.
+func TestRunWithoutTelemetry(t *testing.T) {
+	dir := t.TempDir()
+	opts := options{
+		id: "fig2", seed: 5, quick: true,
+		outPath: filepath.Join(dir, "report.txt"),
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files in out dir, want only the report", len(entries))
+	}
+}
+
+// parsePromFile reads a Prometheus text file into series -> value.
+func parsePromFile(t *testing.T, path string) map[string]float64 {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	values := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp <= 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		values[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return values
+}

@@ -1,0 +1,135 @@
+// Command obscheck validates telemetry artefacts produced by the
+// --metrics-out/--trace-out flags: the metrics file must be parseable
+// Prometheus text exposition (or JSONL) containing at least one
+// convmeter_ sample, and the trace file must be a Chrome trace-event
+// JSON document with a traceEvents array. CI's obs-smoke target runs it
+// against a real experiment run so a formatting regression fails the
+// build rather than silently producing files Grafana or Perfetto reject.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	metrics := flag.String("metrics", "", "metrics file to validate (Prometheus text, or JSONL for .jsonl paths)")
+	trace := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	flag.Parse()
+	if *metrics == "" && *trace == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics and/or -trace)")
+		os.Exit(2)
+	}
+	if *metrics != "" {
+		if err := checkMetrics(*metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obscheck: %s ok\n", *metrics)
+	}
+	if *trace != "" {
+		if err := checkTrace(*trace); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obscheck: %s ok\n", *trace)
+	}
+}
+
+// checkMetrics validates the exposition format line by line and requires
+// at least one convmeter_-prefixed sample with a finite value.
+func checkMetrics(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".jsonl") {
+		return checkJSONL(path, f)
+	}
+	samples := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		// A sample line is "<series> <value>"; the series may carry a
+		// {label="..."} body which itself contains no spaces the way the
+		// registry renders it.
+		sp := strings.LastIndexByte(text, ' ')
+		if sp <= 0 {
+			return fmt.Errorf("%s:%d: not a sample line: %q", path, line, text)
+		}
+		if _, err := strconv.ParseFloat(text[sp+1:], 64); err != nil {
+			return fmt.Errorf("%s:%d: bad sample value: %v", path, line, err)
+		}
+		if strings.HasPrefix(text, "convmeter_") {
+			samples++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("%s: no convmeter_ samples", path)
+	}
+	return nil
+}
+
+// checkJSONL requires every line to be a standalone JSON object and at
+// least one to carry a convmeter_-prefixed name.
+func checkJSONL(path string, f *os.File) error {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line, named := 0, 0
+	for sc.Scan() {
+		line++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return fmt.Errorf("%s:%d: invalid JSONL record: %v", path, line, err)
+		}
+		if name, _ := rec["name"].(string); strings.HasPrefix(name, "convmeter_") {
+			named++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if named == 0 {
+		return fmt.Errorf("%s: no convmeter_ records", path)
+	}
+	return nil
+}
+
+// checkTrace requires a well-formed Chrome trace-event document with a
+// non-null traceEvents array.
+func checkTrace(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: invalid trace JSON: %v", path, err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("%s: traceEvents missing or null", path)
+	}
+	for i, e := range doc.TraceEvents {
+		if _, ok := e["name"].(string); !ok {
+			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+	}
+	return nil
+}

@@ -12,7 +12,51 @@ package allreduce
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"convmeter/internal/obs"
 )
+
+// ringTelemetry bundles the metric handles one all-reduce run shares
+// across its worker goroutines (counters and histograms are internally
+// atomic, so concurrent updates are safe). A nil *ringTelemetry — the
+// disabled path — makes every method a no-op.
+type ringTelemetry struct {
+	steps      *obs.Counter
+	stepH      *obs.Histogram
+	sent, recv *obs.Counter // tcp transport only
+}
+
+// newRingTelemetry resolves handles for the given transport ("chan" or
+// "tcp"); byte counters exist only for tcp, where real sockets move the
+// gradient chunks.
+func newRingTelemetry(o *obs.Obs, transport string) *ringTelemetry {
+	if o == nil {
+		return nil
+	}
+	rt := &ringTelemetry{
+		steps: o.Counter(obs.Label("convmeter_allreduce_steps_total", "transport", transport),
+			"ring all-reduce steps executed (per worker, reduce-scatter plus all-gather), by transport"),
+		stepH: o.Histogram(obs.Label("convmeter_allreduce_step_seconds", "transport", transport),
+			"ring step latency: one chunk sent, one received, reduced or stored", obs.DefaultDurationBuckets()),
+	}
+	if transport == "tcp" {
+		rt.sent = o.Counter(obs.Label("convmeter_allreduce_tcp_bytes_total", "dir", "sent"),
+			"framed gradient bytes written to ring sockets")
+		rt.recv = o.Counter(obs.Label("convmeter_allreduce_tcp_bytes_total", "dir", "recv"),
+			"framed gradient bytes read from ring sockets")
+	}
+	return rt
+}
+
+// step records one completed ring step.
+func (rt *ringTelemetry) step(elapsed time.Duration) {
+	if rt == nil {
+		return
+	}
+	rt.steps.Inc()
+	rt.stepH.Observe(elapsed.Seconds())
+}
 
 // chunkBounds splits length n into p contiguous chunks; chunk i spans
 // [start, end). Chunks differ in size by at most one element, and may be
@@ -40,10 +84,17 @@ func min(a, b int) int {
 // vectors must have equal length. The run is fully concurrent: one
 // goroutine per worker, synchronised only by the ring channels.
 func Ring(vectors [][]float32) error {
+	return RingObs(vectors, nil)
+}
+
+// RingObs is Ring with telemetry: per-step counts and latencies land on
+// the bundle under transport="chan". A nil Obs is exactly Ring.
+func RingObs(vectors [][]float32, o *obs.Obs) error {
 	n := len(vectors)
 	if n == 0 {
 		return fmt.Errorf("allreduce: no workers")
 	}
+	rt := newRingTelemetry(o, "chan")
 	length := len(vectors[0])
 	for i, v := range vectors {
 		if len(v) != length {
@@ -70,6 +121,10 @@ func Ring(vectors [][]float32) error {
 			// partial sum of chunk (me−s) accumulated over s+1 workers. At
 			// the end, worker me owns the fully reduced chunk (me+1) mod n.
 			for s := 0; s < n-1; s++ {
+				var t0 time.Time
+				if rt != nil {
+					t0 = time.Now()
+				}
 				sendChunk := ((me-s)%n + n) % n
 				recvChunk := ((me-s-1)%n + n) % n
 				a, b := chunkBounds(length, n, sendChunk)
@@ -81,9 +136,16 @@ func Ring(vectors [][]float32) error {
 				for k := range in {
 					v[a+k] += in[k]
 				}
+				if rt != nil {
+					rt.step(time.Since(t0))
+				}
 			}
 			// Phase 2 — all-gather: circulate the fully reduced chunks.
 			for s := 0; s < n-1; s++ {
+				var t0 time.Time
+				if rt != nil {
+					t0 = time.Now()
+				}
 				sendChunk := ((me-s+1)%n + n) % n
 				recvChunk := ((me-s)%n + n) % n
 				a, b := chunkBounds(length, n, sendChunk)
@@ -93,6 +155,9 @@ func Ring(vectors [][]float32) error {
 				in := <-recv
 				a, b = chunkBounds(length, n, recvChunk)
 				copy(v[a:b], in)
+				if rt != nil {
+					rt.step(time.Since(t0))
+				}
 			}
 		}(w)
 	}
@@ -105,6 +170,12 @@ func Ring(vectors [][]float32) error {
 // intra-group ring reduce, an inter-group ring across group leaders, and
 // an intra-group broadcast. groupSize is the number of workers per node.
 func Hierarchical(vectors [][]float32, groupSize int) error {
+	return HierarchicalObs(vectors, groupSize, nil)
+}
+
+// HierarchicalObs is Hierarchical with telemetry threaded into its
+// constituent ring phases.
+func HierarchicalObs(vectors [][]float32, groupSize int, o *obs.Obs) error {
 	n := len(vectors)
 	if n == 0 {
 		return fmt.Errorf("allreduce: no workers")
@@ -119,7 +190,7 @@ func Hierarchical(vectors [][]float32, groupSize int) error {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			errs[g] = Ring(vectors[g*groupSize : (g+1)*groupSize])
+			errs[g] = RingObs(vectors[g*groupSize:(g+1)*groupSize], o)
 		}(g)
 	}
 	wg.Wait()
@@ -133,7 +204,7 @@ func Hierarchical(vectors [][]float32, groupSize int) error {
 	for g := 0; g < n/groupSize; g++ {
 		leaders = append(leaders, vectors[g*groupSize])
 	}
-	if err := Ring(leaders); err != nil {
+	if err := RingObs(leaders, o); err != nil {
 		return err
 	}
 	// Broadcast inside each group.

@@ -7,6 +7,9 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
+
+	"convmeter/internal/obs"
 )
 
 // RingTCP performs the same ring all-reduce as Ring, but over real TCP
@@ -18,10 +21,18 @@ import (
 // The ring is wired as n listeners; worker i dials worker (i+1) mod n, so
 // each worker holds one inbound and one outbound connection.
 func RingTCP(vectors [][]float32) error {
+	return RingTCPObs(vectors, nil)
+}
+
+// RingTCPObs is RingTCP with telemetry: step counts and latencies under
+// transport="tcp", plus framed byte counters in both directions. A nil
+// Obs is exactly RingTCP.
+func RingTCPObs(vectors [][]float32, o *obs.Obs) error {
 	n := len(vectors)
 	if n == 0 {
 		return fmt.Errorf("allreduce: no workers")
 	}
+	rt := newRingTelemetry(o, "tcp")
 	length := len(vectors[0])
 	for i, v := range vectors {
 		if len(v) != length {
@@ -91,11 +102,15 @@ func RingTCP(vectors [][]float32) error {
 			send := outConns[me]
 			recv := inConns[me]
 			step := func(sendChunk, recvChunk int, reduce bool) error {
+				var t0 time.Time
+				if rt != nil {
+					t0 = time.Now()
+				}
 				a, b := chunkBounds(length, n, sendChunk)
-				if err := writeChunk(send, v[a:b]); err != nil {
+				if err := writeChunk(send, v[a:b], sentBytes(rt)); err != nil {
 					return err
 				}
-				in, err := readChunk(recv)
+				in, err := readChunk(recv, recvBytes(rt))
 				if err != nil {
 					return err
 				}
@@ -109,6 +124,9 @@ func RingTCP(vectors [][]float32) error {
 					}
 				} else {
 					copy(v[a:b], in)
+				}
+				if rt != nil {
+					rt.step(time.Since(t0))
 				}
 				return nil
 			}
@@ -135,8 +153,25 @@ func RingTCP(vectors [][]float32) error {
 	return nil
 }
 
-// writeChunk frames a float32 slice as a length-prefixed message.
-func writeChunk(w io.Writer, data []float32) error {
+// sentBytes/recvBytes pull the direction counters off a possibly nil
+// telemetry bundle; a nil *obs.Counter is itself a no-op.
+func sentBytes(rt *ringTelemetry) *obs.Counter {
+	if rt == nil {
+		return nil
+	}
+	return rt.sent
+}
+
+func recvBytes(rt *ringTelemetry) *obs.Counter {
+	if rt == nil {
+		return nil
+	}
+	return rt.recv
+}
+
+// writeChunk frames a float32 slice as a length-prefixed message,
+// crediting the frame (prefix + payload) to the byte counter.
+func writeChunk(w io.Writer, data []float32, sent *obs.Counter) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(data))); err != nil {
 		return err
 	}
@@ -145,11 +180,15 @@ func writeChunk(w io.Writer, data []float32) error {
 		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
 	}
 	_, err := w.Write(buf)
+	if err == nil {
+		sent.Add(float64(4 + len(buf)))
+	}
 	return err
 }
 
-// readChunk reads one length-prefixed float32 message.
-func readChunk(r io.Reader) ([]float32, error) {
+// readChunk reads one length-prefixed float32 message, crediting the
+// frame to the byte counter.
+func readChunk(r io.Reader, recv *obs.Counter) ([]float32, error) {
 	var n uint32
 	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 		return nil, err
@@ -165,5 +204,6 @@ func readChunk(r io.Reader) ([]float32, error) {
 	for i := range out {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
 	}
+	recv.Add(float64(4 + len(buf)))
 	return out, nil
 }

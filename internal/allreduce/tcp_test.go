@@ -63,10 +63,10 @@ func TestRingTCPShortVector(t *testing.T) {
 func TestChunkFraming(t *testing.T) {
 	var buf bytes.Buffer
 	orig := []float32{1.5, -2.25, 0, 3e8}
-	if err := writeChunk(&buf, orig); err != nil {
+	if err := writeChunk(&buf, orig, nil); err != nil {
 		t.Fatal(err)
 	}
-	back, err := readChunk(&buf)
+	back, err := readChunk(&buf, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,22 +80,22 @@ func TestChunkFraming(t *testing.T) {
 	}
 	// Empty chunk.
 	buf.Reset()
-	if err := writeChunk(&buf, nil); err != nil {
+	if err := writeChunk(&buf, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if back, err := readChunk(&buf); err != nil || len(back) != 0 {
+	if back, err := readChunk(&buf, nil); err != nil || len(back) != 0 {
 		t.Fatalf("empty chunk: %v %v", back, err)
 	}
 	// Truncated stream.
 	buf.Reset()
 	buf.Write([]byte{4, 0, 0, 0, 1, 2})
-	if _, err := readChunk(&buf); err == nil {
+	if _, err := readChunk(&buf, nil); err == nil {
 		t.Fatal("expected truncation error")
 	}
 	// Implausible size.
 	buf.Reset()
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
-	if _, err := readChunk(&buf); err == nil {
+	if _, err := readChunk(&buf, nil); err == nil {
 		t.Fatal("expected size rejection")
 	}
 }

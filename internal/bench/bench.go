@@ -18,6 +18,7 @@ import (
 	"convmeter/internal/metrics"
 	"convmeter/internal/models"
 	"convmeter/internal/netsim"
+	"convmeter/internal/obs"
 	"convmeter/internal/trainsim"
 )
 
@@ -93,6 +94,9 @@ type InferenceScenario struct {
 	Batches    []int
 	NoiseSigma float64
 	Seed       int64
+	// Obs, when non-nil, receives sweep telemetry: point/task counters,
+	// task-latency histograms, and one span per (model, image) task.
+	Obs *obs.Obs
 }
 
 // DefaultInferenceScenario returns the paper's inference campaign on the
@@ -133,15 +137,19 @@ func CollectInference(sc InferenceScenario) ([]core.Sample, error) {
 			}
 		}
 	}
+	pointsC, skippedC := sweepCounters(sc.Obs, "inference")
 	results := make([][]core.Sample, len(tasks))
-	err = runParallel(len(tasks), func(i int) error {
+	err = runParallelObs(len(tasks), sc.Obs, "inference", func(i int) error {
 		t := tasks[i]
+		sp := sc.Obs.Start("bench:" + t.model + "@" + strconv.Itoa(t.img))
+		defer sp.End()
 		bm := built[t.model][t.img]
 		sim := hwsim.NewSimulator(sc.Device, sc.NoiseSigma,
 			deriveSeed(sc.Seed, "inference", t.model, strconv.Itoa(t.img)))
 		var out []core.Sample
 		for _, batch := range sc.Batches {
 			if !sim.Fits(bm.g, batch, false) {
+				skippedC.Inc()
 				continue // paper rule: sweep only while memory allows
 			}
 			out = append(out, core.Sample{
@@ -150,6 +158,7 @@ func CollectInference(sc InferenceScenario) ([]core.Sample, error) {
 				Fwd: sim.Forward(bm.g, batch),
 			})
 		}
+		pointsC.Add(float64(len(out)))
 		results[i] = out
 		return nil
 	})
@@ -176,6 +185,21 @@ type TrainingScenario struct {
 	NoiseSigma     float64
 	CommNoiseSigma float64
 	Seed           int64
+	// Obs, when non-nil, receives sweep telemetry (see InferenceScenario).
+	Obs *obs.Obs
+}
+
+// sweepCounters returns the per-scenario point and memory-skip counters
+// shared by the three collectors. Nil counters (disabled telemetry) are
+// no-ops at the call sites.
+func sweepCounters(o *obs.Obs, scenario string) (points, skipped *obs.Counter) {
+	if o == nil {
+		return nil, nil
+	}
+	return o.Counter(obs.Label("convmeter_bench_points_total", "scenario", scenario),
+			"benchmark samples collected, by scenario kind"),
+		o.Counter(obs.Label("convmeter_bench_skipped_total", "scenario", scenario),
+			"sweep combinations skipped because the model does not fit device memory")
 }
 
 // DefaultSingleGPUScenario is the paper's single-A100 training campaign.
@@ -240,9 +264,12 @@ func CollectTraining(sc TrainingScenario) ([]core.Sample, error) {
 			}
 		}
 	}
+	pointsC, skippedC := sweepCounters(sc.Obs, "training")
 	results := make([][]core.Sample, len(tasks))
-	err = runParallel(len(tasks), func(i int) error {
+	err = runParallelObs(len(tasks), sc.Obs, "training", func(i int) error {
 		t := tasks[i]
+		sp := sc.Obs.Start("bench:" + t.model + "@" + strconv.Itoa(t.img))
+		defer sp.End()
 		bm := built[t.model][t.img]
 		sim, err := trainsim.New(trainsim.Config{
 			Device: sc.Device, Fabric: sc.Fabric, FusionBytes: sc.FusionBytes,
@@ -255,6 +282,7 @@ func CollectTraining(sc TrainingScenario) ([]core.Sample, error) {
 		var out []core.Sample
 		for _, batch := range sc.Batches {
 			if !sim.Fits(bm.g, batch) {
+				skippedC.Inc()
 				continue
 			}
 			for _, topo := range sc.Topologies {
@@ -269,6 +297,7 @@ func CollectTraining(sc TrainingScenario) ([]core.Sample, error) {
 				})
 			}
 		}
+		pointsC.Add(float64(len(out)))
 		results[i] = out
 		return nil
 	})
@@ -290,6 +319,8 @@ type BlockScenario struct {
 	Batches    []int
 	NoiseSigma float64
 	Seed       int64
+	// Obs, when non-nil, receives sweep telemetry (see InferenceScenario).
+	Obs *obs.Obs
 }
 
 // DefaultBlockScenario sweeps all registered Table 2 blocks on an A100.
@@ -315,9 +346,12 @@ func CollectBlocks(sc BlockScenario) ([]core.Sample, error) {
 			return nil, err
 		}
 	}
+	pointsC, skippedC := sweepCounters(sc.Obs, "blocks")
 	results := make([][]core.Sample, len(sc.Blocks))
-	err := runParallel(len(sc.Blocks), func(i int) error {
+	err := runParallelObs(len(sc.Blocks), sc.Obs, "blocks", func(i int) error {
 		name := sc.Blocks[i]
+		sp := sc.Obs.Start("bench:" + name)
+		defer sp.End()
 		info, err := models.Block(name)
 		if err != nil {
 			return err
@@ -340,6 +374,7 @@ func CollectBlocks(sc BlockScenario) ([]core.Sample, error) {
 			}
 			for _, batch := range sc.Batches {
 				if !sim.Fits(g, batch, false) {
+					skippedC.Inc()
 					continue
 				}
 				out = append(out, core.Sample{
@@ -349,6 +384,7 @@ func CollectBlocks(sc BlockScenario) ([]core.Sample, error) {
 				})
 			}
 		}
+		pointsC.Add(float64(len(out)))
 		results[i] = out
 		return nil
 	})

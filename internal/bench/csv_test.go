@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"convmeter/internal/core"
+	"convmeter/internal/metrics"
+	"convmeter/internal/obs"
+)
+
+// TestCSVRoundTripExact pins bit-exact field-for-field round-tripping
+// through WriteCSV/ReadCSV for adversarial float values: FormatFloat with
+// 17 significant digits must reproduce every float64 exactly, including
+// subnormals, MaxFloat64, and values with no short decimal form.
+func TestCSVRoundTripExact(t *testing.T) {
+	gnarly := []float64{
+		math.Pi,
+		1.0 / 3.0,
+		0.1, // classic non-representable decimal
+		math.MaxFloat64,
+		math.SmallestNonzeroFloat64, // subnormal
+		1e-300,
+		6.02214076e23,
+		math.Nextafter(1, 2), // 1 + ulp
+	}
+	var samples []core.Sample
+	for i, v := range gnarly {
+		samples = append(samples, core.Sample{
+			Model: "gnarly",
+			Met: metrics.Metrics{
+				Model: "gnarly", FLOPs: v, Inputs: v / 7, Outputs: v / 3,
+				Weights: math.Nextafter(v, 0), Layers: float64(i + 1),
+			},
+			Image: 32 + i, BatchPerDevice: 1 + i, Devices: 1, Nodes: 1,
+			Fwd: v, Bwd: v / 2, Grad: v / 4,
+		})
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, samples); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("round trip returned %d rows, want %d", len(back), len(samples))
+	}
+	for i := range samples {
+		// Struct equality is the whole point: every field, bit-exact.
+		if back[i] != samples[i] {
+			t.Errorf("row %d changed:\n  got %+v\n want %+v", i, back[i], samples[i])
+		}
+	}
+}
+
+// TestCSVObsTelemetry verifies the instrumented CSV paths count rows and
+// record latency on the registry, and that failures record nothing.
+func TestCSVObsTelemetry(t *testing.T) {
+	samples := []core.Sample{
+		{
+			Model: "m",
+			Met:   metrics.Metrics{Model: "m", FLOPs: 1, Inputs: 1, Outputs: 1, Weights: 1, Layers: 1},
+			Image: 8, BatchPerDevice: 1, Devices: 1, Nodes: 1,
+			Fwd: 0.001, Bwd: 0.002, Grad: 0.0005,
+		},
+		{
+			Model: "m2",
+			Met:   metrics.Metrics{Model: "m2", FLOPs: 2, Inputs: 2, Outputs: 2, Weights: 2, Layers: 2},
+			Image: 16, BatchPerDevice: 2, Devices: 2, Nodes: 1,
+			Fwd: 0.003, Bwd: 0.004, Grad: 0.001,
+		},
+	}
+	o := obs.New()
+	var buf bytes.Buffer
+	if err := WriteCSVObs(&buf, samples, o); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadCSVObs(&buf, o); err != nil {
+		t.Fatal(err)
+	}
+	wrote := o.Counter(obs.Label("convmeter_bench_csv_rows_total", "op", "write"), "").Value()
+	read := o.Counter(obs.Label("convmeter_bench_csv_rows_total", "op", "read"), "").Value()
+	if wrote != 2 || read != 2 {
+		t.Fatalf("csv row counters write=%g read=%g, want 2 and 2", wrote, read)
+	}
+	writeH := o.Histogram(obs.Label("convmeter_bench_csv_seconds", "op", "write"), "", obs.DefaultDurationBuckets())
+	if writeH.Count() != 1 {
+		t.Fatalf("csv write latency observations %d, want 1", writeH.Count())
+	}
+
+	// A failed read must not credit the counters.
+	if _, err := ReadCSVObs(bytes.NewReader([]byte("bad,header\n")), o); err == nil {
+		t.Fatal("expected read error")
+	}
+	if got := o.Counter(obs.Label("convmeter_bench_csv_rows_total", "op", "read"), "").Value(); got != 2 {
+		t.Fatalf("failed read moved the counter to %g", got)
+	}
+}

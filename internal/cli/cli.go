@@ -18,6 +18,7 @@ import (
 	"convmeter/internal/metrics"
 	"convmeter/internal/models"
 	"convmeter/internal/netsim"
+	"convmeter/internal/obs"
 	"convmeter/internal/tracefmt"
 	"convmeter/internal/trainsim"
 )
@@ -230,14 +231,19 @@ func runDissect(args []string, env Env) error {
 	data := fs.String("data", "", "benchmark dataset CSV")
 	coeff := fs.String("coeff", "", "fitted coefficients JSON")
 	seed := fs.Int64("seed", 1, "simulator seed")
+	oo := addObsFlags(fs)
 	if err := parse(fs, args, env); err != nil {
+		return err
+	}
+	o, finish, err := oo.start()
+	if err != nil {
 		return err
 	}
 	g, met, err := buildWithMetrics(*model, *image)
 	if err != nil {
 		return err
 	}
-	m, err := loadInferenceModel(*coeff, *data, *device, *seed)
+	m, err := loadInferenceModel(*coeff, *data, *device, *seed, o)
 	if err != nil {
 		return err
 	}
@@ -278,7 +284,7 @@ func runDissect(args []string, env Env) error {
 			r.met.Outputs*float64(*batch)/1e6,
 			r.pred*1e3, share*100)
 	}
-	return nil
+	return finish()
 }
 
 // runTimeline emits a Chrome trace of one simulated training step.
@@ -337,8 +343,9 @@ func deviceByName(name string) (hwsim.Device, error) {
 	}
 }
 
-// loadSamples reads a CSV dataset or collects a simulated sweep.
-func loadSamples(dataPath string, collect func() ([]core.Sample, error)) ([]core.Sample, error) {
+// loadSamples reads a CSV dataset or collects a simulated sweep. The
+// telemetry bundle (nil when disabled) times the CSV read.
+func loadSamples(dataPath string, o *obs.Obs, collect func() ([]core.Sample, error)) ([]core.Sample, error) {
 	if dataPath == "" {
 		return collect()
 	}
@@ -347,7 +354,7 @@ func loadSamples(dataPath string, collect func() ([]core.Sample, error)) ([]core
 		return nil, err
 	}
 	defer f.Close()
-	return bench.ReadCSV(f)
+	return bench.ReadCSVObs(f, o)
 }
 
 func runFit(args []string, env Env) error {
@@ -358,18 +365,25 @@ func runFit(args []string, env Env) error {
 	out := fs.String("out", "", "write fitted coefficients to this JSON file (default stdout)")
 	seed := fs.Int64("seed", 1, "simulator seed when no dataset is given")
 	stats := fs.Bool("stats", false, "also print per-coefficient standard errors and t-values (inference only)")
+	oo := addObsFlags(fs)
 	if err := parse(fs, args, env); err != nil {
+		return err
+	}
+	o, finish, err := oo.start()
+	if err != nil {
 		return err
 	}
 	var payload any
 	switch *kind {
 	case "inference":
-		samples, err := loadSamples(*data, func() ([]core.Sample, error) {
+		samples, err := loadSamples(*data, o, func() ([]core.Sample, error) {
 			dev, err := deviceByName(*device)
 			if err != nil {
 				return nil, err
 			}
-			return bench.CollectInference(bench.DefaultInferenceScenario(dev, *seed))
+			sc := bench.DefaultInferenceScenario(dev, *seed)
+			sc.Obs = o
+			return bench.CollectInference(sc)
 		})
 		if err != nil {
 			return err
@@ -388,11 +402,13 @@ func runFit(args []string, env Env) error {
 		}
 		payload = m
 	case "train-single", "train-multi":
-		samples, err := loadSamples(*data, func() ([]core.Sample, error) {
+		samples, err := loadSamples(*data, o, func() ([]core.Sample, error) {
+			sc := bench.DefaultSingleGPUScenario(*seed)
 			if *kind == "train-multi" {
-				return bench.CollectTraining(bench.DefaultDistributedScenario(*seed))
+				sc = bench.DefaultDistributedScenario(*seed)
 			}
-			return bench.CollectTraining(bench.DefaultSingleGPUScenario(*seed))
+			sc.Obs = o
+			return bench.CollectTraining(sc)
 		})
 		if err != nil {
 			return err
@@ -416,12 +432,15 @@ func runFit(args []string, env Env) error {
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(payload)
+	if err := enc.Encode(payload); err != nil {
+		return err
+	}
+	return finish()
 }
 
 // loadInferenceModel builds a predictor from -coeff JSON, -data CSV, or a
 // simulated sweep.
-func loadInferenceModel(coeffPath, dataPath, device string, seed int64) (*core.InferenceModel, error) {
+func loadInferenceModel(coeffPath, dataPath, device string, seed int64, o *obs.Obs) (*core.InferenceModel, error) {
 	if coeffPath != "" {
 		data, err := os.ReadFile(coeffPath)
 		if err != nil {
@@ -433,12 +452,14 @@ func loadInferenceModel(coeffPath, dataPath, device string, seed int64) (*core.I
 		}
 		return &m, nil
 	}
-	samples, err := loadSamples(dataPath, func() ([]core.Sample, error) {
+	samples, err := loadSamples(dataPath, o, func() ([]core.Sample, error) {
 		dev, err := deviceByName(device)
 		if err != nil {
 			return nil, err
 		}
-		return bench.CollectInference(bench.DefaultInferenceScenario(dev, seed))
+		sc := bench.DefaultInferenceScenario(dev, seed)
+		sc.Obs = o
+		return bench.CollectInference(sc)
 	})
 	if err != nil {
 		return nil, err
@@ -459,7 +480,7 @@ func loadTrainingModel(coeffPath, dataPath string, multi bool, seed int64) (*cor
 		}
 		return &m, nil
 	}
-	samples, err := loadSamples(dataPath, func() ([]core.Sample, error) {
+	samples, err := loadSamples(dataPath, nil, func() ([]core.Sample, error) {
 		if multi {
 			return bench.CollectTraining(bench.DefaultDistributedScenario(seed))
 		}
@@ -479,21 +500,26 @@ func runPredict(args []string, env Env) error {
 	data := fs.String("data", "", "benchmark dataset CSV")
 	coeff := fs.String("coeff", "", "fitted coefficients JSON (from `convmeter fit`)")
 	seed := fs.Int64("seed", 1, "simulator seed")
+	oo := addObsFlags(fs)
 	if err := parse(fs, args, env); err != nil {
+		return err
+	}
+	o, finish, err := oo.start()
+	if err != nil {
 		return err
 	}
 	_, met, err := buildWithMetrics(*model, *image)
 	if err != nil {
 		return err
 	}
-	m, err := loadInferenceModel(*coeff, *data, *device, *seed)
+	m, err := loadInferenceModel(*coeff, *data, *device, *seed, o)
 	if err != nil {
 		return err
 	}
 	t := m.Predict(met, float64(*batch))
 	printf(env.Stdout, "predicted inference time for %s @ %dpx, batch %d: %.4g ms (%.1f images/s)\n",
 		*model, *image, *batch, t*1e3, float64(*batch)/t)
-	return nil
+	return finish()
 }
 
 func runTrain(args []string, env Env) error {

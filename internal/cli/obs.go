@@ -1,0 +1,52 @@
+package cli
+
+import (
+	"flag"
+
+	"convmeter/internal/obs"
+)
+
+// obsOpts carries the shared telemetry flags (-metrics-out, -trace-out,
+// -pprof) that the data-heavy commands (fit, predict, dissect) accept.
+type obsOpts struct {
+	metricsOut *string
+	traceOut   *string
+	pprofAddr  *string
+}
+
+// addObsFlags registers the telemetry flags on the command's flag set.
+func addObsFlags(fs *flag.FlagSet) obsOpts {
+	return obsOpts{
+		metricsOut: fs.String("metrics-out", "",
+			"write collected metrics to this file (Prometheus text; JSONL when the path ends in .jsonl)"),
+		traceOut: fs.String("trace-out", "",
+			"write recorded spans as Chrome trace-event JSON to this file (open in Perfetto)"),
+		pprofAddr: fs.String("pprof", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060) while the command runs; off by default"),
+	}
+}
+
+// start activates the requested telemetry: a bundle when an output file
+// was asked for (nil otherwise — the zero-cost disabled path), and the
+// pprof server when -pprof was given. The returned finish func stops
+// pprof and exports the output files; call it once the command's work is
+// done.
+func (oo obsOpts) start() (*obs.Obs, func() error, error) {
+	stopPprof := func() {}
+	if *oo.pprofAddr != "" {
+		stop, err := obs.StartPprof(*oo.pprofAddr)
+		if err != nil {
+			return nil, nil, err
+		}
+		stopPprof = stop
+	}
+	var o *obs.Obs
+	if *oo.metricsOut != "" || *oo.traceOut != "" {
+		o = obs.New()
+	}
+	finish := func() error {
+		stopPprof()
+		return o.Export(*oo.metricsOut, *oo.traceOut)
+	}
+	return o, finish, nil
+}

@@ -38,9 +38,12 @@ func (e *Executor) Gradients(input *Tensor, labels []int) (float64, map[int]*Wei
 
 	// Forward pass, keeping every activation.
 	acts := make([]*Tensor, len(e.g.Nodes))
+	fwdSp := e.o.Start("fwd")
 	if err := e.forwardAll(input, acts); err != nil {
+		fwdSp.End()
 		return 0, nil, err
 	}
+	fwdSp.End()
 	logits := acts[len(acts)-1]
 	classes := int(logits.Shape.Elems())
 	for _, l := range labels {
@@ -84,6 +87,8 @@ func (e *Executor) Gradients(input *Tensor, labels []int) (float64, map[int]*Wei
 	dActs[len(dActs)-1] = dLogits
 
 	// Backward pass in reverse topological order.
+	bwdSp := e.o.Start("bwd")
+	defer bwdSp.End()
 	grads := map[int]*WeightGrads{}
 	for i := len(e.g.Nodes) - 1; i >= 1; i-- {
 		n := e.g.Nodes[i]

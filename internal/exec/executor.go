@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"convmeter/internal/graph"
+	"convmeter/internal/obs"
 )
 
 // nodeWeights holds the initialised parameters of one node (nil slices
@@ -20,6 +22,12 @@ type Executor struct {
 	g       *graph.Graph
 	weights []nodeWeights
 	seed    int64
+
+	// Telemetry (see SetObs). opCount/opTime are per-node handles indexed
+	// like g.Nodes; both nil when telemetry is detached.
+	o       *obs.Obs
+	opCount []*obs.Counter
+	opTime  []*obs.Histogram
 }
 
 // NewExecutor validates the graph and initialises every parameterised
@@ -113,6 +121,8 @@ func (e *Executor) RandomInput(batch int) (*Tensor, error) {
 // Run executes the graph on the given input and returns the final node's
 // output tensor.
 func (e *Executor) Run(input *Tensor) (*Tensor, error) {
+	sp := e.o.Start("fwd")
+	defer sp.End()
 	acts := make([]*Tensor, len(e.g.Nodes))
 	return e.runInternal(input, acts)
 }
@@ -135,6 +145,10 @@ func (e *Executor) runInternal(input *Tensor, acts []*Tensor) (*Tensor, error) {
 		}
 		out := NewTensor(batch, n.Out)
 		nw := e.weights[i]
+		var t0 time.Time
+		if e.opTime != nil {
+			t0 = time.Now()
+		}
 		switch op := n.Op.(type) {
 		case *graph.InputOp:
 			copy(out.Data, input.Data)
@@ -206,6 +220,10 @@ func (e *Executor) runInternal(input *Tensor, acts []*Tensor) (*Tensor, error) {
 			}
 		default:
 			return nil, fmt.Errorf("exec: no kernel for op kind %q", n.Op.Kind())
+		}
+		if e.opTime != nil {
+			e.opTime[i].Observe(time.Since(t0).Seconds())
+			e.opCount[i].Inc()
 		}
 		acts[i] = out
 	}

@@ -12,6 +12,8 @@ import (
 	"sort"
 	"strings"
 	"text/tabwriter"
+
+	"convmeter/internal/obs"
 )
 
 // Config controls an experiment run.
@@ -23,6 +25,11 @@ type Config struct {
 	// benchmarks; headline numbers shift slightly but every shape
 	// conclusion must still hold.
 	Quick bool
+	// Obs, when non-nil, receives runtime telemetry: per-experiment spans
+	// and duration gauges, headline-stat gauges, and everything the
+	// instrumented layers underneath (bench, exec, allreduce, train)
+	// record. Nil disables telemetry at zero cost.
+	Obs *obs.Obs
 }
 
 // Result is the outcome of one experiment: a rendered table plus the
@@ -96,6 +103,7 @@ func Runners() []Runner {
 		{"extedge", "Extension: edge processors (paper §6 outlook)", ExtEdge},
 		{"extpipeline", "Extension: pipeline model parallelism (paper §3 note)", ExtPipeline},
 		{"extreal", "Extension: real wall-clock measurements on the host CPU", ExtReal},
+		{"exttrainreal", "Extension: real data-parallel training run (telemetry fixture)", ExtTrainReal},
 		{"extstrong", "Extension: strong scaling at a fixed global batch (§4.3 capability)", ExtStrong},
 	}
 }
@@ -104,7 +112,7 @@ func Runners() []Runner {
 func Run(id string, cfg Config) (*Result, error) {
 	for _, r := range Runners() {
 		if r.ID == id {
-			return r.Run(cfg)
+			return runOne(r, cfg)
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
@@ -114,7 +122,7 @@ func Run(id string, cfg Config) (*Result, error) {
 func All(cfg Config) ([]*Result, error) {
 	var out []*Result
 	for _, r := range Runners() {
-		res, err := r.Run(cfg)
+		res, err := runOne(r, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", r.ID, err)
 		}

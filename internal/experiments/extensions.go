@@ -36,6 +36,7 @@ func ExtViT(cfg Config) (*Result, error) {
 		sc.Models = append([]string{"resnet18", "resnet50", "mobilenet_v2", "vgg11"}, vitModels()...)
 		sc.Batches = []int{1, 8, 64, 512}
 	}
+	sc.Obs = cfg.Obs
 	samples, err := bench.CollectInference(sc)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,7 @@ func inferenceScenario(dev hwsim.Device, cfg Config) bench.InferenceScenario {
 			sc.Batches = []int{1, 4, 16, 32}
 		}
 	}
+	sc.Obs = cfg.Obs
 	return sc
 }
 
@@ -46,7 +47,10 @@ func Fig2(cfg Config) (*Result, error) {
 	}
 	var rows [][]string
 	for _, mask := range masks {
-		ev, err := baselines.EvaluateAblationLOMO(samples, mask)
+		mask := mask
+		ev, err := lomoEval(cfg, func() (*core.Evaluation, error) {
+			return baselines.EvaluateAblationLOMO(samples, mask)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +105,9 @@ func Table1(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ev, err := core.EvaluateInferenceLOMO(samples)
+		ev, err := lomoEval(cfg, func() (*core.Evaluation, error) {
+			return core.EvaluateInferenceLOMO(samples)
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -128,11 +134,14 @@ func Table2(cfg Config) (*Result, error) {
 		sc.Scales = []float64{1, 2}
 		sc.Batches = []int{1, 16, 256}
 	}
+	sc.Obs = cfg.Obs
 	samples, err := bench.CollectBlocks(sc)
 	if err != nil {
 		return nil, err
 	}
-	ev, err := core.EvaluateInferenceLOMO(samples)
+	ev, err := lomoEval(cfg, func() (*core.Evaluation, error) {
+		return core.EvaluateInferenceLOMO(samples)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -18,6 +18,7 @@ func singleGPUScenario(cfg Config) bench.TrainingScenario {
 		sc.Images = []int{64, 128, 224}
 		sc.Batches = []int{4, 16, 64, 256}
 	}
+	sc.Obs = cfg.Obs
 	return sc
 }
 
@@ -33,6 +34,7 @@ func distributedScenario(cfg Config) bench.TrainingScenario {
 		sc.Batches = []int{16, 64, 256}
 		sc.Topologies = [][2]int{{8, 2}, {16, 4}, {64, 16}}
 	}
+	sc.Obs = cfg.Obs
 	return sc
 }
 
@@ -75,7 +77,9 @@ func Table3Single(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, err := core.EvaluateTrainingLOMO(samples)
+	ev, err := lomoEval(cfg, func() (*core.TrainEvaluation, error) {
+		return core.EvaluateTrainingLOMO(samples)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +98,9 @@ func Table3Multi(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, err := core.EvaluateTrainingLOMO(samples)
+	ev, err := lomoEval(cfg, func() (*core.TrainEvaluation, error) {
+		return core.EvaluateTrainingLOMO(samples)
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -73,7 +73,7 @@ func TestRepoConfig(t *testing.T) {
 			t.Errorf("lint.config classifies %s as %q, want analytical", p, got)
 		}
 	}
-	for _, p := range []string{"exec", "hwsim", "hwreal", "netsim", "trainsim", "pipesim", "allreduce"} {
+	for _, p := range []string{"exec", "hwsim", "hwreal", "netsim", "trainsim", "pipesim", "allreduce", "obs", "tracefmt"} {
 		if got := cfg.classify("convmeter/internal/" + p); got != "measured" {
 			t.Errorf("lint.config classifies %s as %q, want measured", p, got)
 		}

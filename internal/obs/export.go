@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"io"
+	"os"
+	"strings"
+)
+
+// Export writes the bundle's telemetry to files: metricsPath receives
+// the registry (Prometheus text, or JSONL when the path ends in .jsonl —
+// spans included, one record per line) and tracePath receives the Chrome
+// trace-event JSON of all finished spans. Empty paths are skipped;
+// a nil *Obs writes nothing. This is the shared backend of the
+// --metrics-out/--trace-out command-line flags.
+func (o *Obs) Export(metricsPath, tracePath string) error {
+	if o == nil {
+		return nil
+	}
+	if metricsPath != "" {
+		if err := writeFile(metricsPath, func(f io.Writer) error {
+			if strings.HasSuffix(metricsPath, ".jsonl") {
+				if err := o.Reg.WriteJSONL(f); err != nil {
+					return err
+				}
+				return o.Trc.WriteJSONL(f)
+			}
+			return o.Reg.WritePrometheus(f)
+		}); err != nil {
+			return err
+		}
+	}
+	if tracePath != "" {
+		if err := writeFile(tracePath, o.Trc.WriteChromeTrace); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeFile creates path, runs write, and surfaces the first error —
+// including Close, since a truncated telemetry file parses as a lie.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// jsonlMetric is one registry series as a JSONL record.
+type jsonlMetric struct {
+	Kind    string        `json:"type"`
+	Name    string        `json:"name"`
+	Value   float64       `json:"value"`
+	Count   uint64        `json:"count,omitempty"`
+	Buckets []jsonlBucket `json:"buckets,omitempty"`
+}
+
+// jsonlBucket renders LE as a string so +Inf survives JSON.
+type jsonlBucket struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+// jsonlSpan is one finished span as a JSONL record. Times are in
+// microseconds to match the Chrome trace exporter.
+type jsonlSpan struct {
+	Kind    string  `json:"type"`
+	Name    string  `json:"name"`
+	ID      int64   `json:"id"`
+	Parent  int64   `json:"parent"`
+	Track   int64   `json:"track"`
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+}
+
+// WriteJSONL writes one JSON object per line for every metric series.
+// Nil-safe (writes nothing).
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, p := range r.Snapshot() {
+		rec := jsonlMetric{Kind: p.Type, Name: p.Name, Value: p.Value, Count: p.Count}
+		for _, b := range p.Buckets {
+			le := "+Inf"
+			if !math.IsInf(b.LE, 1) {
+				le = formatPromValue(b.LE)
+			}
+			rec.Buckets = append(rec.Buckets, jsonlBucket{LE: le, Count: b.Count})
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL writes one JSON object per line for every finished span.
+// Nil-safe (writes nothing).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, s := range t.Spans() {
+		if err := enc.Encode(jsonlSpan{
+			Kind: "span", Name: s.Name, ID: s.ID, Parent: s.Parent, Track: s.Track,
+			StartUS: float64(s.Start.Nanoseconds()) / 1e3,
+			DurUS:   float64(s.Dur.Nanoseconds()) / 1e3,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

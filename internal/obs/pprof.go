@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves the net/http/pprof endpoints on addr (e.g.
+// "localhost:6060") and returns a stop function. It listens before
+// returning so a bad address fails fast, and uses a private mux so
+// nothing is registered on http.DefaultServeMux. Profiling is strictly
+// opt-in: nothing in this package starts a server unless asked.
+func StartPprof(addr string) (stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go servePprof(srv, ln)
+	return func() { _ = srv.Close() }, nil
+}
+
+// servePprof runs the profiling server until Close. Serve always
+// returns a non-nil error — http.ErrServerClosed after a clean stop —
+// and there is no channel to report an unclean one on; the endpoint is
+// best-effort diagnostics, never load-bearing.
+func servePprof(srv *http.Server, ln net.Listener) {
+	_ = srv.Serve(ln)
+}

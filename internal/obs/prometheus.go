@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP and # TYPE lines per family, then one
+// sample line per series, with histogram families expanded into
+// _bucket/_sum/_count series. Nil-safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	points := r.Snapshot()
+	lastBase := ""
+	for _, p := range points {
+		if p.Base != lastBase {
+			lastBase = p.Base
+			if p.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", p.Base, escapeHelp(p.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Base, p.Type); err != nil {
+				return err
+			}
+		}
+		if err := writePromSeries(w, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromSeries renders one Point's sample lines.
+func writePromSeries(w io.Writer, p Point) error {
+	if p.Type != "histogram" {
+		_, err := fmt.Fprintf(w, "%s %s\n", p.Name, formatPromValue(p.Value))
+		return err
+	}
+	_, labels := splitSeries(p.Name)
+	for _, b := range p.Buckets {
+		le := "+Inf"
+		if !math.IsInf(b.LE, 1) {
+			le = formatPromValue(b.LE)
+		}
+		series := p.Base + "_bucket{"
+		if labels != "" {
+			series += labels + ","
+		}
+		series += `le="` + le + `"}`
+		if _, err := fmt.Fprintf(w, "%s %d\n", series, b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s %s\n", suffixSeries(p.Base, labels, "_sum"), formatPromValue(p.Value)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", suffixSeries(p.Base, labels, "_count"), p.Count)
+	return err
+}
+
+// suffixSeries builds base_suffix{labels} (labels may be empty).
+func suffixSeries(base, labels, suffix string) string {
+	if labels == "" {
+		return base + suffix
+	}
+	return base + suffix + "{" + labels + "}"
+}
+
+// formatPromValue renders a float the way Prometheus expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp applies the text-format escapes for HELP lines.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

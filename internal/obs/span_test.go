@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock returns a Clock that advances by step on every reading.
+func fakeClock(step time.Duration) Clock {
+	var now time.Duration
+	return func() time.Duration {
+		now += step
+		return now
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(time.Millisecond))
+	root := tr.Start("root")
+	child := root.Child("child")
+	grand := child.Child("grand")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	r, c, g := byName["root"], byName["child"], byName["grand"]
+	if r.Parent != 0 {
+		t.Fatalf("root parent %d, want 0", r.Parent)
+	}
+	if c.Parent != r.ID {
+		t.Fatalf("child parent %d, want root id %d", c.Parent, r.ID)
+	}
+	if g.Parent != c.ID {
+		t.Fatalf("grand parent %d, want child id %d", g.Parent, c.ID)
+	}
+	// Track groups a whole span tree under its root's ID.
+	for name, s := range byName {
+		if s.Track != r.ID {
+			t.Fatalf("%s track %d, want root id %d", name, s.Track, r.ID)
+		}
+	}
+	// The fake clock advances 1ms per reading: starts at 1,2,3ms and ends
+	// span durations deterministically (grand ends first).
+	if g.Dur <= 0 || c.Dur <= g.Dur || r.Dur <= c.Dur {
+		t.Fatalf("durations not nested: root=%v child=%v grand=%v", r.Dur, c.Dur, g.Dur)
+	}
+	if !(r.Start < c.Start && c.Start < g.Start) {
+		t.Fatalf("starts not ordered: %v %v %v", r.Start, c.Start, g.Start)
+	}
+}
+
+func TestTracerSeparateRootsGetSeparateTracks(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(time.Millisecond))
+	a := tr.Start("a")
+	b := tr.Start("b")
+	a.End()
+	b.End()
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("%d spans, want 2", len(spans))
+	}
+	if spans[0].Track == spans[1].Track {
+		t.Fatal("independent roots must land on distinct tracks")
+	}
+}
+
+func TestSpansReturnsCopy(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(time.Millisecond))
+	sp := tr.Start("x")
+	sp.End()
+	got := tr.Spans()
+	got[0].Name = "mutated"
+	if tr.Spans()[0].Name != "x" {
+		t.Fatal("Spans must return a copy, not the internal slice")
+	}
+}
+
+func TestUnendedSpanNotRecorded(t *testing.T) {
+	tr := NewTracerWithClock(fakeClock(time.Millisecond))
+	tr.Start("open") // never ended
+	done := tr.Start("done")
+	done.End()
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "done" {
+		t.Fatalf("spans = %+v, want only the ended span", spans)
+	}
+}
+
+func TestObsWithSpanParenting(t *testing.T) {
+	o := New()
+	outer := o.Start("outer")
+	inner := o.WithSpan(outer).Start("inner")
+	inner.End()
+	outer.End()
+	spans := o.Trc.Spans()
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["inner"].Parent != byName["outer"].ID {
+		t.Fatalf("inner parent %d, want outer id %d",
+			byName["inner"].Parent, byName["outer"].ID)
+	}
+}

@@ -3,80 +3,52 @@
 // phase structure the paper's Figure 1 sketches — forward, backward, the
 // overlapped per-bucket gradient all-reduces, the optimizer tail — can be
 // inspected visually for any model and cluster topology.
+//
+// The event serialisation itself lives in internal/obs (TraceEvent,
+// WriteTraceEvents), which the runtime telemetry layer also uses for real
+// measured spans; this package is the adapter that renders trainsim's
+// *simulated* timelines in the same format.
 package tracefmt
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 
+	"convmeter/internal/obs"
 	"convmeter/internal/trainsim"
 )
-
-// chromeEvent is one complete ("ph":"X") trace event. Timestamps are in
-// microseconds per the trace-event spec.
-type chromeEvent struct {
-	Name  string `json:"name"`
-	Phase string `json:"ph"`
-	Ts    float64
-	Dur   float64
-	Pid   int `json:"pid"`
-	Tid   int `json:"tid"`
-}
-
-// MarshalJSON renders the event with the spec's lower-case keys.
-func (e chromeEvent) MarshalJSON() ([]byte, error) {
-	return json.Marshal(map[string]any{
-		"name": e.Name, "ph": e.Phase,
-		"ts": e.Ts, "dur": e.Dur,
-		"pid": e.Pid, "tid": e.Tid,
-	})
-}
 
 // trackNames labels the two tracks of a training-step timeline.
 var trackNames = map[int]string{0: "compute", 1: "network"}
 
 // WriteChromeTrace writes the events as a Chrome trace-event JSON
 // document (object form with a traceEvents array plus thread-name
-// metadata).
+// metadata). An empty timeline — a zero-layer or otherwise degenerate
+// model — yields a valid empty document, not an error, so every
+// timeline pipes cleanly into Perfetto.
 func WriteChromeTrace(w io.Writer, events []trainsim.TimelineEvent) error {
-	if len(events) == 0 {
-		return fmt.Errorf("tracefmt: no events")
-	}
-	var out struct {
-		TraceEvents []json.RawMessage `json:"traceEvents"`
-	}
+	var out []obs.TraceEvent
 	seenTracks := map[int]bool{}
 	for _, e := range events {
 		if e.Dur < 0 || e.Start < 0 {
 			return fmt.Errorf("tracefmt: event %q has negative time", e.Name)
 		}
 		seenTracks[e.Track] = true
-		raw, err := json.Marshal(chromeEvent{
+		out = append(out, obs.TraceEvent{
 			Name: e.Name, Phase: "X",
-			Ts: e.Start * 1e6, Dur: e.Dur * 1e6,
+			TsUS: e.Start * 1e6, DurUS: e.Dur * 1e6,
 			Pid: 1, Tid: e.Track,
 		})
-		if err != nil {
-			return err
-		}
-		out.TraceEvents = append(out.TraceEvents, raw)
 	}
 	for track := range seenTracks {
 		name := trackNames[track]
 		if name == "" {
 			name = fmt.Sprintf("track %d", track)
 		}
-		meta, err := json.Marshal(map[string]any{
-			"name": "thread_name", "ph": "M", "pid": 1, "tid": track,
-			"args": map[string]string{"name": name},
+		out = append(out, obs.TraceEvent{
+			Name: "thread_name", Phase: "M", Pid: 1, Tid: track,
+			Args: map[string]any{"name": name},
 		})
-		if err != nil {
-			return err
-		}
-		out.TraceEvents = append(out.TraceEvents, meta)
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(out)
+	return obs.WriteTraceEvents(w, out)
 }

@@ -106,11 +106,29 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	// An empty timeline must render as a valid empty document — Perfetto
+	// accepts it — rather than an error.
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("empty timeline: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid empty-trace JSON: %v", err)
+	}
+	if doc.TraceEvents == nil {
+		t.Fatal("traceEvents must be an empty array, not null")
+	}
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty timeline produced %d events", len(doc.TraceEvents))
+	}
+}
+
 func TestWriteChromeTraceErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := WriteChromeTrace(&buf, nil); err == nil {
-		t.Fatal("expected no-events error")
-	}
 	bad := []trainsim.TimelineEvent{{Name: "x", Start: -1, Dur: 1}}
 	if err := WriteChromeTrace(&buf, bad); err == nil {
 		t.Fatal("expected negative-time error")

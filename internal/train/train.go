@@ -12,11 +12,14 @@ package train
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
+	"time"
 
 	"convmeter/internal/allreduce"
 	"convmeter/internal/exec"
 	"convmeter/internal/graph"
+	"convmeter/internal/obs"
 )
 
 // Batch is one worker's training micro-batch.
@@ -46,6 +49,10 @@ type Config struct {
 	LR        float32 // learning rate
 	Optimizer Optimizer
 	Seed      int64 // weight initialisation seed (shared by all replicas)
+	// Obs, when non-nil, receives step counters/latencies and a span tree:
+	// one "step N" span per training step, with the replicas' "fwd"/"bwd"
+	// kernel spans and the all-reduce "grad" span nested underneath.
+	Obs *obs.Obs
 }
 
 // Result reports a training run.
@@ -82,9 +89,29 @@ func DataParallel(g *graph.Graph, cfg Config, steps int, data DataSource) (*Resu
 			adam[w] = exec.NewAdamState()
 		}
 	}
+	var (
+		stepsC *obs.Counter
+		stepH  *obs.Histogram
+	)
+	if cfg.Obs != nil {
+		stepsC = cfg.Obs.Counter("convmeter_train_steps_total",
+			"data-parallel training steps completed")
+		stepH = cfg.Obs.Histogram("convmeter_train_step_seconds",
+			"wall-clock per data-parallel step (compute + all-reduce + update)",
+			obs.DefaultDurationBuckets())
+	}
 	res := &Result{}
 	scale := float32(1) / float32(cfg.Workers)
 	for step := 0; step < steps; step++ {
+		var stepT0 time.Time
+		stepSp := cfg.Obs.Start("step " + strconv.Itoa(step))
+		stepObs := cfg.Obs.WithSpan(stepSp)
+		if cfg.Obs != nil {
+			stepT0 = time.Now()
+			for w := range replicas {
+				replicas[w].SetObs(stepObs)
+			}
+		}
 		losses := make([]float64, cfg.Workers)
 		gradMaps := make([]map[int]*exec.WeightGrads, cfg.Workers)
 		vectors := make([][]float32, cfg.Workers)
@@ -116,12 +143,14 @@ func DataParallel(g *graph.Graph, cfg Config, steps int, data DataSource) (*Resu
 			}
 		}
 		// Gradient synchronisation: the real ring all-reduce.
+		gradSp := stepObs.Start("grad")
 		var err error
 		if cfg.GroupSize > 0 && cfg.Workers%cfg.GroupSize == 0 {
-			err = allreduce.Hierarchical(vectors, cfg.GroupSize)
+			err = allreduce.HierarchicalObs(vectors, cfg.GroupSize, cfg.Obs)
 		} else {
-			err = allreduce.Ring(vectors)
+			err = allreduce.RingObs(vectors, cfg.Obs)
 		}
+		gradSp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -156,6 +185,11 @@ func DataParallel(g *graph.Graph, cfg Config, steps int, data DataSource) (*Resu
 			mean += l
 		}
 		res.Losses = append(res.Losses, mean/float64(cfg.Workers))
+		if cfg.Obs != nil {
+			stepH.Observe(time.Since(stepT0).Seconds())
+			stepsC.Inc()
+		}
+		stepSp.End()
 	}
 	for _, r := range replicas {
 		res.Checksums = append(res.Checksums, r.WeightChecksum())
