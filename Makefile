@@ -4,7 +4,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build vet lint test race fuzz obs-smoke obs-bench ci
+.PHONY: build vet lint test race fuzz obs-smoke obs-bench chaos ci
 
 build:
 	$(GO) build ./...
@@ -47,4 +47,19 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/bench
 	$(GO) test -run '^$$' -fuzz FuzzGraphJSON -fuzztime $(FUZZTIME) ./internal/graph
 
-ci: build vet lint test race obs-smoke
+# chaos: the fault-injection suites under the race detector, then a
+# fixed seed matrix of real end-to-end chaos runs (resilient training
+# under crashes, drops and corruption) validated with
+# obscheck -require-faults, which fails if no fault was injected.
+CHAOS_SEEDS ?= 1 7 42
+chaos:
+	$(GO) test -race ./internal/faults/... ./internal/checkpoint/... ./internal/allreduce/... ./internal/train/... ./internal/experiments/...
+	rm -rf .chaos-smoke && mkdir -p .chaos-smoke
+	for seed in $(CHAOS_SEEDS); do \
+		$(GO) run ./cmd/experiments -run exttrainfaults -quick -faults-seed $$seed \
+			-metrics-out .chaos-smoke/metrics-$$seed.prom > .chaos-smoke/report-$$seed.txt || exit 1; \
+		$(GO) run ./cmd/obscheck -metrics .chaos-smoke/metrics-$$seed.prom -require-faults || exit 1; \
+	done
+	rm -rf .chaos-smoke
+
+ci: build vet lint test race obs-smoke chaos

@@ -19,14 +19,18 @@ import (
 	"strings"
 
 	"convmeter"
+	"convmeter/internal/checkpoint"
 	"convmeter/internal/obs"
 )
 
 func main() {
 	opts := options{}
-	flag.StringVar(&opts.id, "run", "all", "experiment id (fig2, table1, table2, table3single, fig6, table3multi, fig8, fig9, ablation, extvit, extedge, extpipeline, extreal, exttrainreal, extstrong) or 'all'")
+	flag.StringVar(&opts.id, "run", "all", "experiment id (fig2, table1, table2, table3single, fig6, table3multi, fig8, fig9, ablation, extvit, extedge, extpipeline, extreal, exttrainreal, exttrainfaults, extstrong) or 'all'")
 	flag.Int64Var(&opts.seed, "seed", 1, "simulator/fitting seed")
 	flag.BoolVar(&opts.quick, "quick", false, "use reduced sweeps (for smoke runs)")
+	flag.Int64Var(&opts.faultsSeed, "faults-seed", 0, "fault-injection schedule seed for exttrainfaults (0 = use -seed); the same seed reproduces the identical fault schedule")
+	flag.StringVar(&opts.faultsProfile, "faults-profile", "", "fault profile for exttrainfaults: none, light, heavy or chaos (default chaos)")
+	flag.StringVar(&opts.checkpointPath, "checkpoint", "", "checkpoint file: completed experiments and LOMO evaluations are recorded here and skipped on re-run, so a killed sweep resumes from the last completed unit")
 	flag.StringVar(&opts.outPath, "out", "", "also write the output to this file")
 	flag.StringVar(&opts.csvDir, "csvdir", "", "write figure data series as CSV files into this directory")
 	flag.StringVar(&opts.metricsOut, "metrics-out", "", "write collected runtime metrics to this file (Prometheus text; JSONL when the path ends in .jsonl)")
@@ -44,6 +48,9 @@ type options struct {
 	id                              string
 	seed                            int64
 	quick                           bool
+	faultsSeed                      int64
+	faultsProfile                   string
+	checkpointPath                  string
 	outPath, csvDir                 string
 	metricsOut, traceOut, pprofAddr string
 }
@@ -56,7 +63,24 @@ func run(opts options) (err error) {
 		}
 		defer stop()
 	}
-	cfg := convmeter.ExperimentConfig{Seed: opts.seed, Quick: opts.quick}
+	cfg := convmeter.ExperimentConfig{
+		Seed: opts.seed, Quick: opts.quick,
+		FaultsSeed: opts.faultsSeed, FaultsProfile: opts.faultsProfile,
+	}
+	if opts.checkpointPath != "" {
+		// The fingerprint binds the file to the settings that shaped its
+		// results; changing any of them discards the stale entries.
+		fp := fmt.Sprintf("seed=%d quick=%t faults-seed=%d faults-profile=%s",
+			opts.seed, opts.quick, opts.faultsSeed, opts.faultsProfile)
+		store, err := checkpoint.Open(opts.checkpointPath, fp)
+		if err != nil {
+			return err
+		}
+		if n := store.Resumed(); n > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: resuming, %d completed unit(s) loaded from %s\n", n, opts.checkpointPath)
+		}
+		cfg.Checkpoint = store
+	}
 	var bundle *obs.Obs
 	if opts.metricsOut != "" || opts.traceOut != "" {
 		bundle = obs.New()

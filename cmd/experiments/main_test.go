@@ -110,6 +110,62 @@ func TestRunWithTelemetry(t *testing.T) {
 	}
 }
 
+// TestRunChaosWithCheckpoint is the acceptance test for the fault flags:
+// a seeded exttrainfaults run must survive the chaos profile (crash,
+// drops, corruption — the experiment asserts survivor correctness
+// itself), export positive fault counters, and resume from its
+// checkpoint on re-run.
+func TestRunChaosWithCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	ckptPath := filepath.Join(dir, "ckpt.json")
+	opts := options{
+		id: "exttrainfaults", seed: 1, quick: true, faultsSeed: 7,
+		outPath:        filepath.Join(dir, "report.txt"),
+		metricsOut:     metricsPath,
+		checkpointPath: ckptPath,
+	}
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	values := parsePromFile(t, metricsPath)
+	for _, class := range []string{"crash", "drop", "corrupt"} {
+		series := `convmeter_faults_injected_total{class="` + class + `"}`
+		if values[series] < 1 {
+			t.Fatalf("%s = %g, want >= 1", series, values[series])
+		}
+	}
+	if values["convmeter_train_workers_removed_total"] < 1 {
+		t.Fatal("no worker removal recorded despite the scheduled crash")
+	}
+	if _, err := os.Stat(ckptPath); err != nil {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+
+	// Re-run against the same checkpoint: the experiment is served from
+	// the store, so the trainer never runs and its counters stay dark.
+	metrics2 := filepath.Join(dir, "metrics2.prom")
+	opts.metricsOut = metrics2
+	opts.outPath = filepath.Join(dir, "report2.txt")
+	if err := run(opts); err != nil {
+		t.Fatal(err)
+	}
+	values2 := parsePromFile(t, metrics2)
+	if got := values2["convmeter_experiments_resumed_total"]; got != 1 {
+		t.Fatalf("convmeter_experiments_resumed_total = %g, want 1", got)
+	}
+	if got := values2["convmeter_train_steps_total"]; got != 0 {
+		t.Fatalf("resumed run re-trained: %g steps", got)
+	}
+	report, err := os.ReadFile(opts.outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(report), "survivor checksums identical") {
+		t.Fatal("resumed report missing the cached experiment text")
+	}
+}
+
 // TestRunWithoutTelemetry keeps the default path dark: no flags, no files.
 func TestRunWithoutTelemetry(t *testing.T) {
 	dir := t.TempDir()

@@ -20,13 +20,18 @@ import (
 func main() {
 	metrics := flag.String("metrics", "", "metrics file to validate (Prometheus text, or JSONL for .jsonl paths)")
 	trace := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	requireFaults := flag.Bool("require-faults", false, "additionally require a convmeter_faults_injected_total sample with value > 0 (chaos-run validation)")
 	flag.Parse()
 	if *metrics == "" && *trace == "" {
 		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics and/or -trace)")
 		os.Exit(2)
 	}
+	if *requireFaults && *metrics == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: -require-faults needs -metrics")
+		os.Exit(2)
+	}
 	if *metrics != "" {
-		if err := checkMetrics(*metrics); err != nil {
+		if err := checkMetrics(*metrics, *requireFaults); err != nil {
 			fmt.Fprintln(os.Stderr, "obscheck:", err)
 			os.Exit(1)
 		}
@@ -41,18 +46,23 @@ func main() {
 	}
 }
 
+// faultsSeries is the counter family a chaos run must have populated.
+const faultsSeries = "convmeter_faults_injected_total"
+
 // checkMetrics validates the exposition format line by line and requires
-// at least one convmeter_-prefixed sample with a finite value.
-func checkMetrics(path string) error {
+// at least one convmeter_-prefixed sample with a finite value. With
+// requireFaults it additionally demands a positive fault-injection
+// counter — the proof that a chaos run actually injected something.
+func checkMetrics(path string, requireFaults bool) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	if strings.HasSuffix(path, ".jsonl") {
-		return checkJSONL(path, f)
+		return checkJSONL(path, f, requireFaults)
 	}
-	samples := 0
+	samples, faults := 0, 0.0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	line := 0
@@ -69,11 +79,15 @@ func checkMetrics(path string) error {
 		if sp <= 0 {
 			return fmt.Errorf("%s:%d: not a sample line: %q", path, line, text)
 		}
-		if _, err := strconv.ParseFloat(text[sp+1:], 64); err != nil {
+		val, err := strconv.ParseFloat(text[sp+1:], 64)
+		if err != nil {
 			return fmt.Errorf("%s:%d: bad sample value: %v", path, line, err)
 		}
 		if strings.HasPrefix(text, "convmeter_") {
 			samples++
+		}
+		if strings.HasPrefix(text, faultsSeries) {
+			faults += val
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -82,23 +96,33 @@ func checkMetrics(path string) error {
 	if samples == 0 {
 		return fmt.Errorf("%s: no convmeter_ samples", path)
 	}
+	if requireFaults && faults <= 0 {
+		return fmt.Errorf("%s: no positive %s sample (chaos run injected nothing?)", path, faultsSeries)
+	}
 	return nil
 }
 
 // checkJSONL requires every line to be a standalone JSON object and at
-// least one to carry a convmeter_-prefixed name.
-func checkJSONL(path string, f *os.File) error {
+// least one to carry a convmeter_-prefixed name (plus, with
+// requireFaults, a positive fault-injection counter).
+func checkJSONL(path string, f *os.File, requireFaults bool) error {
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
-	line, named := 0, 0
+	line, named, faults := 0, 0, 0.0
 	for sc.Scan() {
 		line++
 		var rec map[string]any
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
 			return fmt.Errorf("%s:%d: invalid JSONL record: %v", path, line, err)
 		}
-		if name, _ := rec["name"].(string); strings.HasPrefix(name, "convmeter_") {
+		name, _ := rec["name"].(string)
+		if strings.HasPrefix(name, "convmeter_") {
 			named++
+		}
+		if strings.HasPrefix(name, faultsSeries) {
+			if v, ok := rec["value"].(float64); ok {
+				faults += v
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -106,6 +130,9 @@ func checkJSONL(path string, f *os.File) error {
 	}
 	if named == 0 {
 		return fmt.Errorf("%s: no convmeter_ records", path)
+	}
+	if requireFaults && faults <= 0 {
+		return fmt.Errorf("%s: no positive %s record (chaos run injected nothing?)", path, faultsSeries)
 	}
 	return nil
 }

@@ -7,13 +7,25 @@
 // 1/N-sized chunk per step. This is the communication pattern NCCL and
 // Horovod use; netsim models its *cost*, this package executes it for
 // real and pins down its semantics.
+//
+// Both transports (in-process channels, and real TCP sockets in tcp.go)
+// additionally support a resilient mode (RingOpts/RingTCPOpts): per-op
+// deadlines, context cancellation, bounded retries with exponential
+// backoff and jitter, CRC validation of chunks, and deterministic fault
+// injection via internal/faults. Failures come back as *RingError values
+// attributing blame per worker, which the elastic trainer
+// (internal/train) uses to drop dead members and re-form the ring.
 package allreduce
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
+	"math"
 	"sync"
 	"time"
 
+	"convmeter/internal/faults"
 	"convmeter/internal/obs"
 )
 
@@ -24,6 +36,8 @@ import (
 type ringTelemetry struct {
 	steps      *obs.Counter
 	stepH      *obs.Histogram
+	retries    *obs.Counter
+	crcFail    *obs.Counter
 	sent, recv *obs.Counter // tcp transport only
 }
 
@@ -39,6 +53,10 @@ func newRingTelemetry(o *obs.Obs, transport string) *ringTelemetry {
 			"ring all-reduce steps executed (per worker, reduce-scatter plus all-gather), by transport"),
 		stepH: o.Histogram(obs.Label("convmeter_allreduce_step_seconds", "transport", transport),
 			"ring step latency: one chunk sent, one received, reduced or stored", obs.DefaultDurationBuckets()),
+		retries: o.Counter(obs.Label("convmeter_allreduce_retries_total", "transport", transport),
+			"per-op retries after chunk timeouts or transient wiring failures, by transport"),
+		crcFail: o.Counter(obs.Label("convmeter_allreduce_crc_failures_total", "transport", transport),
+			"chunks rejected by CRC validation, by transport"),
 	}
 	if transport == "tcp" {
 		rt.sent = o.Counter(obs.Label("convmeter_allreduce_tcp_bytes_total", "dir", "sent"),
@@ -56,6 +74,22 @@ func (rt *ringTelemetry) step(elapsed time.Duration) {
 	}
 	rt.steps.Inc()
 	rt.stepH.Observe(elapsed.Seconds())
+}
+
+// retry records one per-op retry.
+func (rt *ringTelemetry) retry() {
+	if rt == nil {
+		return
+	}
+	rt.retries.Inc()
+}
+
+// crcFailure records one CRC-rejected chunk.
+func (rt *ringTelemetry) crcFailure() {
+	if rt == nil {
+		return
+	}
+	rt.crcFail.Inc()
 }
 
 // chunkBounds splits length n into p contiguous chunks; chunk i spans
@@ -79,90 +113,226 @@ func min(a, b int) int {
 	return b
 }
 
+// validate checks the worker vectors and reports (n, length).
+func validate(vectors [][]float32) (int, int, error) {
+	n := len(vectors)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("allreduce: no workers")
+	}
+	length := len(vectors[0])
+	for i, v := range vectors {
+		if len(v) != length {
+			return 0, 0, fmt.Errorf("allreduce: worker %d has %d elements, worker 0 has %d", i, len(v), length)
+		}
+	}
+	return n, length, nil
+}
+
+// chanMsg is one framed message on a ring channel: the chunk data plus
+// the logical step index it belongs to, and a CRC when fault injection
+// is active (an in-memory channel cannot corrupt data by itself).
+type chanMsg struct {
+	seq    uint64
+	data   []float32
+	crc    uint32
+	hasCRC bool
+}
+
+// crcFloats checksums the bit pattern of a float32 slice (IEEE CRC-32).
+func crcFloats(data []float32) uint32 {
+	h := crc32.NewIEEE()
+	var b [4]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
+		_, _ = h.Write(b[:])
+	}
+	return h.Sum32()
+}
+
 // Ring reduces the workers' vectors in place to their elementwise sum
 // using ring all-reduce. vectors[i] is worker i's local gradient; all
 // vectors must have equal length. The run is fully concurrent: one
 // goroutine per worker, synchronised only by the ring channels.
 func Ring(vectors [][]float32) error {
-	return RingObs(vectors, nil)
+	return RingOpts(vectors, Options{})
 }
 
 // RingObs is Ring with telemetry: per-step counts and latencies land on
 // the bundle under transport="chan". A nil Obs is exactly Ring.
 func RingObs(vectors [][]float32, o *obs.Obs) error {
-	n := len(vectors)
-	if n == 0 {
-		return fmt.Errorf("allreduce: no workers")
-	}
-	rt := newRingTelemetry(o, "chan")
-	length := len(vectors[0])
-	for i, v := range vectors {
-		if len(v) != length {
-			return fmt.Errorf("allreduce: worker %d has %d elements, worker 0 has %d", i, len(v), length)
-		}
+	return RingOpts(vectors, Options{Obs: o})
+}
+
+// RingOpts is the resilient channel-transport ring: Options add context
+// cancellation, per-op deadlines with bounded retries, CRC validation
+// and fault injection. The zero Options is exactly Ring. On failure the
+// returned error is a *RingError attributing blame per worker.
+func RingOpts(vectors [][]float32, opts Options) error {
+	n, length, err := validate(vectors)
+	if err != nil {
+		return err
 	}
 	if n == 1 {
 		return nil // nothing to reduce
 	}
+	rt := newRingTelemetry(opts.Obs, "chan")
 	// links[i] carries messages from worker i-1 to worker i (mod n).
-	links := make([]chan []float32, n)
+	links := make([]chan chanMsg, n)
 	for i := range links {
-		links[i] = make(chan []float32, 1)
+		links[i] = make(chan chanMsg, 1)
 	}
+	errs := make([]*WorkerError, n)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(me int) {
 			defer wg.Done()
-			v := vectors[me]
-			send := links[(me+1)%n]
-			recv := links[me]
-			// Phase 1 — reduce-scatter: after step s, worker me holds the
-			// partial sum of chunk (me−s) accumulated over s+1 workers. At
-			// the end, worker me owns the fully reduced chunk (me+1) mod n.
-			for s := 0; s < n-1; s++ {
-				var t0 time.Time
-				if rt != nil {
-					t0 = time.Now()
-				}
-				sendChunk := ((me-s)%n + n) % n
-				recvChunk := ((me-s-1)%n + n) % n
-				a, b := chunkBounds(length, n, sendChunk)
-				out := make([]float32, b-a)
-				copy(out, v[a:b])
-				send <- out
-				in := <-recv
-				a, b = chunkBounds(length, n, recvChunk)
-				for k := range in {
-					v[a+k] += in[k]
-				}
-				if rt != nil {
-					rt.step(time.Since(t0))
-				}
-			}
-			// Phase 2 — all-gather: circulate the fully reduced chunks.
-			for s := 0; s < n-1; s++ {
-				var t0 time.Time
-				if rt != nil {
-					t0 = time.Now()
-				}
-				sendChunk := ((me-s+1)%n + n) % n
-				recvChunk := ((me-s)%n + n) % n
-				a, b := chunkBounds(length, n, sendChunk)
-				out := make([]float32, b-a)
-				copy(out, v[a:b])
-				send <- out
-				in := <-recv
-				a, b = chunkBounds(length, n, recvChunk)
-				copy(v[a:b], in)
-				if rt != nil {
-					rt.step(time.Since(t0))
-				}
-			}
+			errs[me] = chanWorker(vectors, me, length, links, opts, rt)
 		}(w)
 	}
 	wg.Wait()
+	return joinWorkerErrs(errs)
+}
+
+// chanWorker runs one worker's 2·(n−1) ring steps over the channels.
+func chanWorker(vectors [][]float32, me, length int, links []chan chanMsg, opts Options, rt *ringTelemetry) *WorkerError {
+	n := len(links)
+	v := vectors[me]
+	send, recv := links[(me+1)%n], links[me]
+	resilient := opts.resilient()
+	step := func(opIdx uint64, sendChunk, recvChunk int, reduce bool) *WorkerError {
+		var t0 time.Time
+		if rt != nil {
+			t0 = time.Now()
+		}
+		a, b := chunkBounds(length, n, sendChunk)
+		out := make([]float32, b-a)
+		copy(out, v[a:b])
+		msg := chanMsg{seq: opIdx, data: out}
+		skip := false
+		if opts.Faults != nil {
+			msg.crc, msg.hasCRC = crcFloats(out), true
+			f := opts.Faults.Decide(faults.Op{
+				Transport: "chan", Worker: opts.workerID(me), Dir: "send", Seq: opts.SeqBase + opIdx,
+			})
+			switch f.Class {
+			case faults.ClassDelay:
+				time.Sleep(f.Delay)
+			case faults.ClassDrop, faults.ClassReset:
+				skip = true // the message vanishes; the successor times out or sees a gap
+			case faults.ClassCorrupt:
+				if len(out) > 0 {
+					i := int(f.Arg % uint64(len(out)))
+					out[i] = math.Float32frombits(math.Float32bits(out[i]) ^ 1<<(f.Arg%23))
+				}
+			case faults.ClassTruncate:
+				msg.data = out[:len(out)/2] // CRC still covers the full chunk
+			}
+		}
+		self, succ := opts.workerID(me), opts.workerID((me+1)%n)
+		pred := opts.workerID((me - 1 + n) % n)
+		if !skip {
+			if !resilient {
+				send <- msg
+			} else if we := chanSend(send, msg, self, succ, opts, rt); we != nil {
+				return we
+			}
+		}
+		var in chanMsg
+		if !resilient {
+			in = <-recv
+		} else {
+			var we *WorkerError
+			if in, we = chanRecv(recv, self, pred, opts, rt); we != nil {
+				return we
+			}
+		}
+		if in.seq != opIdx {
+			return &WorkerError{Worker: pred, Primary: true,
+				Err: fmt.Errorf("lost ring message: got step %d, want %d", in.seq, opIdx)}
+		}
+		if in.hasCRC && crcFloats(in.data) != in.crc {
+			rt.crcFailure()
+			return &WorkerError{Worker: pred, Primary: true, Err: fmt.Errorf("chunk CRC mismatch at step %d", opIdx)}
+		}
+		a, b = chunkBounds(length, n, recvChunk)
+		if len(in.data) != b-a {
+			return &WorkerError{Worker: pred, Primary: true,
+				Err: fmt.Errorf("chunk size %d, want %d at step %d", len(in.data), b-a, opIdx)}
+		}
+		if reduce {
+			for k := range in.data {
+				v[a+k] += in.data[k]
+			}
+		} else {
+			copy(v[a:b], in.data)
+		}
+		if rt != nil {
+			rt.step(time.Since(t0))
+		}
+		return nil
+	}
+	// Phase 1 — reduce-scatter: after step s, worker me holds the partial
+	// sum of chunk (me−s) accumulated over s+1 workers. At the end, worker
+	// me owns the fully reduced chunk (me+1) mod n.
+	for s := 0; s < n-1; s++ {
+		if we := step(uint64(s), ((me-s)%n+n)%n, ((me-s-1)%n+n)%n, true); we != nil {
+			return we
+		}
+	}
+	// Phase 2 — all-gather: circulate the fully reduced chunks.
+	for s := 0; s < n-1; s++ {
+		if we := step(uint64(n-1+s), ((me-s+1)%n+n)%n, ((me-s)%n+n)%n, false); we != nil {
+			return we
+		}
+	}
 	return nil
+}
+
+// chanSend delivers one message under deadline + retry; a persistently
+// full link means the successor stopped draining, so blame lands there.
+func chanSend(ch chan chanMsg, msg chanMsg, self, succ int, opts Options, rt *ringTelemetry) *WorkerError {
+	attempts := opts.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		t := time.NewTimer(opts.opTimeout())
+		select {
+		case ch <- msg:
+			t.Stop()
+			return nil
+		case <-opts.ctx().Done():
+			t.Stop()
+			return &WorkerError{Worker: self, Err: opts.ctx().Err()}
+		case <-t.C:
+			if attempt >= attempts {
+				return &WorkerError{Worker: succ,
+					Err: fmt.Errorf("send timed out after %d attempts", attempts)}
+			}
+			rt.retry()
+		}
+	}
+}
+
+// chanRecv awaits one message under deadline + retry; a silent link means
+// the predecessor stalled or dropped the message, so blame lands there.
+func chanRecv(ch chan chanMsg, self, pred int, opts Options, rt *ringTelemetry) (chanMsg, *WorkerError) {
+	attempts := opts.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		t := time.NewTimer(opts.opTimeout())
+		select {
+		case msg := <-ch:
+			t.Stop()
+			return msg, nil
+		case <-opts.ctx().Done():
+			t.Stop()
+			return chanMsg{}, &WorkerError{Worker: self, Err: opts.ctx().Err()}
+		case <-t.C:
+			if attempt >= attempts {
+				return chanMsg{}, &WorkerError{Worker: pred,
+					Err: fmt.Errorf("receive timed out after %d attempts", attempts)}
+			}
+			rt.retry()
+		}
+	}
 }
 
 // Hierarchical performs the two-level reduction the paper's cluster uses

@@ -1,14 +1,18 @@
 package allreduce
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"net"
 	"sync"
 	"time"
 
+	"convmeter/internal/faults"
 	"convmeter/internal/obs"
 )
 
@@ -16,38 +20,50 @@ import (
 // connections (loopback sockets between the workers) instead of
 // channels — the transport shape of the paper's inter-node phase, where
 // gradients cross an actual network. Chunks are framed as
-// length-prefixed float32 payloads.
+// length-prefixed float32 payloads followed by an IEEE CRC-32 of the
+// payload bytes, so corruption on the wire is detected rather than
+// silently averaged into the gradients.
 //
 // The ring is wired as n listeners; worker i dials worker (i+1) mod n, so
 // each worker holds one inbound and one outbound connection.
 func RingTCP(vectors [][]float32) error {
-	return RingTCPObs(vectors, nil)
+	return RingTCPOpts(vectors, Options{})
 }
 
 // RingTCPObs is RingTCP with telemetry: step counts and latencies under
 // transport="tcp", plus framed byte counters in both directions. A nil
 // Obs is exactly RingTCP.
 func RingTCPObs(vectors [][]float32, o *obs.Obs) error {
-	n := len(vectors)
-	if n == 0 {
-		return fmt.Errorf("allreduce: no workers")
-	}
-	rt := newRingTelemetry(o, "tcp")
-	length := len(vectors[0])
-	for i, v := range vectors {
-		if len(v) != length {
-			return fmt.Errorf("allreduce: worker %d has %d elements, worker 0 has %d", i, len(v), length)
-		}
+	return RingTCPOpts(vectors, Options{Obs: o})
+}
+
+// RingTCPOpts is the resilient TCP ring: Options add context
+// cancellation, per-op socket deadlines, bounded read/dial retries with
+// backoff + jitter, and fault injection on the connections. The zero
+// Options is exactly RingTCP. On failure the returned error is a
+// *RingError attributing blame per worker.
+func RingTCPOpts(vectors [][]float32, opts Options) error {
+	n, length, err := validate(vectors)
+	if err != nil {
+		return err
 	}
 	if n == 1 {
 		return nil
 	}
+	rt := newRingTelemetry(opts.Obs, "tcp")
+	resilient := opts.resilient()
 	// One loopback listener per worker.
 	listeners := make([]net.Listener, n)
 	for i := range listeners {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return fmt.Errorf("allreduce: listen: %w", err)
+		}
+		if resilient {
+			// Bound the whole wiring phase so a peer that never dials
+			// cannot hang the run.
+			deadline := time.Now().Add(opts.opTimeout() * time.Duration(opts.Retry.attempts()+1))
+			_ = l.(*net.TCPListener).SetDeadline(deadline)
 		}
 		listeners[i] = l
 		defer l.Close()
@@ -66,16 +82,16 @@ func RingTCPObs(vectors [][]float32, o *obs.Obs) error {
 				errs[i] = err
 				return
 			}
-			inConns[i] = c
+			inConns[i] = faults.WrapConn(c, opts.Faults, "tcp", opts.workerID(i))
 		}(i)
 		go func(i int) {
 			defer wg.Done()
-			c, err := net.Dial("tcp", listeners[(i+1)%n].Addr().String())
+			c, err := dialRetry(listeners[(i+1)%n].Addr().String(), opts, rt, uint64(i))
 			if err != nil {
 				errs[n+i] = err
 				return
 			}
-			outConns[i] = c
+			outConns[i] = faults.WrapConn(c, opts.Faults, "tcp", opts.workerID(i))
 		}(i)
 	}
 	wg.Wait()
@@ -84,74 +100,137 @@ func RingTCPObs(vectors [][]float32, o *obs.Obs) error {
 			return fmt.Errorf("allreduce: ring wiring: %w", err)
 		}
 	}
-	defer func() {
+	closeAll := func() {
 		for _, c := range inConns {
 			_ = c.Close() // teardown of loopback conns; nothing to report to
 		}
 		for _, c := range outConns {
 			_ = c.Close()
 		}
-	}()
+	}
+	defer closeAll()
+	if opts.Ctx != nil {
+		// External cancellation tears the sockets down, unblocking any
+		// worker mid-read; per-op deadlines bound everything else.
+		stop := context.AfterFunc(opts.Ctx, closeAll)
+		defer stop()
+	}
 
-	workerErrs := make([]error, n)
+	workerErrs := make([]*WorkerError, n)
 	for w := 0; w < n; w++ {
 		wg.Add(1)
 		go func(me int) {
 			defer wg.Done()
-			v := vectors[me]
-			send := outConns[me]
-			recv := inConns[me]
-			step := func(sendChunk, recvChunk int, reduce bool) error {
-				var t0 time.Time
-				if rt != nil {
-					t0 = time.Now()
-				}
-				a, b := chunkBounds(length, n, sendChunk)
-				if err := writeChunk(send, v[a:b], sentBytes(rt)); err != nil {
-					return err
-				}
-				in, err := readChunk(recv, recvBytes(rt))
-				if err != nil {
-					return err
-				}
-				a, b = chunkBounds(length, n, recvChunk)
-				if len(in) != b-a {
-					return fmt.Errorf("allreduce: chunk size %d, want %d", len(in), b-a)
-				}
-				if reduce {
-					for k := range in {
-						v[a+k] += in[k]
-					}
-				} else {
-					copy(v[a:b], in)
-				}
-				if rt != nil {
-					rt.step(time.Since(t0))
-				}
-				return nil
-			}
-			for s := 0; s < n-1; s++ {
-				if err := step(((me-s)%n+n)%n, ((me-s-1)%n+n)%n, true); err != nil {
-					workerErrs[me] = err
-					return
-				}
-			}
-			for s := 0; s < n-1; s++ {
-				if err := step(((me-s+1)%n+n)%n, ((me-s)%n+n)%n, false); err != nil {
-					workerErrs[me] = err
-					return
-				}
-			}
+			workerErrs[me] = tcpWorker(me, vectors[me], n, length, outConns[me], inConns[me], opts, rt, resilient)
 		}(w)
 	}
 	wg.Wait()
-	for _, err := range workerErrs {
+	return joinWorkerErrs(workerErrs)
+}
+
+// tcpWorker runs one worker's 2·(n−1) ring steps over its socket pair.
+func tcpWorker(me int, v []float32, n, length int, send, recv net.Conn, opts Options, rt *ringTelemetry, resilient bool) *WorkerError {
+	self, succ := opts.workerID(me), opts.workerID((me+1)%n)
+	pred := opts.workerID((me - 1 + n) % n)
+	// The largest chunk the ring partition can produce — the bound that
+	// keeps a corrupted length prefix from allocating unbounded memory.
+	maxChunk := length/n + 1
+	fcOut, _ := send.(*faults.Conn)
+	fcIn, _ := recv.(*faults.Conn)
+	step := func(opIdx uint64, sendChunk, recvChunk int, reduce bool) *WorkerError {
+		var t0 time.Time
+		if rt != nil {
+			t0 = time.Now()
+		}
+		a, b := chunkBounds(length, n, sendChunk)
+		if resilient {
+			_ = send.SetWriteDeadline(time.Now().Add(opts.opTimeout()))
+		}
+		if fcOut != nil {
+			fcOut.SetWriteSeq(opts.SeqBase + opIdx)
+		}
+		if err := writeChunk(send, v[a:b], sentBytes(rt)); err != nil {
+			if isTimeout(err) {
+				// The successor stopped draining; it may only be stalled
+				// downstream of the real fault.
+				return &WorkerError{Worker: succ, Err: fmt.Errorf("chunk write timed out: %w", err)}
+			}
+			return &WorkerError{Worker: self, Primary: true, Err: err}
+		}
+		if fcIn != nil {
+			fcIn.SetReadSeq(opts.SeqBase + opIdx)
+		}
+		in, err := readChunkRetry(recv, maxChunk, opts, rt, recvBytes(rt), resilient)
 		if err != nil {
-			return err
+			switch {
+			case errors.Is(err, errCRC):
+				rt.crcFailure()
+				return &WorkerError{Worker: pred, Primary: true, Err: err}
+			case isTimeout(err):
+				return &WorkerError{Worker: pred, Err: fmt.Errorf("chunk read timed out: %w", err)}
+			default:
+				return &WorkerError{Worker: pred, Primary: true, Err: err}
+			}
+		}
+		a, b = chunkBounds(length, n, recvChunk)
+		if len(in) != b-a {
+			return &WorkerError{Worker: pred, Primary: true,
+				Err: fmt.Errorf("allreduce: chunk size %d, want %d", len(in), b-a)}
+		}
+		if reduce {
+			for k := range in {
+				v[a+k] += in[k]
+			}
+		} else {
+			copy(v[a:b], in)
+		}
+		if rt != nil {
+			rt.step(time.Since(t0))
+		}
+		return nil
+	}
+	for s := 0; s < n-1; s++ {
+		if we := step(uint64(s), ((me-s)%n+n)%n, ((me-s-1)%n+n)%n, true); we != nil {
+			return we
+		}
+	}
+	for s := 0; s < n-1; s++ {
+		if we := step(uint64(n-1+s), ((me-s+1)%n+n)%n, ((me-s)%n+n)%n, false); we != nil {
+			return we
 		}
 	}
 	return nil
 }
+
+// dialRetry dials the ring successor, retrying transient failures with
+// exponential backoff + jitter when resilience is enabled.
+func dialRetry(addr string, opts Options, rt *ringTelemetry, salt uint64) (net.Conn, error) {
+	if !opts.resilient() {
+		return net.Dial("tcp", addr)
+	}
+	attempts := opts.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		d := net.Dialer{Timeout: opts.opTimeout()}
+		c, err := d.DialContext(opts.ctx(), "tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		if attempt >= attempts || opts.ctx().Err() != nil {
+			return nil, err
+		}
+		rt.retry()
+		time.Sleep(opts.Retry.backoff(attempt, salt))
+	}
+}
+
+// isTimeout reports whether err is a network timeout.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// errCRC marks a chunk whose payload failed CRC validation.
+var errCRC = errors.New("allreduce: chunk CRC mismatch")
 
 // sentBytes/recvBytes pull the direction counters off a possibly nil
 // telemetry bundle; a nil *obs.Counter is itself a no-op.
@@ -169,41 +248,87 @@ func recvBytes(rt *ringTelemetry) *obs.Counter {
 	return rt.recv
 }
 
-// writeChunk frames a float32 slice as a length-prefixed message,
-// crediting the frame (prefix + payload) to the byte counter.
+// writeChunk frames a float32 slice as one length-prefixed message with
+// a trailing CRC-32 of the payload, written in a single Write so fault
+// injection and deadlines see one wire operation per chunk. The whole
+// frame is credited to the byte counter.
 func writeChunk(w io.Writer, data []float32, sent *obs.Counter) error {
-	if err := binary.Write(w, binary.LittleEndian, uint32(len(data))); err != nil {
-		return err
-	}
-	buf := make([]byte, 4*len(data))
+	buf := make([]byte, 4+4*len(data)+4)
+	binary.LittleEndian.PutUint32(buf, uint32(len(data)))
 	for i, v := range data {
-		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		binary.LittleEndian.PutUint32(buf[4+4*i:], math.Float32bits(v))
 	}
+	payload := buf[4 : 4+4*len(data)]
+	binary.LittleEndian.PutUint32(buf[4+4*len(data):], crc32.ChecksumIEEE(payload))
 	_, err := w.Write(buf)
 	if err == nil {
-		sent.Add(float64(4 + len(buf)))
+		sent.Add(float64(len(buf)))
 	}
 	return err
 }
 
-// readChunk reads one length-prefixed float32 message, crediting the
-// frame to the byte counter.
-func readChunk(r io.Reader, recv *obs.Counter) ([]float32, error) {
-	var n uint32
-	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+// readChunk reads one framed message, validating the length prefix
+// against maxElems before allocating (a corrupted or malicious peer must
+// not be able to OOM the process) and the payload against its CRC.
+func readChunk(r io.Reader, maxElems int, recv *obs.Counter) ([]float32, error) {
+	return readChunkRetry(r, maxElems, Options{}, nil, recv, false)
+}
+
+// readChunkRetry is readChunk with per-op deadlines and bounded retries:
+// each wait for bytes runs under opts.OpTimeout, and a timed-out read
+// resumes where it left off (partial frames are completed, not
+// restarted) up to the retry budget.
+func readChunkRetry(r io.Reader, maxElems int, opts Options, rt *ringTelemetry, recv *obs.Counter, resilient bool) ([]float32, error) {
+	attempts := 1
+	if resilient {
+		attempts = opts.Retry.attempts()
+	}
+	conn, _ := r.(net.Conn)
+	readFull := func(buf []byte) error {
+		off, attempt := 0, 1
+		for off < len(buf) {
+			if resilient && conn != nil {
+				_ = conn.SetReadDeadline(time.Now().Add(opts.opTimeout()))
+			}
+			m, err := r.Read(buf[off:])
+			off += m
+			if err != nil {
+				if off == len(buf) {
+					break
+				}
+				if isTimeout(err) && attempt < attempts {
+					attempt++
+					rt.retry()
+					continue
+				}
+				if err == io.EOF && off > 0 {
+					return io.ErrUnexpectedEOF
+				}
+				return err
+			}
+		}
+		return nil
+	}
+	var header [4]byte
+	if err := readFull(header[:]); err != nil {
 		return nil, err
 	}
-	if n > 1<<28 {
-		return nil, fmt.Errorf("allreduce: implausible chunk size %d", n)
+	n := binary.LittleEndian.Uint32(header[:])
+	if maxElems < 0 || n > uint32(maxElems) {
+		return nil, fmt.Errorf("allreduce: implausible chunk size %d (max %d)", n, maxElems)
 	}
-	buf := make([]byte, 4*int(n))
-	if _, err := io.ReadFull(r, buf); err != nil {
+	body := make([]byte, 4*int(n)+4)
+	if err := readFull(body); err != nil {
 		return nil, err
+	}
+	payload := body[:4*int(n)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(body[4*int(n):]) {
+		return nil, errCRC
 	}
 	out := make([]float32, n)
 	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
 	}
-	recv.Add(float64(4 + len(buf)))
+	recv.Add(float64(len(header) + len(body)))
 	return out, nil
 }

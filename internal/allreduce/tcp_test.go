@@ -66,7 +66,7 @@ func TestChunkFraming(t *testing.T) {
 	if err := writeChunk(&buf, orig, nil); err != nil {
 		t.Fatal(err)
 	}
-	back, err := readChunk(&buf, nil)
+	back, err := readChunk(&buf, len(orig), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,19 +83,30 @@ func TestChunkFraming(t *testing.T) {
 	if err := writeChunk(&buf, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if back, err := readChunk(&buf, nil); err != nil || len(back) != 0 {
+	if back, err := readChunk(&buf, 8, nil); err != nil || len(back) != 0 {
 		t.Fatalf("empty chunk: %v %v", back, err)
 	}
 	// Truncated stream.
 	buf.Reset()
 	buf.Write([]byte{4, 0, 0, 0, 1, 2})
-	if _, err := readChunk(&buf, nil); err == nil {
+	if _, err := readChunk(&buf, 8, nil); err == nil {
 		t.Fatal("expected truncation error")
 	}
-	// Implausible size.
+	// A length prefix beyond the ring's chunk bound must be rejected
+	// before any allocation happens.
 	buf.Reset()
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
-	if _, err := readChunk(&buf, nil); err == nil {
+	if _, err := readChunk(&buf, 8, nil); err == nil {
 		t.Fatal("expected size rejection")
+	}
+	// Corrupted payload must fail CRC validation.
+	buf.Reset()
+	if err := writeChunk(&buf, orig, nil); err != nil {
+		t.Fatal(err)
+	}
+	frame := buf.Bytes()
+	frame[6] ^= 0x10 // flip a payload bit
+	if _, err := readChunk(bytes.NewReader(frame), len(orig), nil); err == nil {
+		t.Fatal("expected CRC rejection")
 	}
 }

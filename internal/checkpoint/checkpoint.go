@@ -1,0 +1,143 @@
+// Package checkpoint gives the experiments harness durable resume state:
+// a small JSON key→value store written atomically (temp file + rename)
+// after every completed unit of work, so a killed sweep — an interrupted
+// LOMO evaluation campaign, a chaos run cut short — restarts from the
+// last completed model instead of from scratch.
+//
+// A store is bound to a fingerprint (seed, quick mode, faults profile…);
+// opening an existing file with a different fingerprint discards the
+// stale entries rather than resuming into results computed under other
+// settings. The package lives on the measured side of the repository's
+// analytical/measured boundary: it does filesystem I/O in service of
+// long-running measurement campaigns, and the analytical core must never
+// depend on it.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// fileFormat is the on-disk shape of a checkpoint store.
+type fileFormat struct {
+	Fingerprint string                     `json:"fingerprint"`
+	Entries     map[string]json.RawMessage `json:"entries"`
+}
+
+// Store is a checkpoint file. A nil *Store disables checkpointing: Get
+// always misses and Put is a no-op, so harness code threads a
+// possibly-nil store through unconditionally.
+type Store struct {
+	mu          sync.Mutex
+	path        string
+	fingerprint string
+	entries     map[string]json.RawMessage
+	resumed     int // entries accepted from a pre-existing file
+}
+
+// Open loads or creates the checkpoint file at path. An existing file
+// whose fingerprint differs (or that is unreadable as a checkpoint) is
+// treated as absent and will be overwritten on the first Put.
+func Open(path, fingerprint string) (*Store, error) {
+	s := &Store{
+		path:        path,
+		fingerprint: fingerprint,
+		entries:     make(map[string]json.RawMessage),
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return s, nil
+		}
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	var f fileFormat
+	if err := json.Unmarshal(data, &f); err != nil || f.Fingerprint != fingerprint {
+		// Stale or foreign state: resuming from it would mix results
+		// computed under different settings into this run.
+		return s, nil
+	}
+	if f.Entries != nil {
+		s.entries = f.Entries
+		s.resumed = len(f.Entries)
+	}
+	return s, nil
+}
+
+// Resumed reports how many entries were loaded from a pre-existing,
+// fingerprint-matching file.
+func (s *Store) Resumed() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resumed
+}
+
+// Len reports the number of completed entries currently recorded.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Get unmarshals the entry under key into v, reporting whether a
+// completed entry existed. A decode failure counts as a miss: the unit
+// simply reruns.
+func (s *Store) Get(key string, v any) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	raw, ok := s.entries[key]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(raw, v) == nil
+}
+
+// Put records a completed unit under key and persists the whole store
+// atomically: marshal, write to a temp file in the same directory, then
+// rename over the target — a crash mid-write never corrupts the file.
+func (s *Store) Put(key string, v any) error {
+	if s == nil {
+		return nil
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal %q: %w", key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.entries[key] = raw
+	data, err := json.MarshalIndent(fileFormat{Fingerprint: s.fingerprint, Entries: s.entries}, "", " ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}

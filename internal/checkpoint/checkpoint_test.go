@@ -1,0 +1,120 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type unit struct {
+	Name  string
+	Score float64
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	s, err := Open(path, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Resumed() != 0 || s.Len() != 0 {
+		t.Fatalf("fresh store: resumed=%d len=%d", s.Resumed(), s.Len())
+	}
+	var miss unit
+	if s.Get("a", &miss) {
+		t.Fatal("Get hit on an empty store")
+	}
+	if err := s.Put("a", unit{Name: "alexnet", Score: 0.97}); err != nil {
+		t.Fatal(err)
+	}
+	var got unit
+	if !s.Get("a", &got) || got.Name != "alexnet" {
+		t.Fatalf("Get after Put = %+v", got)
+	}
+
+	// A second Open with the same fingerprint resumes the entries.
+	s2, err := Open(path, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Resumed() != 1 || s2.Len() != 1 {
+		t.Fatalf("reopened store: resumed=%d len=%d", s2.Resumed(), s2.Len())
+	}
+	got = unit{}
+	if !s2.Get("a", &got) || got.Score != 0.97 {
+		t.Fatalf("resumed Get = %+v", got)
+	}
+}
+
+func TestFingerprintMismatchDiscards(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	s, err := Open(path, "seed=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, "seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if s2.Resumed() != 0 || s2.Get("a", &v) {
+		t.Fatal("foreign-fingerprint entries resumed")
+	}
+	// The first Put under the new fingerprint overwrites the stale file.
+	if err := s2.Put("b", 2); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(path, "seed=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Resumed() != 1 {
+		t.Fatalf("resumed %d entries after overwrite, want 1", s3.Resumed())
+	}
+}
+
+func TestCorruptFileTreatedAsFresh(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(path, "fp")
+	if err != nil {
+		t.Fatalf("corrupt file should open fresh, got %v", err)
+	}
+	if s.Resumed() != 0 {
+		t.Fatal("resumed entries from a corrupt file")
+	}
+}
+
+func TestNilStoreIsNoop(t *testing.T) {
+	var s *Store
+	var v int
+	if s.Get("a", &v) {
+		t.Fatal("nil store Get hit")
+	}
+	if err := s.Put("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Resumed() != 0 {
+		t.Fatal("nil store reports entries")
+	}
+}
+
+func TestDecodeFailureIsMiss(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	s, err := Open(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", "a string"); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if s.Get("a", &v) {
+		t.Fatal("type-mismatched entry should be a miss, not a hit")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"text/tabwriter"
 
+	"convmeter/internal/checkpoint"
 	"convmeter/internal/obs"
 )
 
@@ -30,6 +31,16 @@ type Config struct {
 	// instrumented layers underneath (bench, exec, allreduce, train)
 	// record. Nil disables telemetry at zero cost.
 	Obs *obs.Obs
+	// Checkpoint, when non-nil, records completed experiments and LOMO
+	// evaluations so a killed sweep resumes from the last completed unit.
+	// Nil disables checkpointing.
+	Checkpoint *checkpoint.Store
+	// FaultsSeed drives the chaos experiment's fault schedule; 0 falls
+	// back to Seed. The same FaultsSeed reproduces the identical schedule.
+	FaultsSeed int64
+	// FaultsProfile names the fault profile for the chaos experiment
+	// (none, light, heavy, chaos); empty means the experiment's default.
+	FaultsProfile string
 }
 
 // Result is the outcome of one experiment: a rendered table plus the
@@ -104,6 +115,7 @@ func Runners() []Runner {
 		{"extpipeline", "Extension: pipeline model parallelism (paper §3 note)", ExtPipeline},
 		{"extreal", "Extension: real wall-clock measurements on the host CPU", ExtReal},
 		{"exttrainreal", "Extension: real data-parallel training run (telemetry fixture)", ExtTrainReal},
+		{"exttrainfaults", "Extension: chaos run — resilient training under injected faults", ExtTrainFaults},
 		{"extstrong", "Extension: strong scaling at a fixed global batch (§4.3 capability)", ExtStrong},
 	}
 }

@@ -48,7 +48,7 @@ func Fig2(cfg Config) (*Result, error) {
 	var rows [][]string
 	for _, mask := range masks {
 		mask := mask
-		ev, err := lomoEval(cfg, func() (*core.Evaluation, error) {
+		ev, err := lomoEval(cfg, "fig2/"+mask.String(), func() (*core.Evaluation, error) {
 			return baselines.EvaluateAblationLOMO(samples, mask)
 		})
 		if err != nil {
@@ -105,7 +105,7 @@ func Table1(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		ev, err := lomoEval(cfg, func() (*core.Evaluation, error) {
+		ev, err := lomoEval(cfg, "table1/"+dev.Name, func() (*core.Evaluation, error) {
 			return core.EvaluateInferenceLOMO(samples)
 		})
 		if err != nil {
@@ -139,7 +139,7 @@ func Table2(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev, err := lomoEval(cfg, func() (*core.Evaluation, error) {
+	ev, err := lomoEval(cfg, "table2/blocks", func() (*core.Evaluation, error) {
 		return core.EvaluateInferenceLOMO(samples)
 	})
 	if err != nil {

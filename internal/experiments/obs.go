@@ -6,14 +6,38 @@ import (
 	"convmeter/internal/obs"
 )
 
-// runOne executes one runner under telemetry: the run is wrapped in an
-// "experiment:<id>" span (which child spans — bench tasks, LOMO
-// evaluations, training steps — attach to via Config.Obs), timed into a
-// per-experiment gauge, and its headline statistics are exported as
-// convmeter_experiment_stat gauges so fit quality and residuals are
-// scrapeable alongside the runtime metrics. With telemetry disabled this
-// is exactly r.Run.
+// runOne executes one runner under telemetry and checkpointing. With a
+// checkpoint store configured, a previously completed experiment is
+// served from the store (the resume path of a killed sweep) and a fresh
+// completion is persisted before returning. Under telemetry the run is
+// wrapped in an "experiment:<id>" span (which child spans — bench tasks,
+// LOMO evaluations, training steps — attach to via Config.Obs), timed
+// into a per-experiment gauge, and its headline statistics are exported
+// as convmeter_experiment_stat gauges so fit quality and residuals are
+// scrapeable alongside the runtime metrics. With both disabled this is
+// exactly r.Run.
 func runOne(r Runner, cfg Config) (*Result, error) {
+	key := "experiment/" + r.ID
+	var cached Result
+	if cfg.Checkpoint.Get(key, &cached) {
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("convmeter_experiments_resumed_total",
+				"experiments served from a checkpoint instead of re-run").Inc()
+		}
+		return &cached, nil
+	}
+	res, err := runLive(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Checkpointing is best-effort: a failed write must not fail an
+	// otherwise completed experiment, it only costs resume coverage.
+	_ = cfg.Checkpoint.Put(key, res)
+	return res, nil
+}
+
+// runLive is runOne without the checkpoint layer.
+func runLive(r Runner, cfg Config) (*Result, error) {
 	if cfg.Obs == nil {
 		return r.Run(cfg)
 	}
@@ -38,20 +62,39 @@ func runOne(r Runner, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// lomoEval wraps one leave-one-model-out evaluation in a "lomo" span and
-// feeds its duration into a shared histogram. The evaluation itself runs
-// in analytical packages (core, baselines), which the boundary rule keeps
-// telemetry-free — so LOMO cost is measured here, at the call site.
-func lomoEval[T any](cfg Config, eval func() (T, error)) (T, error) {
-	if cfg.Obs == nil {
-		return eval()
+// lomoEval wraps one leave-one-model-out evaluation in a "lomo" span,
+// feeds its duration into a shared histogram, and checkpoints the result
+// under key: a sweep killed mid-campaign resumes from the last completed
+// evaluation instead of from scratch. The evaluation itself runs in
+// analytical packages (core, baselines), which the boundary rule keeps
+// telemetry- and checkpoint-free — so both are applied here, at the
+// measured-side call site.
+func lomoEval[T any](cfg Config, key string, eval func() (T, error)) (T, error) {
+	var cached T
+	if key != "" && cfg.Checkpoint.Get("lomo/"+key, &cached) {
+		if cfg.Obs != nil {
+			cfg.Obs.Counter("convmeter_experiment_lomo_resumed_total",
+				"LOMO evaluations served from a checkpoint instead of re-run").Inc()
+		}
+		return cached, nil
 	}
-	sp := cfg.Obs.Start("lomo")
-	t0 := time.Now()
-	out, err := eval()
-	sp.End()
-	cfg.Obs.Histogram("convmeter_experiment_lomo_seconds",
-		"wall-clock per leave-one-model-out evaluation", obs.DefaultDurationBuckets()).
-		Observe(time.Since(t0).Seconds())
+	run := func() (T, error) {
+		if cfg.Obs == nil {
+			return eval()
+		}
+		sp := cfg.Obs.Start("lomo")
+		t0 := time.Now()
+		out, err := eval()
+		sp.End()
+		cfg.Obs.Histogram("convmeter_experiment_lomo_seconds",
+			"wall-clock per leave-one-model-out evaluation", obs.DefaultDurationBuckets()).
+			Observe(time.Since(t0).Seconds())
+		return out, err
+	}
+	out, err := run()
+	if err == nil && key != "" {
+		// Best-effort, like the experiment-level checkpoint above.
+		_ = cfg.Checkpoint.Put("lomo/"+key, out)
+	}
 	return out, err
 }

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"convmeter/internal/allreduce"
+	"convmeter/internal/faults"
+	"convmeter/internal/train"
+)
+
+// ExtTrainFaults is the chaos counterpart of ExtTrainReal: the same real
+// data-parallel trainer, but over TCP with a deterministic fault injector
+// dealing stragglers, dropped/reset connections, corrupted and truncated
+// chunks, and a scheduled worker crash. The run must survive all of it —
+// retries absorb the transient faults, CRC validation catches the
+// corruption, and elastic degradation re-forms the ring without the
+// crashed worker while the global batch is respread over the survivors.
+// The invariants checked are the paper's data-parallel correctness
+// conditions restated under failure: the loss still falls and every
+// surviving replica holds bit-identical weights.
+//
+// The fault schedule is a pure function of the fault seed
+// (Config.FaultsSeed, falling back to Config.Seed), so two runs with the
+// same seed inject the identical fault set — the property the chaos tests
+// assert.
+func ExtTrainFaults(cfg Config) (*Result, error) {
+	prof, err := faults.ByName(profileName(cfg))
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.New(faultsSeed(cfg), prof, cfg.Obs)
+	if err != nil {
+		return nil, err
+	}
+	g, err := trainRealNet()
+	if err != nil {
+		return nil, err
+	}
+	workers, steps, globalBatch := 4, 10, 24
+	if cfg.Quick {
+		steps, globalBatch = 6, 16
+	}
+	task, err := train.NewPrototypeTask(g, 3, 0.3, cfg.Seed+41)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := train.NewTrainer(g, train.Config{
+		Workers: workers, LR: 0.1, Seed: cfg.Seed + 42, Obs: cfg.Obs,
+		Transport: train.TransportTCP,
+		Faults:    inj,
+		OpTimeout: 200 * time.Millisecond,
+		Retry:     allreduce.RetryPolicy{Attempts: 2, Backoff: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := tr.Run(steps, task.SourceGlobal(globalBatch, tr.LiveCount))
+	if err != nil {
+		return nil, err
+	}
+	first, last := res.Losses[0], res.Losses[len(res.Losses)-1]
+	if last >= first {
+		return nil, fmt.Errorf("exttrainfaults: loss did not fall under faults (%g -> %g)", first, last)
+	}
+	minSum, maxSum := res.Checksums[0], res.Checksums[0]
+	for _, c := range res.Checksums[1:] {
+		if c < minSum {
+			minSum = c
+		}
+		if c > maxSum {
+			maxSum = c
+		}
+	}
+	if spread := maxSum - minSum; spread != 0 {
+		return nil, fmt.Errorf("exttrainfaults: survivors desynchronised (checksum spread %g)", spread)
+	}
+	counts := inj.CountByClass()
+	// A crash-scheduled worker must be dead by the end — either its
+	// scheduled crash fired, or blame-based degradation removed it first.
+	for w := range prof.Crashes {
+		for _, id := range res.Live {
+			if id == w {
+				return nil, fmt.Errorf("exttrainfaults: crash-scheduled worker %d survived", w)
+			}
+		}
+	}
+	out := &Result{
+		ID:    "exttrainfaults",
+		Title: "Extension: chaos run — resilient data-parallel training under injected faults",
+		Stats: map[string]float64{
+			"workers_start": float64(workers),
+			"workers_live":  float64(len(res.Live)),
+			"steps":         float64(steps),
+			"global_batch":  float64(globalBatch),
+			"loss_first":    first,
+			"loss_last":     last,
+		},
+	}
+	classes := []faults.Class{
+		faults.ClassDelay, faults.ClassDrop, faults.ClassReset,
+		faults.ClassCorrupt, faults.ClassTruncate, faults.ClassCrash,
+	}
+	var parts []string
+	for _, c := range classes {
+		out.Stats["faults_"+string(c)] = float64(counts[c])
+		if counts[c] > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", c, counts[c]))
+		}
+	}
+	sort.Strings(parts)
+	out.Text = fmt.Sprintf(
+		"Trained %d steps on %d workers over TCP under profile %q (fault seed %d):\n"+
+			"loss %.4f -> %.4f, %d/%d workers live, survivor checksums identical.\n"+
+			"Faults injected: %s.\n",
+		steps, workers, profileName(cfg), faultsSeed(cfg),
+		first, last, len(res.Live), workers, strings.Join(parts, " "))
+	return out, nil
+}
+
+// profileName resolves the chaos experiment's fault profile.
+func profileName(cfg Config) string {
+	if cfg.FaultsProfile != "" {
+		return cfg.FaultsProfile
+	}
+	return "chaos"
+}
+
+// faultsSeed resolves the fault-schedule seed.
+func faultsSeed(cfg Config) int64 {
+	if cfg.FaultsSeed != 0 {
+		return cfg.FaultsSeed
+	}
+	return cfg.Seed
+}

@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"convmeter/internal/checkpoint"
+)
+
+// faultsCfg is the acceptance configuration: quick sweep, the chaos
+// profile, and a fault seed verified to deal at least one worker crash,
+// one dropped connection and one corrupted chunk.
+var faultsCfg = Config{Seed: 1, Quick: true, FaultsSeed: 7}
+
+// TestExtTrainFaultsSurvivesChaos is the chaos acceptance test: the run
+// must complete under the chaos profile, shrink the ring (the scheduled
+// crash), inject at least one drop and one corruption, and still satisfy
+// the data-parallel correctness conditions (falling loss, identical
+// survivor checksums — both asserted inside the experiment itself).
+func TestExtTrainFaultsSurvivesChaos(t *testing.T) {
+	res, err := ExtTrainFaults(faultsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats["workers_live"] >= res.Stats["workers_start"] {
+		t.Fatalf("live %v of %v workers: ring did not shrink",
+			res.Stats["workers_live"], res.Stats["workers_start"])
+	}
+	for _, class := range []string{"crash", "drop", "corrupt"} {
+		if res.Stats["faults_"+class] < 1 {
+			t.Fatalf("fault seed %d injected no %s (stats %v)", faultsCfg.FaultsSeed, class, res.Stats)
+		}
+	}
+	if res.Stats["loss_last"] >= res.Stats["loss_first"] {
+		t.Fatalf("loss did not fall: %v -> %v", res.Stats["loss_first"], res.Stats["loss_last"])
+	}
+}
+
+// TestExtTrainFaultsReproducible: the same fault seed must reproduce the
+// identical fault schedule and the identical training outcome — the
+// framework's core determinism property, end to end through real TCP
+// rings, retries and elastic degradation.
+func TestExtTrainFaultsReproducible(t *testing.T) {
+	a, err := ExtTrainFaults(faultsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExtTrainFaults(faultsCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Fatalf("same fault seed, different outcome:\n%v\n%v", a.Stats, b.Stats)
+	}
+	c, err := ExtTrainFaults(Config{Seed: 1, Quick: true, FaultsSeed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Stats, c.Stats) {
+		t.Fatal("different fault seeds produced identical fault statistics")
+	}
+}
+
+// TestExtTrainFaultsProfileSelection: the profile knob reaches the
+// injector; "none" must inject nothing and keep every worker alive.
+func TestExtTrainFaultsProfileSelection(t *testing.T) {
+	cfg := faultsCfg
+	cfg.FaultsProfile = "none"
+	res, err := ExtTrainFaults(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats["workers_live"] != res.Stats["workers_start"] {
+		t.Fatalf("fault-free run lost workers: %v", res.Stats)
+	}
+	for k, v := range res.Stats {
+		if len(k) > 7 && k[:7] == "faults_" && v != 0 {
+			t.Fatalf("fault-free run injected %s = %v", k, v)
+		}
+	}
+	cfg.FaultsProfile = "not-a-profile"
+	if _, err := ExtTrainFaults(cfg); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+// TestRunServesExperimentFromCheckpoint: a completed experiment recorded
+// in the checkpoint store must be served from it on re-run — the resume
+// path of a killed sweep.
+func TestRunServesExperimentFromCheckpoint(t *testing.T) {
+	store, err := checkpoint.Open(filepath.Join(t.TempDir(), "ckpt.json"), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := &Result{ID: "exttrainreal", Title: "served from checkpoint"}
+	if err := store.Put("experiment/exttrainreal", sentinel); err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg
+	cfg.Checkpoint = store
+	res, err := Run("exttrainreal", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Title != sentinel.Title {
+		t.Fatalf("checkpointed experiment re-ran: title %q", res.Title)
+	}
+}
+
+// TestLomoEvalCheckpoints: a completed LOMO evaluation is persisted under
+// its key and not recomputed on the next call.
+func TestLomoEvalCheckpoints(t *testing.T) {
+	store, err := checkpoint.Open(filepath.Join(t.TempDir(), "ckpt.json"), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Checkpoint: store}
+	type evalOut struct{ Score float64 }
+	calls := 0
+	eval := func() (*evalOut, error) {
+		calls++
+		return &evalOut{Score: 0.93}, nil
+	}
+	first, err := lomoEval(cfg, "unit/a", eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := lomoEval(cfg, "unit/a", eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("eval ran %d times, want 1", calls)
+	}
+	if first.Score != second.Score {
+		t.Fatalf("checkpointed result diverged: %v vs %v", first, second)
+	}
+	// A different key is a different unit and must run.
+	if _, err := lomoEval(cfg, "unit/b", eval); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("distinct key served from cache (calls=%d)", calls)
+	}
+}

@@ -7,6 +7,15 @@
 // tests verify the properties the paper's performance model presumes:
 // replicas stay bit-synchronised, and N-way data parallelism computes the
 // same update as one large batch.
+//
+// The trainer is elastic, in the style of the fault-tolerant Horovod
+// deployments the paper's measurements come from: when a worker crashes
+// at a step boundary (injected via internal/faults) or is declared dead
+// after all-reduce retry exhaustion, the ring re-forms with N−1 members,
+// gradient averaging renormalises to the survivor count, and data
+// sources built with SourceGlobal recompute the per-device batch
+// b = B/N — keeping the N-dependence of the paper's T_grad model
+// observable across failures.
 package train
 
 import (
@@ -18,6 +27,7 @@ import (
 
 	"convmeter/internal/allreduce"
 	"convmeter/internal/exec"
+	"convmeter/internal/faults"
 	"convmeter/internal/graph"
 	"convmeter/internal/obs"
 )
@@ -42,6 +52,17 @@ const (
 	Adam
 )
 
+// Transport selects the gradient-synchronisation transport.
+type Transport int
+
+// Available transports. TransportChan runs the ring over in-process
+// channels; TransportTCP runs it over real loopback sockets, where
+// dropped and reset connections are physically possible.
+const (
+	TransportChan Transport = iota
+	TransportTCP
+)
+
 // Config controls a data-parallel run.
 type Config struct {
 	Workers   int
@@ -53,148 +74,419 @@ type Config struct {
 	// one "step N" span per training step, with the replicas' "fwd"/"bwd"
 	// kernel spans and the all-reduce "grad" span nested underneath.
 	Obs *obs.Obs
+
+	// Transport selects the all-reduce transport (default TransportChan).
+	// GroupSize-based hierarchical reduction applies only to the chan
+	// transport with resilience off; otherwise a flat ring is used.
+	Transport Transport
+	// Faults, when non-nil, injects deterministic faults into the
+	// transports and schedules worker crashes at step boundaries.
+	Faults *faults.Injector
+	// OpTimeout bounds one chunk send/receive in the resilient
+	// transports; 0 keeps the transport default.
+	OpTimeout time.Duration
+	// Retry bounds transport-level retries (timeouts, ring dials).
+	Retry allreduce.RetryPolicy
+	// StepRetries is how many times one step's all-reduce is re-attempted
+	// over the same live set before a worker is blamed and declared dead;
+	// <=0 means 2.
+	StepRetries int
+	// MinWorkers is the floor below which elastic degradation refuses to
+	// drop further members and the step fails instead; <=0 means 1.
+	MinWorkers int
+}
+
+// resilient reports whether the run needs the fault-tolerant paths.
+func (c Config) resilient() bool {
+	return c.Faults != nil || c.OpTimeout > 0
+}
+
+func (c Config) stepRetries() int {
+	if c.StepRetries <= 0 {
+		return 2
+	}
+	return c.StepRetries
+}
+
+func (c Config) minWorkers() int {
+	if c.MinWorkers <= 0 {
+		return 1
+	}
+	return c.MinWorkers
 }
 
 // Result reports a training run.
 type Result struct {
-	// Losses holds the per-step mean loss across workers.
+	// Losses holds the per-step mean loss across live workers.
 	Losses []float64
-	// Checksums holds each worker's weight digest after the final step;
-	// data-parallel training is correct only if they are all equal.
+	// Checksums holds each live worker's weight digest after the final
+	// step; data-parallel training is correct only if they are all equal.
 	Checksums []float64
+	// Live lists the surviving workers' original ids in ascending order.
+	Live []int
 }
 
-// DataParallel trains the graph for the given number of steps. All
-// replicas start from the same seed (identical weights), compute local
-// gradients concurrently, average them with ring all-reduce, and step.
-func DataParallel(g *graph.Graph, cfg Config, steps int, data DataSource) (*Result, error) {
+// trainTelemetry bundles the trainer's metric handles; nil disables all.
+type trainTelemetry struct {
+	steps   *obs.Counter
+	stepH   *obs.Histogram
+	retries *obs.Counter
+	removed *obs.Counter
+	liveG   *obs.Gauge
+}
+
+func newTrainTelemetry(o *obs.Obs) *trainTelemetry {
+	if o == nil {
+		return nil
+	}
+	return &trainTelemetry{
+		steps: o.Counter("convmeter_train_steps_total",
+			"data-parallel training steps completed"),
+		stepH: o.Histogram("convmeter_train_step_seconds",
+			"wall-clock per data-parallel step (compute + all-reduce + update)",
+			obs.DefaultDurationBuckets()),
+		retries: o.Counter("convmeter_train_allreduce_retries_total",
+			"whole-step gradient all-reduce re-attempts after transport failures"),
+		removed: o.Counter("convmeter_train_workers_removed_total",
+			"workers declared dead (crash schedule or blame after retry exhaustion)"),
+		liveG: o.Gauge("convmeter_train_live_workers",
+			"workers currently participating in the ring"),
+	}
+}
+
+// Trainer is a stateful elastic data-parallel trainer. Create one with
+// NewTrainer, drive it with Step/Run, and shrink it — explicitly via
+// RemoveWorker or implicitly via fault handling — without losing the
+// surviving replicas' state.
+type Trainer struct {
+	g        *graph.Graph
+	cfg      Config
+	replicas []*exec.Executor // indexed by original worker id
+	adam     []*exec.AdamState
+	live     []int // original ids, ascending
+	step     int
+	tel      *trainTelemetry
+}
+
+// NewTrainer builds the replica set: every worker starts from the same
+// seed, so all replicas hold identical weights.
+func NewTrainer(g *graph.Graph, cfg Config) (*Trainer, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("train: %d workers", cfg.Workers)
 	}
 	if cfg.LR <= 0 {
 		return nil, fmt.Errorf("train: non-positive learning rate %g", cfg.LR)
 	}
-	if steps <= 0 {
-		return nil, fmt.Errorf("train: %d steps", steps)
-	}
-	replicas := make([]*exec.Executor, cfg.Workers)
-	adam := make([]*exec.AdamState, cfg.Workers)
-	for w := range replicas {
+	t := &Trainer{g: g, cfg: cfg, tel: newTrainTelemetry(cfg.Obs)}
+	t.replicas = make([]*exec.Executor, cfg.Workers)
+	t.adam = make([]*exec.AdamState, cfg.Workers)
+	for w := range t.replicas {
 		e, err := exec.NewExecutor(g, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		replicas[w] = e
+		t.replicas[w] = e
 		if cfg.Optimizer == Adam {
-			adam[w] = exec.NewAdamState()
+			t.adam[w] = exec.NewAdamState()
+		}
+		t.live = append(t.live, w)
+	}
+	if t.tel != nil {
+		t.tel.liveG.Set(float64(len(t.live)))
+	}
+	return t, nil
+}
+
+// Live returns the surviving workers' original ids in ascending order.
+func (t *Trainer) Live() []int {
+	return append([]int(nil), t.live...)
+}
+
+// LiveCount returns the number of surviving workers. Data sources built
+// around a global batch call this per step to recompute b = B/N.
+func (t *Trainer) LiveCount() int { return len(t.live) }
+
+// StepIndex returns the index of the next step to run.
+func (t *Trainer) StepIndex() int { return t.step }
+
+// Checksums returns the live replicas' weight digests in Live() order.
+func (t *Trainer) Checksums() []float64 {
+	out := make([]float64, 0, len(t.live))
+	for _, w := range t.live {
+		out = append(out, t.replicas[w].WeightChecksum())
+	}
+	return out
+}
+
+// RemoveWorker declares a worker dead: the ring re-forms without it and
+// subsequent gradient averages renormalise over the survivors.
+func (t *Trainer) RemoveWorker(id int) error {
+	for i, w := range t.live {
+		if w == id {
+			if len(t.live)-1 < t.cfg.minWorkers() {
+				return fmt.Errorf("train: removing worker %d leaves %d live, below minimum %d",
+					id, len(t.live)-1, t.cfg.minWorkers())
+			}
+			// Copy-on-write: Step holds snapshots of the live slice across
+			// removals, so the old backing array must stay intact.
+			next := make([]int, 0, len(t.live)-1)
+			next = append(next, t.live[:i]...)
+			next = append(next, t.live[i+1:]...)
+			t.live = next
+			if t.tel != nil {
+				t.tel.removed.Inc()
+				t.tel.liveG.Set(float64(len(t.live)))
+			}
+			return nil
 		}
 	}
+	return fmt.Errorf("train: worker %d is not live", id)
+}
+
+// join runs fn(0..n-1) concurrently and returns the first error —
+// errgroup-style first-error capture, so a failed worker fails the step
+// deterministically instead of contributing a partial result.
+func join(n int, fn func(i int) error) error {
 	var (
-		stepsC *obs.Counter
-		stepH  *obs.Histogram
+		wg    sync.WaitGroup
+		once  sync.Once
+		first error
 	)
-	if cfg.Obs != nil {
-		stepsC = cfg.Obs.Counter("convmeter_train_steps_total",
-			"data-parallel training steps completed")
-		stepH = cfg.Obs.Histogram("convmeter_train_step_seconds",
-			"wall-clock per data-parallel step (compute + all-reduce + update)",
-			obs.DefaultDurationBuckets())
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := fn(i); err != nil {
+				once.Do(func() { first = err })
+			}
+		}(i)
+	}
+	wg.Wait()
+	return first
+}
+
+// Step runs one data-parallel training step over the live workers:
+// crash boundaries, gradient computation, fault-tolerant all-reduce with
+// elastic degradation, renormalised averaging, and the optimizer update.
+// It returns the mean loss across the workers that contributed.
+func (t *Trainer) Step(data DataSource) (float64, error) {
+	step := t.step
+	// Crash boundary: scheduled deaths happen before the step's compute.
+	for _, w := range t.Live() {
+		if t.cfg.Faults.CrashAt(w, step) {
+			if err := t.RemoveWorker(w); err != nil {
+				return 0, fmt.Errorf("train: crash of worker %d at step %d: %w", w, step, err)
+			}
+		}
+	}
+	live := t.live
+	n := len(live)
+	if n == 0 {
+		return 0, fmt.Errorf("train: no live workers at step %d", step)
+	}
+
+	var stepT0 time.Time
+	stepSp := t.cfg.Obs.Start("step " + strconv.Itoa(step))
+	stepObs := t.cfg.Obs.WithSpan(stepSp)
+	if t.cfg.Obs != nil {
+		stepT0 = time.Now()
+		for _, w := range live {
+			t.replicas[w].SetObs(stepObs)
+		}
+	}
+	defer stepSp.End()
+
+	// Local gradients, concurrently, with first-error capture.
+	losses := make([]float64, n)
+	gradMaps := make([]map[int]*exec.WeightGrads, n)
+	vectors := make([][]float32, n)
+	if err := join(n, func(i int) error {
+		w := live[i]
+		batch, err := data(w, step)
+		if err != nil {
+			return fmt.Errorf("train: worker %d step %d data: %w", w, step, err)
+		}
+		loss, grads, err := t.replicas[w].Gradients(batch.Input, batch.Labels)
+		if err != nil {
+			return fmt.Errorf("train: worker %d step %d gradients: %w", w, step, err)
+		}
+		losses[i] = loss
+		gradMaps[i] = grads
+		vectors[i] = t.replicas[w].FlattenGrads(grads)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	// Gradient synchronisation with elastic degradation. Each attempt
+	// reduces snapshots so a failed ring never poisons the originals.
+	reduced, err := t.syncGradients(stepObs, step, live, vectors)
+	if err != nil {
+		return 0, err
+	}
+	// Dead workers may have been dropped during sync; keep survivors only.
+	if len(t.live) != n {
+		idx := make(map[int]int, n)
+		for i, w := range live {
+			idx[w] = i
+		}
+		live = t.live
+		kept := make([][]float32, 0, len(live))
+		keptGrads := make([]map[int]*exec.WeightGrads, 0, len(live))
+		keptLosses := make([]float64, 0, len(live))
+		for _, w := range live {
+			kept = append(kept, reduced[idx[w]])
+			keptGrads = append(keptGrads, gradMaps[idx[w]])
+			keptLosses = append(keptLosses, losses[idx[w]])
+		}
+		reduced, gradMaps, losses = kept, keptGrads, keptLosses
+		n = len(live)
+	}
+
+	// Average and apply — every live replica performs the identical
+	// update, renormalised over the survivor count.
+	scale := float32(1) / float32(n)
+	if err := join(n, func(i int) error {
+		w := live[i]
+		v := reduced[i]
+		for k := range v {
+			v[k] *= scale
+		}
+		if err := t.replicas[w].UnflattenGrads(v, gradMaps[i]); err != nil {
+			return fmt.Errorf("train: worker %d step %d: %w", w, step, err)
+		}
+		if t.cfg.Optimizer == Adam {
+			t.replicas[w].ApplyAdam(t.adam[w], gradMaps[i], t.cfg.LR)
+		} else {
+			t.replicas[w].ApplySGD(gradMaps[i], t.cfg.LR)
+		}
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+
+	mean := 0.0
+	for _, l := range losses {
+		mean += l
+	}
+	mean /= float64(n)
+	if t.tel != nil {
+		t.tel.stepH.Observe(time.Since(stepT0).Seconds())
+		t.tel.steps.Inc()
+	}
+	t.step++
+	return mean, nil
+}
+
+// syncGradients all-reduces the live workers' gradient vectors with
+// retry and blame-based elastic degradation. It returns the reduced
+// (summed) vectors indexed like the input; entries of workers that died
+// mid-sync are stale and must be discarded by the caller.
+func (t *Trainer) syncGradients(stepObs *obs.Obs, step int, live []int, vectors [][]float32) ([][]float32, error) {
+	gradSp := stepObs.Start("grad")
+	defer gradSp.End()
+
+	// Fast path — the pre-elastic behaviour, including hierarchical
+	// reduction, when no resilience features are requested.
+	if !t.cfg.resilient() {
+		var err error
+		if t.cfg.GroupSize > 0 && len(vectors)%t.cfg.GroupSize == 0 {
+			err = allreduce.HierarchicalObs(vectors, t.cfg.GroupSize, t.cfg.Obs)
+		} else {
+			err = allreduce.RingObs(vectors, t.cfg.Obs)
+		}
+		return vectors, err
+	}
+
+	index := make(map[int]int, len(live))
+	for i, w := range live {
+		index[w] = i
+	}
+	attempt := uint64(0)
+	remaining := t.cfg.stepRetries()
+	for {
+		ids := t.Live()
+		snaps := make([][]float32, len(ids))
+		for i, w := range ids {
+			snaps[i] = append([]float32(nil), vectors[index[w]]...)
+		}
+		opts := allreduce.Options{
+			OpTimeout: t.cfg.OpTimeout,
+			Retry:     t.cfg.Retry,
+			Faults:    t.cfg.Faults,
+			Obs:       t.cfg.Obs,
+			WorkerIDs: ids,
+			// Distinct fault-decision space per (training step, attempt):
+			// a retried all-reduce draws fresh faults, deterministically.
+			SeqBase: uint64(step)<<24 | attempt<<12,
+		}
+		var err error
+		if t.cfg.Transport == TransportTCP {
+			err = allreduce.RingTCPOpts(snaps, opts)
+		} else {
+			err = allreduce.RingOpts(snaps, opts)
+		}
+		if err == nil {
+			out := make([][]float32, len(vectors))
+			for i, w := range ids {
+				out[index[w]] = snaps[i]
+			}
+			return out, nil
+		}
+		attempt++
+		remaining--
+		if remaining > 0 {
+			if t.tel != nil {
+				t.tel.retries.Inc()
+			}
+			time.Sleep(t.cfg.Retry.StepBackoff(int(attempt), uint64(step)))
+			continue
+		}
+		// Retry budget exhausted over this live set: declare the blamed
+		// worker dead, re-form the ring with N−1 members, and start a
+		// fresh budget. Shrinking strictly bounds the loop.
+		blamed, ok := allreduce.Blame(err)
+		if !ok {
+			return nil, fmt.Errorf("train: step %d all-reduce failed without blame: %w", step, err)
+		}
+		if rmErr := t.RemoveWorker(blamed); rmErr != nil {
+			return nil, fmt.Errorf("train: step %d all-reduce failed (%v); cannot degrade: %w", step, err, rmErr)
+		}
+		remaining = t.cfg.stepRetries()
+	}
+}
+
+// Run executes `steps` training steps and reports the loss curve and
+// final replica checksums.
+func (t *Trainer) Run(steps int, data DataSource) (*Result, error) {
+	if steps <= 0 {
+		return nil, fmt.Errorf("train: %d steps", steps)
 	}
 	res := &Result{}
-	scale := float32(1) / float32(cfg.Workers)
-	for step := 0; step < steps; step++ {
-		var stepT0 time.Time
-		stepSp := cfg.Obs.Start("step " + strconv.Itoa(step))
-		stepObs := cfg.Obs.WithSpan(stepSp)
-		if cfg.Obs != nil {
-			stepT0 = time.Now()
-			for w := range replicas {
-				replicas[w].SetObs(stepObs)
-			}
-		}
-		losses := make([]float64, cfg.Workers)
-		gradMaps := make([]map[int]*exec.WeightGrads, cfg.Workers)
-		vectors := make([][]float32, cfg.Workers)
-		errs := make([]error, cfg.Workers)
-		var wg sync.WaitGroup
-		for w := 0; w < cfg.Workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				batch, err := data(w, step)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				loss, grads, err := replicas[w].Gradients(batch.Input, batch.Labels)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				losses[w] = loss
-				gradMaps[w] = grads
-				vectors[w] = replicas[w].FlattenGrads(grads)
-			}(w)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		// Gradient synchronisation: the real ring all-reduce.
-		gradSp := stepObs.Start("grad")
-		var err error
-		if cfg.GroupSize > 0 && cfg.Workers%cfg.GroupSize == 0 {
-			err = allreduce.HierarchicalObs(vectors, cfg.GroupSize, cfg.Obs)
-		} else {
-			err = allreduce.RingObs(vectors, cfg.Obs)
-		}
-		gradSp.End()
+	for s := 0; s < steps; s++ {
+		loss, err := t.Step(data)
 		if err != nil {
 			return nil, err
 		}
-		// Average and apply — every replica performs the identical update.
-		for w := 0; w < cfg.Workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				v := vectors[w]
-				for i := range v {
-					v[i] *= scale
-				}
-				if err := replicas[w].UnflattenGrads(v, gradMaps[w]); err != nil {
-					errs[w] = err
-					return
-				}
-				if cfg.Optimizer == Adam {
-					replicas[w].ApplyAdam(adam[w], gradMaps[w], cfg.LR)
-				} else {
-					replicas[w].ApplySGD(gradMaps[w], cfg.LR)
-				}
-			}(w)
-		}
-		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
-		}
-		mean := 0.0
-		for _, l := range losses {
-			mean += l
-		}
-		res.Losses = append(res.Losses, mean/float64(cfg.Workers))
-		if cfg.Obs != nil {
-			stepH.Observe(time.Since(stepT0).Seconds())
-			stepsC.Inc()
-		}
-		stepSp.End()
+		res.Losses = append(res.Losses, loss)
 	}
-	for _, r := range replicas {
-		res.Checksums = append(res.Checksums, r.WeightChecksum())
-	}
+	res.Checksums = t.Checksums()
+	res.Live = t.Live()
 	return res, nil
+}
+
+// DataParallel trains the graph for the given number of steps. All
+// replicas start from the same seed (identical weights), compute local
+// gradients concurrently, average them with ring all-reduce, and step.
+func DataParallel(g *graph.Graph, cfg Config, steps int, data DataSource) (*Result, error) {
+	t, err := NewTrainer(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("train: %d steps", steps)
+	}
+	return t.Run(steps, data)
 }
 
 // PrototypeTask builds a learnable synthetic classification task: each
@@ -232,15 +524,40 @@ func NewPrototypeTask(g *graph.Graph, classes int, noise float32, seed int64) (*
 // Source returns a DataSource producing batchPerWorker samples per worker
 // per step, deterministically derived from (worker, step).
 func (t *PrototypeTask) Source(batchPerWorker int) DataSource {
+	return t.sized(func(int, int) int { return batchPerWorker })
+}
+
+// SourceGlobal returns a DataSource that holds the global batch roughly
+// constant under elastic degradation: each live worker draws
+// b = max(1, globalBatch / live()) samples, so when the ring shrinks the
+// per-device batch grows — the recomputation the paper's T_grad model
+// needs to keep its N-dependence observable.
+func (t *PrototypeTask) SourceGlobal(globalBatch int, live func() int) DataSource {
+	return t.sized(func(int, int) int {
+		n := live()
+		if n <= 0 {
+			return 0
+		}
+		b := globalBatch / n
+		if b < 1 {
+			b = 1
+		}
+		return b
+	})
+}
+
+// sized builds the deterministic sampler around a per-call batch size.
+func (t *PrototypeTask) sized(batchFor func(worker, step int) int) DataSource {
 	return func(worker, step int) (Batch, error) {
-		if batchPerWorker <= 0 {
-			return Batch{}, fmt.Errorf("train: batch %d", batchPerWorker)
+		batch := batchFor(worker, step)
+		if batch <= 0 {
+			return Batch{}, fmt.Errorf("train: batch %d", batch)
 		}
 		rng := rand.New(rand.NewSource(int64(worker)*1_000_003 + int64(step)*7919 + 17))
-		in := exec.NewTensor(batchPerWorker, t.shape)
-		labels := make([]int, batchPerWorker)
+		in := exec.NewTensor(batch, t.shape)
+		labels := make([]int, batch)
 		n := int(t.shape.Elems())
-		for b := 0; b < batchPerWorker; b++ {
+		for b := 0; b < batch; b++ {
 			l := rng.Intn(t.classes)
 			labels[b] = l
 			dst := in.Data[b*n : (b+1)*n]
