@@ -13,18 +13,21 @@ vet:
 	$(GO) vet ./...
 
 # convlint: the repo's own analyzer suite (see README "Static analysis
-# & CI"). Exits nonzero on any finding.
+# & CI") plus go vet, so `make lint` is the complete static gate.
+# Exits nonzero on any finding.
 lint:
 	$(GO) run ./cmd/convlint ./...
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 # The concurrent packages (ring all-reduce, parallel bench collector,
 # data-parallel trainer, telemetry registry/tracer) run under the race
-# detector.
+# detector, plus the lint package itself — its fixture suites drive the
+# loader and analyzers concurrently enough to be worth the coverage.
 race:
-	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/... ./internal/obs/...
+	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/... ./internal/obs/... ./internal/lint/...
 
 # obs-smoke: run a real experiment with the telemetry flags and validate
 # the artefacts with cmd/obscheck — catches exposition/trace formatting
@@ -46,6 +49,7 @@ obs-bench:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/bench
 	$(GO) test -run '^$$' -fuzz FuzzGraphJSON -fuzztime $(FUZZTIME) ./internal/graph
+	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZTIME) ./internal/lint
 
 # chaos: the fault-injection suites under the race detector, then a
 # fixed seed matrix of real end-to-end chaos runs (resilient training

@@ -8,9 +8,15 @@
 // finding survives suppression (2 on usage or load errors). Suppress a
 // finding with `//lint:ignore <analyzer> <reason>` on the offending
 // line or the line above.
+//
+// With -json, findings are emitted instead as a JSON array of
+// {file, line, col, analyzer, message} objects on stdout — the machine
+// interface CI uses to turn findings into inline code annotations. The
+// exit status contract is unchanged, and an empty run prints [].
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,15 +27,25 @@ import (
 
 func main() {
 	configPath := flag.String("config", "", "path to lint.config (default: auto-discovered next to go.mod)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: convlint [-config lint.config] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: convlint [-config lint.config] [-json] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*configPath, flag.Args()))
+	os.Exit(run(*configPath, *jsonOut, flag.Args()))
 }
 
-func run(configPath string, patterns []string) int {
+// jsonFinding is the -json wire shape of one finding.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(configPath string, jsonOut bool, patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -56,8 +72,25 @@ func run(configPath string, patterns []string) int {
 		return 2
 	}
 	findings := lint.Run(pkgs, lint.Suite(cfg))
-	for _, f := range findings {
-		fmt.Println(rel(wd, f))
+	if jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			f = relFinding(wd, f)
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "convlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(relFinding(wd, f).String())
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "convlint: %d finding(s)\n", len(findings))
@@ -81,10 +114,11 @@ func findConfig(dir string) string {
 	}
 }
 
-// rel shortens finding paths relative to the working directory.
-func rel(wd string, f lint.Finding) string {
+// relFinding shortens a finding's path relative to the working
+// directory.
+func relFinding(wd string, f lint.Finding) lint.Finding {
 	if r, err := filepath.Rel(wd, f.Pos.Filename); err == nil && !filepath.IsAbs(r) {
 		f.Pos.Filename = r
 	}
-	return f.String()
+	return f
 }

@@ -60,9 +60,9 @@ func main() {
 		}
 		rank = append(rank, ranked{
 			name:    name,
-			latency: model.Predict(met, 64) * 1e3,
-			gflops:  met.FLOPs / 1e9,
-			params:  met.Weights,
+			latency: float64(model.Predict(met, 64)) * 1e3,
+			gflops:  float64(met.FLOPs) / 1e9,
+			params:  float64(met.Weights),
 		})
 	}
 	sort.Slice(rank, func(i, j int) bool { return rank[i].latency < rank[j].latency })

@@ -51,7 +51,7 @@ func main() {
 	}
 	fmt.Println("\npredicted ResNet-50 inference time (unseen model):")
 	for _, b := range []int{1, 16, 64, 256, 1024} {
-		t := model.Predict(met, float64(b))
+		t := float64(model.Predict(met, float64(b)))
 		fmt.Printf("  batch %4d: %9.3f ms  (%8.0f images/s)\n",
 			b, t*1e3, float64(b)/t)
 	}

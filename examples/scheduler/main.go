@@ -61,7 +61,7 @@ func main() {
 			log.Fatal(err)
 		}
 		devices := nodes * gpusPerNode
-		return tm.PredictEpoch(met, j.dataset, float64(j.batch), devices, nodes) * float64(j.epochs)
+		return float64(tm.PredictEpoch(met, j.dataset, float64(j.batch), devices, nodes)) * float64(j.epochs)
 	}
 	for _, j := range jobs {
 		alloc[j.id] = 1

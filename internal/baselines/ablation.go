@@ -52,13 +52,13 @@ func (m MetricMask) vector(met metrics.Metrics, b float64) []float64 {
 	s := met.Scale(b)
 	var v []float64
 	if m.F {
-		v = append(v, s.FLOPs)
+		v = append(v, float64(s.FLOPs))
 	}
 	if m.I {
-		v = append(v, s.Inputs)
+		v = append(v, float64(s.Inputs))
 	}
 	if m.O {
-		v = append(v, s.Outputs)
+		v = append(v, float64(s.Outputs))
 	}
 	return append(v, 1)
 }
@@ -82,7 +82,7 @@ func FitAblation(samples []core.Sample, mask MetricMask) (*AblationModel, error)
 	y := make([]float64, len(samples))
 	for i, s := range samples {
 		feats[i] = mask.vector(s.Met, float64(s.BatchPerDevice))
-		y[i] = s.Fwd
+		y[i] = float64(s.Fwd)
 	}
 	reg, err := regress.FitRelative(feats, y)
 	if err != nil {
@@ -111,7 +111,7 @@ func EvaluateAblationLOMO(samples []core.Sample, mask MetricMask) (*core.Evaluat
 			}
 			return preds, nil
 		},
-		func(s core.Sample) float64 { return s.Fwd })
+		func(s core.Sample) float64 { return float64(s.Fwd) })
 }
 
 // AllMasks enumerates the seven non-empty metric combinations, for the

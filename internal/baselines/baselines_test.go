@@ -19,19 +19,19 @@ func synthSamples(nModels int, batches []int, noise float64, seed int64) []core.
 		f := float64(i + 1)
 		met := metrics.Metrics{
 			Model:   string(rune('a' + i)),
-			FLOPs:   1e9 * f * f,
-			Inputs:  2e6 * f,
-			Outputs: 3e6 * math.Sqrt(f),
-			Weights: 5e6 * f,
-			Layers:  20 + 3*f,
+			FLOPs:   metrics.FLOPs(1e9 * f * f),
+			Inputs:  metrics.Count(2e6 * f),
+			Outputs: metrics.Count(3e6 * math.Sqrt(f)),
+			Weights: metrics.Count(5e6 * f),
+			Layers:  metrics.Count(20 + 3*f),
 		}
 		for _, b := range batches {
 			bf := float64(b)
-			fwd := 1e-12*met.FLOPs*bf + 5e-10*met.Inputs*bf + 8e-10*met.Outputs*bf + 0.0005
+			fwd := 1e-12*float64(met.FLOPs)*bf + 5e-10*float64(met.Inputs)*bf + 8e-10*float64(met.Outputs)*bf + 0.0005
 			fwd *= 1 + noise*rng.NormFloat64()
 			out = append(out, core.Sample{
 				Model: met.Model, Met: met, Image: 128,
-				BatchPerDevice: b, Devices: 1, Nodes: 1, Fwd: fwd,
+				BatchPerDevice: b, Devices: 1, Nodes: 1, Fwd: metrics.Seconds(fwd),
 			})
 		}
 	}
@@ -227,7 +227,7 @@ func TestDIPPMTrainAndPredict(t *testing.T) {
 		if pred <= 0 {
 			t.Fatalf("non-positive prediction %g", pred)
 		}
-		sumErr += math.Abs(pred-s.Fwd) / s.Fwd
+		sumErr += math.Abs(pred-float64(s.Fwd)) / float64(s.Fwd)
 		n++
 	}
 	if mape := sumErr / float64(n); mape > 0.4 {

@@ -37,10 +37,10 @@ type DIPPM struct {
 func dippmFeatures(met metrics.Metrics, b float64) []float64 {
 	s := met.Scale(b)
 	return []float64{
-		math.Log(s.FLOPs),
-		math.Log(s.Outputs),
-		math.Log(met.Weights),
-		met.Layers / 100,
+		math.Log(float64(s.FLOPs)),
+		math.Log(float64(s.Outputs)),
+		math.Log(float64(met.Weights)),
+		float64(met.Layers) / 100,
 		math.Log(b),
 	}
 }
@@ -88,7 +88,7 @@ func TrainDIPPM(samples []core.Sample, cfg DIPPMConfig) (*DIPPM, error) {
 			return nil, fmt.Errorf("baselines: dippm sample for %s has non-positive time", s.Model)
 		}
 		X = append(X, dippmFeatures(s.Met, float64(s.BatchPerDevice)))
-		y = append(y, math.Log(s.Fwd))
+		y = append(y, math.Log(float64(s.Fwd)))
 	}
 	d := &DIPPM{}
 	nf := len(X[0])

@@ -39,8 +39,8 @@ func TestTransferInferenceAcrossDevices(t *testing.T) {
 	acts := make([]float64, len(dstSamples))
 	preds := make([]float64, len(dstSamples))
 	for i, s := range dstSamples {
-		acts[i] = s.Fwd
-		preds[i] = transferred.Predict(s.Met, float64(s.BatchPerDevice))
+		acts[i] = float64(s.Fwd)
+		preds[i] = float64(transferred.Predict(s.Met, float64(s.BatchPerDevice)))
 	}
 	rep, err := regress.Evaluate(acts, preds)
 	if err != nil {
@@ -61,7 +61,7 @@ func TestTransferInferenceAcrossDevices(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, s := range dstSamples {
-		preds[i] = native.Predict(s.Met, float64(s.BatchPerDevice))
+		preds[i] = float64(native.Predict(s.Met, float64(s.BatchPerDevice)))
 	}
 	nativeRep, err := regress.Evaluate(acts, preds)
 	if err != nil {

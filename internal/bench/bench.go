@@ -155,7 +155,7 @@ func CollectInference(sc InferenceScenario) ([]core.Sample, error) {
 			out = append(out, core.Sample{
 				Model: t.model, Met: bm.met, Image: t.img,
 				BatchPerDevice: batch, Devices: 1, Nodes: 1,
-				Fwd: sim.Forward(bm.g, batch),
+				Fwd: metrics.Seconds(sim.Forward(bm.g, batch)),
 			})
 		}
 		pointsC.Add(float64(len(out)))
@@ -293,7 +293,9 @@ func CollectTraining(sc TrainingScenario) ([]core.Sample, error) {
 				out = append(out, core.Sample{
 					Model: t.model, Met: bm.met, Image: t.img,
 					BatchPerDevice: batch, Devices: topo[0], Nodes: topo[1],
-					Fwd: p.Fwd, Bwd: p.Bwd, Grad: p.Grad,
+					Fwd:  metrics.Seconds(p.Fwd),
+					Bwd:  metrics.Seconds(p.Bwd),
+					Grad: metrics.Seconds(p.Grad),
 				})
 			}
 		}
@@ -380,7 +382,7 @@ func CollectBlocks(sc BlockScenario) ([]core.Sample, error) {
 				out = append(out, core.Sample{
 					Model: name, Met: met, Image: hw,
 					BatchPerDevice: batch, Devices: 1, Nodes: 1,
-					Fwd: sim.Forward(g, batch),
+					Fwd: metrics.Seconds(sim.Forward(g, batch)),
 				})
 			}
 		}

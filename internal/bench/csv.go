@@ -61,8 +61,8 @@ func writeCSV(w io.Writer, samples []core.Sample) error {
 			strconv.Itoa(s.BatchPerDevice),
 			strconv.Itoa(s.Devices),
 			strconv.Itoa(s.Nodes),
-			f(s.Met.FLOPs), f(s.Met.Inputs), f(s.Met.Outputs), f(s.Met.Weights), f(s.Met.Layers),
-			f(s.Fwd), f(s.Bwd), f(s.Grad),
+			f(float64(s.Met.FLOPs)), f(float64(s.Met.Inputs)), f(float64(s.Met.Outputs)), f(float64(s.Met.Weights)), f(float64(s.Met.Layers)),
+			f(float64(s.Fwd)), f(float64(s.Bwd)), f(float64(s.Grad)),
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -134,10 +134,10 @@ func readCSV(r io.Reader) ([]core.Sample, error) {
 			Model: rec[0],
 			Image: ints[0], BatchPerDevice: ints[1], Devices: ints[2], Nodes: ints[3],
 			Met: metrics.Metrics{
-				Model: rec[0], FLOPs: floats[0], Inputs: floats[1],
-				Outputs: floats[2], Weights: floats[3], Layers: floats[4],
+				Model: rec[0], FLOPs: metrics.FLOPs(floats[0]), Inputs: metrics.Count(floats[1]),
+				Outputs: metrics.Count(floats[2]), Weights: metrics.Count(floats[3]), Layers: metrics.Count(floats[4]),
 			},
-			Fwd: floats[5], Bwd: floats[6], Grad: floats[7],
+			Fwd: metrics.Seconds(floats[5]), Bwd: metrics.Seconds(floats[6]), Grad: metrics.Seconds(floats[7]),
 		})
 	}
 	return out, nil

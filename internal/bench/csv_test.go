@@ -30,11 +30,11 @@ func TestCSVRoundTripExact(t *testing.T) {
 		samples = append(samples, core.Sample{
 			Model: "gnarly",
 			Met: metrics.Metrics{
-				Model: "gnarly", FLOPs: v, Inputs: v / 7, Outputs: v / 3,
-				Weights: math.Nextafter(v, 0), Layers: float64(i + 1),
+				Model: "gnarly", FLOPs: metrics.FLOPs(v), Inputs: metrics.Count(v / 7), Outputs: metrics.Count(v / 3),
+				Weights: metrics.Count(math.Nextafter(v, 0)), Layers: metrics.Count(i + 1),
 			},
 			Image: 32 + i, BatchPerDevice: 1 + i, Devices: 1, Nodes: 1,
-			Fwd: v, Bwd: v / 2, Grad: v / 4,
+			Fwd: metrics.Seconds(v), Bwd: metrics.Seconds(v / 2), Grad: metrics.Seconds(v / 4),
 		})
 	}
 	var buf bytes.Buffer

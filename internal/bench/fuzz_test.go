@@ -46,8 +46,8 @@ func FuzzReadCSV(f *testing.F) {
 		// here poisons every least-squares fit downstream.
 		for i, s := range got {
 			for _, v := range []float64{
-				s.Met.FLOPs, s.Met.Inputs, s.Met.Outputs, s.Met.Weights, s.Met.Layers,
-				s.Fwd, s.Bwd, s.Grad,
+				float64(s.Met.FLOPs), float64(s.Met.Inputs), float64(s.Met.Outputs), float64(s.Met.Weights), float64(s.Met.Layers),
+				float64(s.Fwd), float64(s.Bwd), float64(s.Grad),
 			} {
 				if math.IsNaN(v) || math.IsInf(v, 0) {
 					t.Fatalf("sample %d: accepted non-finite value %v", i, v)

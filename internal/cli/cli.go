@@ -261,7 +261,7 @@ func runDissect(args []string, env Env) error {
 		if err != nil {
 			return err
 		}
-		p := m.Predict(sm, float64(*batch))
+		p := float64(m.Predict(sm, float64(*batch)))
 		if p < 0 {
 			p = 0
 		}
@@ -279,9 +279,9 @@ func runDissect(args []string, env Env) error {
 		}
 		printf(env.Stdout, "  %-14s %10.2f %10.2f %10.2f %9.3f %6.1f%%\n",
 			r.seg.name,
-			r.met.FLOPs*float64(*batch)/1e9,
-			r.met.Inputs*float64(*batch)/1e6,
-			r.met.Outputs*float64(*batch)/1e6,
+			float64(r.met.FLOPs)*float64(*batch)/1e9,
+			float64(r.met.Inputs)*float64(*batch)/1e6,
+			float64(r.met.Outputs)*float64(*batch)/1e6,
 			r.pred*1e3, share*100)
 	}
 	return finish()
@@ -516,7 +516,7 @@ func runPredict(args []string, env Env) error {
 	if err != nil {
 		return err
 	}
-	t := m.Predict(met, float64(*batch))
+	t := float64(m.Predict(met, float64(*batch)))
 	printf(env.Stdout, "predicted inference time for %s @ %dpx, batch %d: %.4g ms (%.1f images/s)\n",
 		*model, *image, *batch, t*1e3, float64(*batch)/t)
 	return finish()
@@ -550,7 +550,7 @@ func runTrain(args []string, env Env) error {
 	printf(env.Stdout, "  backward:  %8.3f ms\n", p.Bwd*1e3)
 	printf(env.Stdout, "  gradient:  %8.3f ms\n", p.Grad*1e3)
 	printf(env.Stdout, "  step:      %8.3f ms  (%.1f images/s)\n", p.Iter*1e3,
-		float64(*batch**gpus)/p.Iter)
+		float64(*batch**gpus)/float64(p.Iter))
 	epoch := tm.PredictEpoch(met, *dataset, float64(*batch), *gpus, *nodes)
 	printf(env.Stdout, "  epoch over %d images: %.1f s\n", *dataset, epoch)
 	return nil

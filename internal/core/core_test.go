@@ -15,11 +15,11 @@ func synthMetrics(i int) metrics.Metrics {
 	// design matrix is well conditioned, as with real ConvNet metrics.
 	return metrics.Metrics{
 		Model:   string(rune('a' + i)),
-		FLOPs:   1e9 * f * f,
-		Inputs:  2e6 * f,
-		Outputs: 3e6 * math.Sqrt(f),
-		Weights: 5e6 * f * math.Sqrt(f),
-		Layers:  20 + 5*float64(i),
+		FLOPs:   metrics.FLOPs(1e9 * f * f),
+		Inputs:  metrics.Count(2e6 * f),
+		Outputs: metrics.Count(3e6 * math.Sqrt(f)),
+		Weights: metrics.Count(5e6 * f * math.Sqrt(f)),
+		Layers:  metrics.Count(20 + 5*float64(i)),
 	}
 }
 
@@ -30,10 +30,10 @@ func linearInferenceSamples(nModels int, batches []int) []Sample {
 	for i := 0; i < nModels; i++ {
 		met := synthMetrics(i)
 		for _, b := range batches {
-			fwd := 2e-12*met.FLOPs*float64(b) + 3e-10*met.Inputs*float64(b) + 4e-10*met.Outputs*float64(b) + 0.001
+			fwd := 2e-12*float64(met.FLOPs)*float64(b) + 3e-10*float64(met.Inputs)*float64(b) + 4e-10*float64(met.Outputs)*float64(b) + 0.001
 			out = append(out, Sample{
 				Model: met.Model, Met: met, Image: 128,
-				BatchPerDevice: b, Devices: 1, Nodes: 1, Fwd: fwd,
+				BatchPerDevice: b, Devices: 1, Nodes: 1, Fwd: metrics.Seconds(fwd),
 			})
 		}
 	}
@@ -55,8 +55,8 @@ func TestFitInferenceRecoversCoefficients(t *testing.T) {
 	}
 	// Prediction at an unseen batch size must extrapolate exactly.
 	met := synthMetrics(0)
-	pred := m.Predict(met, 1024)
-	wantT := 2e-12*met.FLOPs*1024 + 3e-10*met.Inputs*1024 + 4e-10*met.Outputs*1024 + 0.001
+	pred := float64(m.Predict(met, 1024))
+	wantT := 2e-12*float64(met.FLOPs)*1024 + 3e-10*float64(met.Inputs)*1024 + 4e-10*float64(met.Outputs)*1024 + 0.001
 	if math.Abs(pred-wantT)/wantT > 1e-9 {
 		t.Fatalf("extrapolated prediction %g, want %g", pred, wantT)
 	}
@@ -126,11 +126,11 @@ func trainSamples(nModels int, deviceCounts []int, noise float64, seed int64) []
 		for _, dev := range deviceCounts {
 			for _, b := range []int{4, 16, 64} {
 				bf := float64(b)
-				fwd := 2e-12*met.FLOPs*bf + 2e-10*met.Inputs*bf + 3e-10*met.Outputs*bf + 0.001
+				fwd := 2e-12*float64(met.FLOPs)*bf + 2e-10*float64(met.Inputs)*bf + 3e-10*float64(met.Outputs)*bf + 0.001
 				bwd := 2 * fwd
-				grad := 1e-4 * met.Layers
+				grad := 1e-4 * float64(met.Layers)
 				if dev > 1 {
-					grad += 2e-9*met.Weights + 3e-4*float64(dev)
+					grad += 2e-9*float64(met.Weights) + 3e-4*float64(dev)
 				}
 				n := func() float64 { return 1 + noise*rng.NormFloat64() }
 				nodes := (dev + 3) / 4
@@ -140,7 +140,7 @@ func trainSamples(nModels int, deviceCounts []int, noise float64, seed int64) []
 				out = append(out, Sample{
 					Model: met.Model, Met: met, Image: 128,
 					BatchPerDevice: b, Devices: dev, Nodes: nodes,
-					Fwd: fwd * n(), Bwd: bwd * n(), Grad: grad * n(),
+					Fwd: metrics.Seconds(fwd * n()), Bwd: metrics.Seconds(bwd * n()), Grad: metrics.Seconds(grad * n()),
 				})
 			}
 		}
@@ -159,10 +159,10 @@ func TestFitTrainingSingleDeviceLayout(t *testing.T) {
 	}
 	for _, s := range samples[:10] {
 		ph := m.PredictPhases(s.Met, float64(s.BatchPerDevice), 1, 1)
-		if rel := math.Abs(ph.Iter-s.Iter()) / s.Iter(); rel > 1e-6 {
+		if rel := math.Abs(float64(ph.Iter-s.Iter())) / float64(s.Iter()); rel > 1e-6 {
 			t.Fatalf("noiseless single-device iter prediction off by %g", rel)
 		}
-		if rel := math.Abs(ph.Grad-s.Grad) / s.Grad; rel > 1e-6 {
+		if rel := math.Abs(float64(ph.Grad-s.Grad)) / float64(s.Grad); rel > 1e-6 {
 			t.Fatalf("grad prediction off by %g", rel)
 		}
 	}
@@ -182,10 +182,10 @@ func TestFitTrainingMultiDeviceLayout(t *testing.T) {
 	}
 	for _, s := range samples {
 		ph := m.PredictPhases(s.Met, float64(s.BatchPerDevice), s.Devices, s.Nodes)
-		if rel := math.Abs(ph.Iter-s.Iter()) / s.Iter(); rel > 1e-6 {
+		if rel := math.Abs(float64(ph.Iter-s.Iter())) / float64(s.Iter()); rel > 1e-6 {
 			t.Fatalf("noiseless multi-device iter prediction off by %g", rel)
 		}
-		if rel := math.Abs(ph.Grad-s.Grad) / s.Grad; rel > 1e-6 {
+		if rel := math.Abs(float64(ph.Grad-s.Grad)) / float64(s.Grad); rel > 1e-6 {
 			t.Fatalf("grad prediction off by %g", rel)
 		}
 	}
@@ -203,7 +203,7 @@ func TestFitTrainingMixedScenarioStillFits(t *testing.T) {
 	worst := 0.0
 	for _, s := range samples {
 		ph := m.PredictPhases(s.Met, float64(s.BatchPerDevice), s.Devices, s.Nodes)
-		if rel := math.Abs(ph.Iter-s.Iter()) / s.Iter(); rel > worst {
+		if rel := math.Abs(float64(ph.Iter-s.Iter())) / float64(s.Iter()); rel > worst {
 			worst = rel
 		}
 	}
@@ -236,8 +236,8 @@ func TestPredictEpochAndThroughput(t *testing.T) {
 		t.Fatal(err)
 	}
 	met := synthMetrics(0)
-	iter := m.PredictIter(met, 64, 1, 1)
-	epoch := m.PredictEpoch(met, 1280000, 64, 1, 1)
+	iter := float64(m.PredictIter(met, 64, 1, 1))
+	epoch := float64(m.PredictEpoch(met, 1280000, 64, 1, 1))
 	wantSteps := 1280000.0 / 64.0
 	if math.Abs(epoch-iter*wantSteps)/epoch > 1e-9 {
 		t.Fatalf("epoch %g != iter %g × steps %g", epoch, iter, wantSteps)

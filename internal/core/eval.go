@@ -85,11 +85,11 @@ func EvaluateInferenceLOMO(samples []Sample) (*Evaluation, error) {
 			}
 			preds := make([]float64, len(held))
 			for i, s := range held {
-				preds[i] = m.Predict(s.Met, float64(s.BatchPerDevice))
+				preds[i] = float64(m.Predict(s.Met, float64(s.BatchPerDevice)))
 			}
 			return preds, nil
 		},
-		func(s Sample) float64 { return s.Fwd })
+		func(s Sample) float64 { return float64(s.Fwd) })
 }
 
 // TrainEvaluation extends Evaluation with per-phase overall reports
@@ -114,17 +114,17 @@ func EvaluateTrainingLOMO(samples []Sample) (*TrainEvaluation, error) {
 			preds := make([]float64, len(held))
 			for i, s := range held {
 				ph := m.PredictPhases(s.Met, float64(s.BatchPerDevice), s.Devices, s.Nodes)
-				preds[i] = ph.Iter
-				fa = append(fa, s.Fwd)
-				fp = append(fp, ph.Fwd)
-				ba = append(ba, s.Bwd)
-				bp = append(bp, ph.Bwd)
-				ga = append(ga, s.Grad)
-				gp = append(gp, ph.Grad)
+				preds[i] = float64(ph.Iter)
+				fa = append(fa, float64(s.Fwd))
+				fp = append(fp, float64(ph.Fwd))
+				ba = append(ba, float64(s.Bwd))
+				bp = append(bp, float64(ph.Bwd))
+				ga = append(ga, float64(s.Grad))
+				gp = append(gp, float64(ph.Grad))
 			}
 			return preds, nil
 		},
-		func(s Sample) float64 { return s.Iter() })
+		func(s Sample) float64 { return float64(s.Iter()) })
 	if err != nil {
 		return nil, err
 	}

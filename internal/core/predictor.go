@@ -36,7 +36,7 @@ func fitInference(samples []Sample, fit func([][]float64, []float64) (*regress.M
 	y := make([]float64, len(samples))
 	for i, s := range samples {
 		feats[i] = s.Met.Vector(float64(s.BatchPerDevice))
-		y[i] = s.Fwd
+		y[i] = float64(s.Fwd)
 	}
 	m, err := fit(feats, y)
 	if err != nil {
@@ -60,8 +60,8 @@ func InferenceCoefStats(samples []Sample) (*InferenceModel, *regress.CoefStats, 
 	w := make([]float64, len(samples))
 	for i, s := range samples {
 		feats[i] = s.Met.Vector(float64(s.BatchPerDevice))
-		y[i] = s.Fwd
-		v := s.Fwd
+		y[i] = float64(s.Fwd)
+		v := float64(s.Fwd)
 		if v < 1e-12 {
 			v = 1e-12
 		}
@@ -79,15 +79,15 @@ func (m *InferenceModel) Coefficients() []float64 {
 	return append([]float64(nil), m.reg.Coef...)
 }
 
-// Predict estimates the forward-pass/inference time in seconds for a
-// network with metrics met at per-device mini-batch b.
-func (m *InferenceModel) Predict(met metrics.Metrics, b float64) float64 {
-	return m.reg.Predict(met.Vector(b))
+// Predict estimates the forward-pass/inference time for a network with
+// metrics met at per-device mini-batch b.
+func (m *InferenceModel) Predict(met metrics.Metrics, b float64) metrics.Seconds {
+	return metrics.Seconds(m.reg.Predict(met.Vector(b)))
 }
 
-// Phases is a predicted training-step decomposition in seconds.
+// Phases is a predicted training-step decomposition.
 type Phases struct {
-	Fwd, Bwd, Grad, Iter float64
+	Fwd, Bwd, Grad, Iter metrics.Seconds
 }
 
 // TrainingModel is the fitted training-step predictor. The forward and
@@ -119,7 +119,7 @@ func combinedVector(met metrics.Metrics, b float64, devices int, multi bool) []f
 	if multi {
 		return met.CombinedVector(b, devices)
 	}
-	return []float64{s.FLOPs, s.Inputs, s.Outputs, met.Layers, 1}
+	return []float64{float64(s.FLOPs), float64(s.Inputs), float64(s.Outputs), float64(met.Layers), 1}
 }
 
 // FitTraining fits the training-step model. The gradient layout is chosen
@@ -152,10 +152,10 @@ func FitTraining(samples []Sample) (*TrainingModel, error) {
 		bwdF[i] = s.Met.Vector(b)
 		gradF[i] = gradVector(s.Met, s.Devices, multi)
 		combF[i] = combinedVector(s.Met, b, s.Devices, multi)
-		yFwd[i] = s.Fwd
-		yBwd[i] = s.Bwd
-		yGrad[i] = s.Grad
-		yComb[i] = s.Bwd + s.Grad
+		yFwd[i] = float64(s.Fwd)
+		yBwd[i] = float64(s.Bwd)
+		yGrad[i] = float64(s.Grad)
+		yComb[i] = float64(s.Bwd + s.Grad)
 	}
 	fwd, err := regress.FitRelative(fwdF, yFwd)
 	if err != nil {
@@ -186,33 +186,33 @@ func (m *TrainingModel) Multi() bool { return m.multi }
 // from Fwd+Bwd+Grad.
 func (m *TrainingModel) PredictPhases(met metrics.Metrics, batchPerDevice float64, devices, nodes int) Phases {
 	p := Phases{
-		Fwd:  m.fwd.Predict(met.Vector(batchPerDevice)),
-		Bwd:  m.bwd.Predict(met.Vector(batchPerDevice)),
-		Grad: m.grad.Predict(gradVector(met, devices, m.multi)),
+		Fwd:  metrics.Seconds(m.fwd.Predict(met.Vector(batchPerDevice))),
+		Bwd:  metrics.Seconds(m.bwd.Predict(met.Vector(batchPerDevice))),
+		Grad: metrics.Seconds(m.grad.Predict(gradVector(met, devices, m.multi))),
 	}
-	p.Iter = p.Fwd + m.combined.Predict(combinedVector(met, batchPerDevice, devices, m.multi))
+	p.Iter = p.Fwd + metrics.Seconds(m.combined.Predict(combinedVector(met, batchPerDevice, devices, m.multi)))
 	return p
 }
 
 // PredictIter estimates the full training-step time.
-func (m *TrainingModel) PredictIter(met metrics.Metrics, batchPerDevice float64, devices, nodes int) float64 {
+func (m *TrainingModel) PredictIter(met metrics.Metrics, batchPerDevice float64, devices, nodes int) metrics.Seconds {
 	return m.PredictPhases(met, batchPerDevice, devices, nodes).Iter
 }
 
 // PredictEpoch estimates one epoch over a dataset of datasetSize images:
 // D/(B·N) training steps (paper §2).
-func (m *TrainingModel) PredictEpoch(met metrics.Metrics, datasetSize int, batchPerDevice float64, devices, nodes int) float64 {
+func (m *TrainingModel) PredictEpoch(met metrics.Metrics, datasetSize int, batchPerDevice float64, devices, nodes int) metrics.Seconds {
 	if datasetSize <= 0 {
 		return 0
 	}
 	steps := float64(datasetSize) / (batchPerDevice * float64(devices))
-	return steps * m.PredictIter(met, batchPerDevice, devices, nodes)
+	return metrics.Seconds(steps * float64(m.PredictIter(met, batchPerDevice, devices, nodes)))
 }
 
 // PredictThroughput estimates training throughput in images/second — the
 // quantity plotted in the paper's scalability figures.
 func (m *TrainingModel) PredictThroughput(met metrics.Metrics, batchPerDevice float64, devices, nodes int) float64 {
-	iter := m.PredictIter(met, batchPerDevice, devices, nodes)
+	iter := float64(m.PredictIter(met, batchPerDevice, devices, nodes))
 	if iter <= 0 {
 		return 0
 	}
@@ -223,10 +223,10 @@ func (m *TrainingModel) PredictThroughput(met metrics.Metrics, batchPerDevice fl
 type StrongScalingPoint struct {
 	Nodes          int
 	Devices        int
-	BatchPerDevice float64 // global batch divided over the devices
-	Iter           float64 // predicted step time
-	Throughput     float64 // images/s
-	Speedup        float64 // vs the first point of the curve
+	BatchPerDevice float64         // global batch divided over the devices
+	Iter           metrics.Seconds // predicted step time
+	Throughput     float64         // images/s
+	Speedup        float64         // vs the first point of the curve
 }
 
 // PredictStrongScaling predicts how the training of a *fixed global
@@ -256,14 +256,14 @@ func (m *TrainingModel) PredictStrongScaling(met metrics.Metrics, globalBatch fl
 			Nodes: n, Devices: devices, BatchPerDevice: b, Iter: iter,
 		}
 		if iter > 0 {
-			p.Throughput = globalBatch / iter
+			p.Throughput = globalBatch / float64(iter)
 		}
 		out = append(out, p)
 	}
-	base := out[0].Iter
+	base := float64(out[0].Iter)
 	for i := range out {
 		if out[i].Iter > 0 {
-			out[i].Speedup = base / out[i].Iter
+			out[i].Speedup = base / float64(out[i].Iter)
 		}
 	}
 	return out, nil

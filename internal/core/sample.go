@@ -33,13 +33,13 @@ type Sample struct {
 	BatchPerDevice int
 	Devices        int // total GPUs (1 for single-device scenarios)
 	Nodes          int // physical nodes (1 for single-node scenarios)
-	Fwd            float64
-	Bwd            float64
-	Grad           float64
+	Fwd            metrics.Seconds
+	Bwd            metrics.Seconds
+	Grad           metrics.Seconds
 }
 
 // Iter returns the full training-step time of the sample.
-func (s Sample) Iter() float64 { return s.Fwd + s.Bwd + s.Grad }
+func (s Sample) Iter() metrics.Seconds { return s.Fwd + s.Bwd + s.Grad }
 
 // validate rejects malformed samples early so fit errors are attributable.
 func (s Sample) validate() error {

@@ -59,8 +59,8 @@ func Ablation(cfg Config) (*Result, error) {
 		acts := make([]float64, len(held))
 		preds := make([]float64, len(held))
 		for i, s := range held {
-			acts[i] = s.Fwd
-			preds[i] = m.Predict(s.Met, float64(s.BatchPerDevice))
+			acts[i] = float64(s.Fwd)
+			preds[i] = float64(m.Predict(s.Met, float64(s.BatchPerDevice)))
 		}
 		rep, err := regress.Evaluate(acts, preds)
 		if err != nil {
@@ -85,8 +85,8 @@ func Ablation(cfg Config) (*Result, error) {
 		acts := make([]float64, len(held))
 		preds := make([]float64, len(held))
 		for i, s := range held {
-			acts[i] = s.Fwd
-			preds[i] = m.Predict(s.Met, float64(s.BatchPerDevice))
+			acts[i] = float64(s.Fwd)
+			preds[i] = float64(m.Predict(s.Met, float64(s.BatchPerDevice)))
 		}
 		return regress.Evaluate(acts, preds)
 	}
@@ -117,11 +117,11 @@ func Ablation(cfg Config) (*Result, error) {
 			}
 			preds := make([]float64, len(held))
 			for i, s := range held {
-				preds[i] = m.Predict(s.Met, float64(s.BatchPerDevice))
+				preds[i] = float64(m.Predict(s.Met, float64(s.BatchPerDevice)))
 			}
 			return preds, nil
 		},
-		func(s core.Sample) float64 { return s.Fwd })
+		func(s core.Sample) float64 { return float64(s.Fwd) })
 	if err != nil {
 		return nil, err
 	}
@@ -154,11 +154,11 @@ func Ablation(cfg Config) (*Result, error) {
 			}
 			preds := make([]float64, len(held))
 			for i, s := range held {
-				preds[i] = m.Predict(s.Met, float64(s.BatchPerDevice))
+				preds[i] = float64(m.Predict(s.Met, float64(s.BatchPerDevice)))
 			}
 			return preds, nil
 		},
-		func(s core.Sample) float64 { return s.Fwd })
+		func(s core.Sample) float64 { return float64(s.Fwd) })
 	if err != nil {
 		return nil, err
 	}
@@ -242,9 +242,9 @@ func Ablation(cfg Config) (*Result, error) {
 	tPred := make([]float64, len(edgeSamples))
 	nPred := make([]float64, len(edgeSamples))
 	for i, s := range edgeSamples {
-		acts[i] = s.Fwd
-		tPred[i] = transferred.Predict(s.Met, float64(s.BatchPerDevice))
-		nPred[i] = nativeModel.Predict(s.Met, float64(s.BatchPerDevice))
+		acts[i] = float64(s.Fwd)
+		tPred[i] = float64(transferred.Predict(s.Met, float64(s.BatchPerDevice)))
+		nPred[i] = float64(nativeModel.Predict(s.Met, float64(s.BatchPerDevice)))
 	}
 	tRep, err := regress.Evaluate(acts, tPred)
 	if err != nil {

@@ -74,7 +74,7 @@ func Fig6(cfg Config) (*Result, error) {
 			acts := make([]float64, len(held))
 			preds := make([]float64, len(held))
 			for i, s := range held {
-				acts[i] = s.Fwd
+				acts[i] = float64(s.Fwd)
 				if preds[i], err = d.Predict(s.Met, float64(s.BatchPerDevice)); err != nil {
 					return nil, err
 				}

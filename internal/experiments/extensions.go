@@ -173,7 +173,7 @@ func ExtStrong(cfg Config) (*Result, error) {
 				fmt.Sprintf("%.2f ms", p.Iter*1e3),
 				fmt.Sprintf("%.2fx", p.Speedup),
 			})
-			res.Stats[fmt.Sprintf("pred_iter_%s_n%d", name, p.Nodes)] = p.Iter
+			res.Stats[fmt.Sprintf("pred_iter_%s_n%d", name, p.Nodes)] = float64(p.Iter)
 			res.Stats[fmt.Sprintf("sim_iter_%s_n%d", name, p.Nodes)] = meas.Iter
 			res.Stats[fmt.Sprintf("speedup_%s_n%d", name, p.Nodes)] = p.Speedup
 		}

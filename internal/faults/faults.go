@@ -103,8 +103,15 @@ func (p Profile) Validate() error {
 	if p.Delay > 0 && p.MaxDelay <= 0 {
 		return fmt.Errorf("faults: Delay %g needs a positive MaxDelay", p.Delay)
 	}
-	for w, s := range p.Crashes {
-		if w < 0 || s < 0 {
+	// Iterate the schedule in sorted worker order so the reported error
+	// is the same entry on every run (map order would pick one at random).
+	workers := make([]int, 0, len(p.Crashes))
+	for w := range p.Crashes {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		if s := p.Crashes[w]; w < 0 || s < 0 {
 			return fmt.Errorf("faults: crash schedule entry worker %d step %d", w, s)
 		}
 	}

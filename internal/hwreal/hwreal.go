@@ -113,7 +113,7 @@ func Collect(sc Scenario) ([]core.Sample, error) {
 				samples = append(samples, core.Sample{
 					Model: name, Met: met, Image: img,
 					BatchPerDevice: batch, Devices: 1, Nodes: 1,
-					Fwd: t,
+					Fwd: metrics.Seconds(t),
 				})
 			}
 		}

@@ -9,30 +9,51 @@ import (
 )
 
 // Config is the parsed lint.config: the classification of packages
-// into analytical and measured sides of the paper's boundary, plus an
-// allowlist of explicitly sanctioned analytical→measured imports.
+// into analytical and measured sides of the paper's boundary, an
+// allowlist of explicitly sanctioned analytical→measured imports, and
+// the scopes of the dataflow analyzers — which packages promise
+// deterministic (replayable) results, which named types carry physical
+// units, and which packages are subject to lock-discipline checks.
 //
 // The file format is line-oriented:
 //
 //	# comment
-//	analytical <import-path-prefix>
-//	measured   <import-path-prefix>
-//	allow      <importer-prefix> <imported-prefix>
+//	analytical    <import-path-prefix>
+//	measured      <import-path-prefix>
+//	allow         <importer-prefix> <imported-prefix>
+//	deterministic <import-path-prefix>
+//	lockcheck     <import-path-prefix>
+//	unit          <import-path>.<TypeName>
 //
 // Prefixes match whole path segments: "convmeter/internal/core" covers
-// that package and everything below it.
+// that package and everything below it. A unit entry names one defined
+// type treated as a physical dimension by the unitcheck analyzer.
 type Config struct {
-	Analytical []string
-	Measured   []string
-	Allow      [][2]string
+	Analytical    []string
+	Measured      []string
+	Allow         [][2]string
+	Deterministic []string
+	Lockcheck     []string
+	Units         []string // qualified "import/path.TypeName" entries
 }
 
 // ParseConfig reads a lint.config stream. Every malformed line is
 // reported — bad configuration must fail loudly, or a typo could
-// silently disable the boundary rule.
+// silently disable the boundary rule. The same prefix declared twice —
+// in one stanza or on both sides of the boundary — is also an error:
+// duplicate classifications are either dead weight or a contradiction.
 func ParseConfig(r io.Reader, name string) (*Config, error) {
 	cfg := &Config{}
 	var errs []string
+	seen := map[string]bool{} // stanza-qualified prefix or unit entries
+	declare := func(ln int, stanza, key string) bool {
+		if seen[stanza+"\x00"+key] {
+			errs = append(errs, fmt.Sprintf("%s:%d: duplicate %s entry %q", name, ln, stanza, key))
+			return false
+		}
+		seen[stanza+"\x00"+key] = true
+		return true
+	}
 	sc := bufio.NewScanner(r)
 	ln := 0
 	for sc.Scan() {
@@ -43,15 +64,29 @@ func ParseConfig(r io.Reader, name string) (*Config, error) {
 		}
 		fields := strings.Fields(line)
 		switch fields[0] {
-		case "analytical", "measured":
+		case "analytical", "measured", "deterministic", "lockcheck", "unit":
 			if len(fields) != 2 {
-				errs = append(errs, fmt.Sprintf("%s:%d: %q takes exactly one import path, got %d fields", name, ln, fields[0], len(fields)-1))
+				errs = append(errs, fmt.Sprintf("%s:%d: %q takes exactly one argument, got %d fields", name, ln, fields[0], len(fields)-1))
 				continue
 			}
-			if fields[0] == "analytical" {
+			if !declare(ln, fields[0], fields[1]) {
+				continue
+			}
+			switch fields[0] {
+			case "analytical":
 				cfg.Analytical = append(cfg.Analytical, fields[1])
-			} else {
+			case "measured":
 				cfg.Measured = append(cfg.Measured, fields[1])
+			case "deterministic":
+				cfg.Deterministic = append(cfg.Deterministic, fields[1])
+			case "lockcheck":
+				cfg.Lockcheck = append(cfg.Lockcheck, fields[1])
+			case "unit":
+				if !strings.Contains(fields[1], ".") {
+					errs = append(errs, fmt.Sprintf("%s:%d: unit entry %q is not a qualified type (want <import-path>.<TypeName>)", name, ln, fields[1]))
+					continue
+				}
+				cfg.Units = append(cfg.Units, fields[1])
 			}
 		case "allow":
 			if len(fields) != 3 {
@@ -60,7 +95,16 @@ func ParseConfig(r io.Reader, name string) (*Config, error) {
 			}
 			cfg.Allow = append(cfg.Allow, [2]string{fields[1], fields[2]})
 		default:
-			errs = append(errs, fmt.Sprintf("%s:%d: unknown directive %q (want analytical, measured or allow)", name, ln, fields[0]))
+			errs = append(errs, fmt.Sprintf("%s:%d: unknown directive %q (want analytical, measured, allow, deterministic, lockcheck or unit)", name, ln, fields[0]))
+		}
+	}
+	// A package on both sides of the boundary is a contradiction the
+	// boundary analyzer would resolve arbitrarily; reject it outright.
+	for _, a := range cfg.Analytical {
+		for _, m := range cfg.Measured {
+			if a == m {
+				errs = append(errs, fmt.Sprintf("%s: %q classified both analytical and measured", name, a))
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -113,4 +157,37 @@ func (c *Config) allowed(importer, imported string) bool {
 		}
 	}
 	return false
+}
+
+// deterministicScope reports whether a package declared itself
+// deterministic: its exported results, serialized output and hash
+// inputs must be bit-identical across runs and goroutine schedules.
+func (c *Config) deterministicScope(importPath string) bool {
+	for _, p := range c.Deterministic {
+		if pathHasPrefix(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// lockcheckScope reports whether a package opted into the
+// mutex-across-blocking-operation discipline.
+func (c *Config) lockcheckScope(importPath string) bool {
+	for _, p := range c.Lockcheck {
+		if pathHasPrefix(importPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// unitSet returns the configured unit types as a lookup set of
+// qualified "import/path.TypeName" names.
+func (c *Config) unitSet() map[string]bool {
+	set := make(map[string]bool, len(c.Units))
+	for _, u := range c.Units {
+		set[u] = true
+	}
+	return set
 }

@@ -38,6 +38,81 @@ allow      convmeter/internal/core convmeter/internal/exec
 	}
 }
 
+// TestParseConfigScopes covers the dataflow-analyzer stanzas:
+// deterministic and lockcheck scopes match on path segments like the
+// boundary classification, and unit entries form a qualified-name set.
+func TestParseConfigScopes(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(`
+deterministic convmeter/internal/metrics
+deterministic convmeter/internal/checkpoint
+lockcheck     convmeter/internal/allreduce
+unit          convmeter/internal/metrics.Seconds
+unit          convmeter/internal/metrics.FLOPs
+`), "scopes.config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.deterministicScope("convmeter/internal/metrics") {
+		t.Error("deterministic scope misses a declared package")
+	}
+	if !cfg.deterministicScope("convmeter/internal/checkpoint/sub") {
+		t.Error("deterministic scope must match path-segment prefixes")
+	}
+	if cfg.deterministicScope("convmeter/internal/metricsplus") {
+		t.Error("deterministic scope matched a non-segment prefix")
+	}
+	if cfg.deterministicScope("convmeter/internal/allreduce") {
+		t.Error("lockcheck declaration leaked into the deterministic scope")
+	}
+	if !cfg.lockcheckScope("convmeter/internal/allreduce") {
+		t.Error("lockcheck scope misses a declared package")
+	}
+	units := cfg.unitSet()
+	if !units["convmeter/internal/metrics.Seconds"] || !units["convmeter/internal/metrics.FLOPs"] {
+		t.Errorf("unit set %v misses declared entries", units)
+	}
+	if len(units) != 2 {
+		t.Errorf("unit set %v has stray entries", units)
+	}
+}
+
+// TestParseConfigDuplicatesAndConflicts: the same entry twice in one
+// stanza and a package classified on both sides of the boundary are
+// configuration bugs, not preferences.
+func TestParseConfigDuplicatesAndConflicts(t *testing.T) {
+	_, err := ParseConfig(strings.NewReader(`analytical convmeter/internal/core
+analytical convmeter/internal/core
+deterministic convmeter/internal/metrics
+deterministic convmeter/internal/metrics
+measured convmeter/internal/core
+unit convmeter/internal/metrics.Seconds
+unit convmeter/internal/metrics.Seconds
+unit NoDotHere
+`), "dup.config")
+	if err == nil {
+		t.Fatal("duplicate and contradictory config parsed without error")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		`dup.config:2: duplicate analytical entry`,
+		`dup.config:4: duplicate deterministic entry`,
+		`dup.config:7: duplicate unit entry`,
+		`"NoDotHere" is not a qualified type`,
+		`classified both analytical and measured`,
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error does not report %q:\n%s", want, msg)
+		}
+	}
+	// The same prefix in *different* stanzas is not a duplicate: a
+	// package is legitimately both analytical and deterministic.
+	if _, err := ParseConfig(strings.NewReader(`analytical convmeter/internal/core
+deterministic convmeter/internal/core
+`), "ok.config"); err != nil {
+		t.Errorf("analytical+deterministic on one package rejected: %v", err)
+	}
+}
+
 // TestParseConfigBadLines: every malformed line must be reported with
 // its line number — bad config must fail loudly, never be skipped.
 func TestParseConfigBadLines(t *testing.T) {
@@ -80,6 +155,30 @@ func TestRepoConfig(t *testing.T) {
 	}
 	if len(cfg.Allow) != 0 {
 		t.Errorf("lint.config has %d allow entries; each one is a hole in the analytical boundary and needs a test update with justification", len(cfg.Allow))
+	}
+	// The replayability contract (DESIGN.md §6): the analytical side plus
+	// the measured packages whose output is replayed or diffed.
+	for _, p := range []string{"core", "metrics", "graph", "regress", "linalg", "faults", "checkpoint", "tracefmt"} {
+		if !cfg.deterministicScope("convmeter/internal/" + p) {
+			t.Errorf("lint.config drops %s from the deterministic scope; the replayability contract must stay enforced", p)
+		}
+	}
+	// Packages whose job is to observe real time must stay out of it.
+	for _, p := range []string{"exec", "hwreal", "obs"} {
+		if cfg.deterministicScope("convmeter/internal/" + p) {
+			t.Errorf("lint.config declares %s deterministic; it times real work and cannot honour the contract", p)
+		}
+	}
+	for _, p := range []string{"allreduce", "obs", "train"} {
+		if !cfg.lockcheckScope("convmeter/internal/" + p) {
+			t.Errorf("lint.config drops %s from the lockcheck scope", p)
+		}
+	}
+	units := cfg.unitSet()
+	for _, u := range []string{"Seconds", "FLOPs", "Bytes", "Count"} {
+		if !units["convmeter/internal/metrics."+u] {
+			t.Errorf("lint.config drops unit metrics.%s; unitcheck would stop guarding it", u)
+		}
 	}
 }
 

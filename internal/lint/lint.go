@@ -92,11 +92,20 @@ type ignoreKey struct {
 	line int
 }
 
+// ignoreEntry is one parsed //lint:ignore directive. Run tracks how
+// many findings each directive suppressed so stale directives — ones
+// guarding nothing — are themselves reported and cannot rot in place.
+type ignoreEntry struct {
+	pos      token.Position
+	analyzer string
+	used     int
+}
+
 // collectIgnores scans a package's comments for //lint:ignore
 // directives. Malformed directives (missing analyzer or reason) are
 // returned as findings so they cannot silently disable nothing.
-func collectIgnores(pkg *Package) (map[ignoreKey]map[string]bool, []Finding) {
-	ignores := make(map[ignoreKey]map[string]bool)
+func collectIgnores(pkg *Package) (map[ignoreKey][]*ignoreEntry, []Finding) {
+	ignores := make(map[ignoreKey][]*ignoreEntry)
 	var bad []Finding
 	for _, file := range pkg.Files {
 		for _, cg := range file.Comments {
@@ -117,10 +126,7 @@ func collectIgnores(pkg *Package) (map[ignoreKey]map[string]bool, []Finding) {
 					continue
 				}
 				key := ignoreKey{file: pos.Filename, line: pos.Line}
-				if ignores[key] == nil {
-					ignores[key] = make(map[string]bool)
-				}
-				ignores[key][fields[0]] = true
+				ignores[key] = append(ignores[key], &ignoreEntry{pos: pos, analyzer: fields[0]})
 			}
 		}
 	}
@@ -128,9 +134,20 @@ func collectIgnores(pkg *Package) (map[ignoreKey]map[string]bool, []Finding) {
 }
 
 // Run applies analyzers to every package, filters suppressed findings,
-// and returns the remainder sorted by position. Malformed suppression
-// directives are included as findings of the pseudo-analyzer "lint".
+// and returns the remainder sorted by position. Directive hygiene is
+// enforced alongside, as findings of the pseudo-analyzer "lint":
+// malformed //lint:ignore comments, directives naming an analyzer that
+// is not part of the run (a typo'd name would otherwise silently
+// suppress nothing), and stale directives that suppressed no finding
+// (the code they excused has moved on; the directive must go too).
+// Directives in test files are exempt from the staleness check —
+// several analyzers skip test files wholesale, so a directive there
+// may legitimately guard nothing.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
 	var out []Finding
 	for _, pkg := range pkgs {
 		ignores, bad := collectIgnores(pkg)
@@ -143,6 +160,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 					continue
 				}
 				out = append(out, f)
+			}
+		}
+		for _, entries := range ignores {
+			for _, e := range entries {
+				if strings.HasSuffix(e.pos.Filename, "_test.go") {
+					continue
+				}
+				if !known[e.analyzer] {
+					out = append(out, Finding{
+						Pos:      e.pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q; the directive suppresses nothing", e.analyzer),
+					})
+					continue
+				}
+				if e.used == 0 {
+					out = append(out, Finding{
+						Pos:      e.pos,
+						Analyzer: "lint",
+						Message:  fmt.Sprintf("stale //lint:ignore %s: no %s finding on this line or the line below; delete the directive", e.analyzer, e.analyzer),
+					})
+				}
 			}
 		}
 	}
@@ -163,14 +202,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 }
 
 // suppressed reports whether an ignore directive for the finding's
-// analyzer sits on the finding's line or the line immediately above.
-func suppressed(ignores map[ignoreKey]map[string]bool, f Finding) bool {
+// analyzer sits on the finding's line or the line immediately above,
+// marking any matching directive as used.
+func suppressed(ignores map[ignoreKey][]*ignoreEntry, f Finding) bool {
+	hit := false
 	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
-		if set, ok := ignores[ignoreKey{file: f.Pos.Filename, line: line}]; ok && set[f.Analyzer] {
-			return true
+		for _, e := range ignores[ignoreKey{file: f.Pos.Filename, line: line}] {
+			if e.analyzer == f.Analyzer {
+				e.used++
+				hit = true
+			}
 		}
 	}
-	return false
+	return hit
 }
 
 // isTestFile reports whether the file a node belongs to is a Go test

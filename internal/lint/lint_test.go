@@ -53,8 +53,9 @@ func wantMarkers(t *testing.T, dir string) map[string]bool {
 }
 
 // fixtureConfig classifies the boundary fixture as analytical, the
-// real simulator/executor packages as measured, and allowlists the
-// fixture's netsim import.
+// real simulator/executor packages as measured, allowlists the
+// fixture's netsim import, and scopes the dataflow analyzers to their
+// fixture packages.
 func fixtureConfig() *Config {
 	return &Config{
 		Analytical: []string{"convmeter/internal/lint/testdata/boundary"},
@@ -66,6 +67,14 @@ func fixtureConfig() *Config {
 		Allow: [][2]string{
 			{"convmeter/internal/lint/testdata/boundary", "convmeter/internal/netsim"},
 		},
+		Deterministic: []string{"convmeter/internal/lint/testdata/determinism"},
+		Lockcheck:     []string{"convmeter/internal/lint/testdata/lockcheck"},
+		Units: []string{
+			"convmeter/internal/lint/testdata/unitcheck.Seconds",
+			"convmeter/internal/lint/testdata/unitcheck.FLOPs",
+			"convmeter/internal/lint/testdata/unitcheck.Count",
+			"convmeter/internal/lint/testdata/unitcheck.Bytes",
+		},
 	}
 }
 
@@ -76,7 +85,7 @@ func fixtureConfig() *Config {
 func TestAnalyzerFixtures(t *testing.T) {
 	root := repoRoot(t)
 	loader := NewLoader(root)
-	for _, name := range []string{"boundary", "floatcmp", "droppederr", "synccopy", "goleak"} {
+	for _, name := range []string{"boundary", "floatcmp", "droppederr", "synccopy", "goleak", "determinism", "unitcheck", "lockcheck"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join(root, "internal", "lint", "testdata", name)
 			pkg, err := loader.LoadDir(dir, "convmeter/internal/lint/testdata/"+name)

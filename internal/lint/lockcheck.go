@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// NewLockCheck constructs the analyzer enforcing lock discipline in the
+// packages declared `lockcheck` in lint.config — the concurrent
+// measured stack (ring all-reduce, telemetry registry/tracer, the
+// data-parallel trainer). A mutex held across a blocking operation
+// turns one slow peer into a stall of every other lock user: a ring
+// neighbour that stops reading blocks a send, the send blocks the lock
+// holder, and the lock blocks the world. The paper's scalability
+// numbers assume synchronisation costs stay bounded; a lock held over
+// network I/O makes them unbounded.
+//
+// Within each function, the analyzer tracks critical sections — from a
+// `mu.Lock()`/`mu.RLock()` call to the matching `mu.Unlock()`/
+// `mu.RUnlock()`, or to the end of the function when the unlock is
+// deferred — and reports blocking operations inside them:
+//
+//   - channel sends and receives (including `select` without a
+//     `default` clause and `for range ch`);
+//   - time.Sleep;
+//   - sync.WaitGroup.Wait;
+//   - calls into package net and methods on net types (Read, Write,
+//     Accept, …).
+//
+// Bodies of nested function literals are skipped unless the literal is
+// invoked immediately: a goroutine launched inside a critical section
+// does not itself hold the lock. The analysis is lexical, not
+// path-sensitive — a blocking call on an early-return path before the
+// Lock can in principle be misattributed; such cases take a
+// //lint:ignore lockcheck with the reasoning spelled out.
+func NewLockCheck(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "lockcheck",
+		Doc:  "flag mutexes held across blocking operations (channel ops, net I/O, time.Sleep) in lockcheck-scoped packages",
+		Run: func(pass *Pass) {
+			if !cfg.lockcheckScope(pass.Pkg.ImportPath) || pass.Pkg.TypesInfo == nil {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				if isTestFile(pass.Pkg.Fset, file.Pos()) {
+					continue
+				}
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					checkLockRegions(pass, fd)
+				}
+			}
+		},
+	}
+}
+
+// lockRegion is one critical section: [start, end] positions between a
+// Lock call and its matching Unlock (or function end for deferred
+// unlocks), tagged with the rendered mutex expression.
+type lockRegion struct {
+	mutex      string
+	start, end token.Pos
+}
+
+// blockingOp is one potentially blocking operation site.
+type blockingOp struct {
+	pos  token.Pos
+	what string
+}
+
+// checkLockRegions reports blocking operations inside the critical
+// sections of one function.
+func checkLockRegions(pass *Pass, fd *ast.FuncDecl) {
+	type lockEvent struct {
+		mutex    string
+		pos      token.Pos
+		lock     bool // Lock/RLock vs Unlock/RUnlock
+		deferred bool
+	}
+	var events []lockEvent
+	record := func(call *ast.CallExpr, deferred bool) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		obj, ok := pass.Pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+			return
+		}
+		switch obj.Name() {
+		case "Lock", "RLock":
+			events = append(events, lockEvent{mutex: exprString(pass, sel.X), pos: call.Pos(), lock: true, deferred: deferred})
+		case "Unlock", "RUnlock":
+			events = append(events, lockEvent{mutex: exprString(pass, sel.X), pos: call.Pos(), deferred: deferred})
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			record(x.Call, true)
+			return false
+		case *ast.CallExpr:
+			record(x, false)
+		}
+		return true
+	})
+	var regions []lockRegion
+	for _, e := range events {
+		if !e.lock || e.deferred {
+			continue
+		}
+		end := fd.Body.End()
+		for _, u := range events {
+			if u.lock || u.deferred || u.mutex != e.mutex || u.pos <= e.pos {
+				continue
+			}
+			if u.pos < end {
+				end = u.pos
+			}
+		}
+		regions = append(regions, lockRegion{mutex: e.mutex, start: e.pos, end: end})
+	}
+	if len(regions) == 0 {
+		return
+	}
+	for _, op := range blockingOps(pass, fd.Body) {
+		for _, r := range regions {
+			if op.pos > r.start && op.pos < r.end {
+				pass.Reportf("lockcheck", op.pos,
+					"%s while holding %s: a blocked peer stalls every other lock user; move the blocking operation outside the critical section", op.what, r.mutex)
+				break
+			}
+		}
+	}
+}
+
+// blockingOps collects the potentially blocking operations under a
+// node. Goroutine launches, deferred calls, and function literals that
+// are not invoked immediately are skipped: their bodies do not run
+// while the caller holds its locks (defers are a documented blind spot
+// — they run at return, interleaved with any deferred unlock).
+func blockingOps(pass *Pass, root ast.Node) []blockingOp {
+	info := pass.Pkg.TypesInfo
+	var out []blockingOp
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt, *ast.DeferStmt, *ast.FuncLit:
+			// FuncLits reached here are not immediately invoked (that
+			// case recurses explicitly below and never descends to the
+			// literal through this path).
+			return false
+		case *ast.CallExpr:
+			if lit, ok := x.Fun.(*ast.FuncLit); ok {
+				out = append(out, blockingOps(pass, lit.Body)...)
+				for _, arg := range x.Args {
+					out = append(out, blockingOps(pass, arg)...)
+				}
+				return false
+			}
+			if isPkgFunc(info, x, "time", "Sleep") {
+				out = append(out, blockingOp{pos: x.Pos(), what: "time.Sleep"})
+				return true
+			}
+			sel, ok := x.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "sync" && obj.Name() == "Wait":
+				out = append(out, blockingOp{pos: x.Pos(), what: "sync.WaitGroup.Wait"})
+			case obj.Pkg().Path() == "net":
+				out = append(out, blockingOp{pos: x.Pos(), what: "net I/O (" + obj.Name() + ")"})
+			}
+		case *ast.SendStmt:
+			out = append(out, blockingOp{pos: x.Pos(), what: "channel send"})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				out = append(out, blockingOp{pos: x.Pos(), what: "channel receive"})
+			}
+		case *ast.SelectStmt:
+			blocking := true
+			for _, clause := range x.Body.List {
+				cc, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					blocking = false // a default clause makes the select a poll
+				}
+				// Clause bodies run after the select fires and can
+				// block in their own right; the comm expressions
+				// themselves are part of the (possibly non-blocking)
+				// select and are never reported individually.
+				for _, stmt := range cc.Body {
+					out = append(out, blockingOps(pass, stmt)...)
+				}
+			}
+			if blocking {
+				out = append(out, blockingOp{pos: x.Pos(), what: "select without default"})
+			}
+			return false
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					out = append(out, blockingOp{pos: x.For, what: "range over channel"})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// exprString renders a (usually small) expression for diagnostics.
+func exprString(pass *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Pkg.Fset, e); err != nil {
+		return "mutex"
+	}
+	return buf.String()
+}

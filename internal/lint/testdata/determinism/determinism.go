@@ -1,0 +1,105 @@
+// Package determinismfix seeds determinism violations for the analyzer
+// test. The fixture is classified deterministic by fixtureConfig, so
+// nondeterminism sources reachable from its exported surface must be
+// reported and sources in dead code must stay silent.
+package determinismfix
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Emit ranges a map on an exported path without sorting: the classic
+// nondeterministic-serialization bug.
+func Emit(counts map[string]int) []string {
+	var out []string
+	for k := range counts { // want determinism
+		out = append(out, k)
+	}
+	return out
+}
+
+// EmitSorted uses the collect-keys-then-sort idiom: accepted.
+func EmitSorted(counts map[string]int) []string {
+	var keys []string
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// helper is unexported but reachable from exported Stamp below.
+func helper() int64 {
+	return time.Now().UnixNano() // want determinism
+}
+
+// Stamp reaches helper's wall-clock read.
+func Stamp() int64 { return helper() }
+
+// Roll uses the shared math/rand global source.
+func Roll() int {
+	return rand.Intn(6) // want determinism
+}
+
+// RollSeeded draws from an explicitly seeded local source: accepted.
+func RollSeeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// Gather appends to a captured slice from goroutines: element order
+// depends on the scheduler.
+func Gather(inputs []int) []int {
+	var (
+		mu  sync.Mutex
+		wg  sync.WaitGroup
+		out []int
+	)
+	for _, v := range inputs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			out = append(out, v*v) // want determinism
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// deadMapRange is unreachable from any root: its source must stay
+// silent — reporting it would be noise, not a replay bug.
+func deadMapRange(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// escaped is unexported but its address escapes through Pick, so its
+// source is reachable.
+func escaped(m map[int]bool) int {
+	n := 0
+	for range m { // want determinism
+		n++
+	}
+	return n
+}
+
+// Pick hands out escaped as a value without calling it.
+func Pick() func(map[int]bool) int { return escaped }
+
+// Excused shows the suppression escape hatch.
+func Excused(m map[string]int) int {
+	n := 0
+	//lint:ignore determinism fixture: order-insensitive aggregation, sum is commutative
+	for _, v := range m {
+		n += v
+	}
+	return n
+}

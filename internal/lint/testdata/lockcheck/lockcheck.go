@@ -1,0 +1,113 @@
+// Package lockcheckfix seeds lock-discipline violations for the
+// analyzer test. The fixture is in lockcheck scope via fixtureConfig.
+package lockcheckfix
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Ring mimics the shape of the real all-reduce transport state.
+type Ring struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	conn net.Conn
+	wg   sync.WaitGroup
+	last int
+}
+
+// SendLocked holds the mutex across a channel send.
+func (r *Ring) SendLocked(v int) {
+	r.mu.Lock()
+	r.ch <- v // want lockcheck
+	r.mu.Unlock()
+}
+
+// SendAfterUnlock releases first: accepted.
+func (r *Ring) SendAfterUnlock(v int) {
+	r.mu.Lock()
+	r.last = v
+	r.mu.Unlock()
+	r.ch <- v
+}
+
+// SleepDeferred holds a deferred-unlock mutex across time.Sleep: the
+// critical section runs to the end of the function.
+func (r *Ring) SleepDeferred(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	time.Sleep(d) // want lockcheck
+}
+
+// WriteLocked holds the mutex across network I/O.
+func (r *Ring) WriteLocked(p []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, err := r.conn.Write(p) // want lockcheck
+	return err
+}
+
+// ReceiveReadLocked holds a read lock across a channel receive.
+func (r *Ring) ReceiveReadLocked() int {
+	r.rw.RLock()
+	v := <-r.ch // want lockcheck
+	r.rw.RUnlock()
+	return v
+}
+
+// SelectLocked blocks in a select with no default while locked.
+func (r *Ring) SelectLocked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select { // want lockcheck
+	case v := <-r.ch:
+		r.last = v
+	}
+}
+
+// SelectDefaultLocked polls without blocking: accepted.
+func (r *Ring) SelectDefaultLocked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	select {
+	case v := <-r.ch:
+		r.last = v
+	default:
+	}
+}
+
+// DrainLocked ranges a channel while holding the lock.
+func (r *Ring) DrainLocked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for v := range r.ch { // want lockcheck
+		r.last = v
+	}
+}
+
+// WaitLocked holds the mutex across a WaitGroup join.
+func (r *Ring) WaitLocked() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wg.Wait() // want lockcheck
+}
+
+// SpawnLocked launches a goroutine inside the critical section; the
+// goroutine's send runs without the caller's lock and is accepted.
+func (r *Ring) SpawnLocked(v int) {
+	r.mu.Lock()
+	go func() {
+		r.ch <- v
+	}()
+	r.mu.Unlock()
+}
+
+// Excused shows the suppression escape hatch.
+func (r *Ring) Excused(v int) {
+	r.mu.Lock()
+	//lint:ignore lockcheck fixture: buffered handoff channel is never full by construction
+	r.ch <- v
+	r.mu.Unlock()
+}

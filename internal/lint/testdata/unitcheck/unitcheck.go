@@ -1,0 +1,73 @@
+// Package unitcheckfix seeds unit-safety violations for the analyzer
+// test. The four local quantity types mirror the real ones in
+// internal/metrics and are declared as units by fixtureConfig.
+package unitcheckfix
+
+// Seconds, FLOPs, Count and Bytes are the fixture's dimensions.
+type (
+	Seconds float64
+	FLOPs   float64
+	Count   float64
+	Bytes   float64
+)
+
+// Launder converts one unit straight into another: same bits, new
+// dimension, no transformation — the canonical unit bug.
+func Launder(f FLOPs) Seconds {
+	return Seconds(f) // want unitcheck
+}
+
+// LaunderViaFloat hides the same mistake behind an intermediate basic
+// conversion; the analyzer peels it.
+func LaunderViaFloat(f FLOPs) Seconds {
+	return Seconds(float64(f)) // want unitcheck
+}
+
+// Convert is the sanctioned idiom: de-dimension explicitly, apply the
+// transformation that changes the quantity, then tag the result.
+func Convert(f FLOPs, secPerFLOP float64) Seconds {
+	return Seconds(float64(f) * secPerFLOP)
+}
+
+// Square multiplies two durations: the result is seconds², not seconds.
+func Square(a, b Seconds) Seconds {
+	return a * b // want unitcheck
+}
+
+// ScaleByConst is fine: literals are dimensionless scale factors.
+func ScaleByConst(a Seconds) Seconds {
+	return a * 2
+}
+
+// Ratio divides two byte counts; the ratio is dimensionless but stays
+// typed Bytes.
+func Ratio(a, b Bytes) Bytes {
+	return a / b // want unitcheck
+}
+
+// RatioExplicit computes the same ratio the sanctioned way.
+func RatioExplicit(a, b Bytes) float64 {
+	return float64(a) / float64(b)
+}
+
+// CompoundScale squares a count in place through a compound assignment.
+func CompoundScale(c, d Count) Count {
+	c *= d // want unitcheck
+	return c
+}
+
+// Sum of same-unit values is dimension-preserving and legal.
+func Sum(a, b Seconds) Seconds {
+	return a + b
+}
+
+// DeDimension drops to float64 for an external API: always allowed.
+func DeDimension(s Seconds) float64 {
+	return float64(s)
+}
+
+// Excused shows the suppression escape hatch.
+func Excused(f FLOPs) Count {
+	//lint:ignore unitcheck fixture: one FLOP per element in this synthetic kernel
+	return Count(f)
+}

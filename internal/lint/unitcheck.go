@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewUnitCheck constructs the analyzer treating the named quantity
+// types declared `unit` in lint.config (metrics.Seconds, metrics.FLOPs,
+// metrics.Bytes, metrics.Count, …) as physical dimensions. Go's type
+// system already refuses to add a Seconds to a FLOPs — what it cannot
+// see is laundering: converting one unit into another, squaring a unit
+// by multiplying it with itself, or building a "dimensionless" ratio
+// that still carries the unit's type. Those are exactly the mistakes
+// that produced the paper's hard-to-debug unit bugs (milliseconds fed
+// where seconds were fitted, element counts multiplied into FLOPs), so
+// they are flagged:
+//
+//   - a conversion from one unit type to a different unit type, even
+//     through intermediate basic conversions (Seconds(float64(f)) with
+//     f a FLOPs still changes the dimension without changing the bits);
+//   - a product of two operands of the same unit type: seconds×seconds
+//     is not seconds (constants are exempt, so `t * 2` stays legal);
+//   - a quotient of two operands of the same unit type: the result is
+//     dimensionless and must not keep wearing the unit.
+//
+// The sanctioned escape is explicit de-dimensioning: convert to
+// float64, compute, and re-tag the result — visible at the call site
+// and greppable. Cross-unit arithmetic without conversion is reported
+// too, defensively, although the compiler usually rejects it first.
+func NewUnitCheck(cfg *Config) *Analyzer {
+	units := cfg.unitSet()
+	return &Analyzer{
+		Name: "unitcheck",
+		Doc:  "flag arithmetic and conversions that mix or launder the configured unit types",
+		Run: func(pass *Pass) {
+			if len(units) == 0 || pass.Pkg.TypesInfo == nil {
+				return
+			}
+			for _, file := range pass.Pkg.Files {
+				if isTestFile(pass.Pkg.Fset, file.Pos()) {
+					continue
+				}
+				ast.Inspect(file, func(n ast.Node) bool {
+					switch x := n.(type) {
+					case *ast.CallExpr:
+						checkUnitConversion(pass, units, x)
+					case *ast.BinaryExpr:
+						checkUnitBinary(pass, units, x.Op, x.OpPos, x.X, x.Y)
+					case *ast.AssignStmt:
+						if (x.Tok == token.MUL_ASSIGN || x.Tok == token.QUO_ASSIGN) && len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+							op := token.MUL
+							if x.Tok == token.QUO_ASSIGN {
+								op = token.QUO
+							}
+							checkUnitBinary(pass, units, op, x.TokPos, x.Lhs[0], x.Rhs[0])
+						}
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// unitOf returns the configured unit a type carries ("" for none),
+// identified by its qualified import-path.TypeName.
+func unitOf(t types.Type, units map[string]bool) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	q := obj.Pkg().Path() + "." + obj.Name()
+	if units[q] {
+		return obj.Name()
+	}
+	return ""
+}
+
+// checkUnitConversion flags conversions whose destination is a unit
+// type and whose source — peeled through intermediate conversions to
+// basic numeric types — carries a different unit.
+func checkUnitConversion(pass *Pass, units map[string]bool, call *ast.CallExpr) {
+	info := pass.Pkg.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dst := unitOf(tv.Type, units)
+	if dst == "" {
+		return
+	}
+	src := call.Args[0]
+	for {
+		inner, ok := src.(*ast.CallExpr)
+		if !ok || len(inner.Args) != 1 {
+			break
+		}
+		itv, ok := info.Types[inner.Fun]
+		if !ok || !itv.IsType() {
+			break
+		}
+		if _, basic := itv.Type.Underlying().(*types.Basic); !basic {
+			break
+		}
+		if u := unitOf(itv.Type, units); u != "" {
+			break // a unit-typed hop is itself the conversion to inspect
+		}
+		src = inner.Args[0]
+	}
+	if srcUnit := unitOf(pass.TypeOf(src), units); srcUnit != "" && srcUnit != dst {
+		pass.Reportf("unitcheck", call.Pos(),
+			"conversion launders %s into %s without changing the value's dimension; convert to float64, transform the quantity explicitly, then tag the result", srcUnit, dst)
+	}
+}
+
+// checkUnitBinary flags cross-unit arithmetic and same-unit products
+// and quotients. Constant operands are exempt: scaling a unit by a
+// literal is the normal way to write `t * 2`.
+func checkUnitBinary(pass *Pass, units map[string]bool, op token.Token, pos token.Pos, xe, ye ast.Expr) {
+	ux := unitOf(pass.TypeOf(xe), units)
+	uy := unitOf(pass.TypeOf(ye), units)
+	if ux == "" || uy == "" {
+		return
+	}
+	if ux != uy {
+		pass.Reportf("unitcheck", pos,
+			"arithmetic mixes units %s and %s; convert both to float64 and make the dimension change explicit", ux, uy)
+		return
+	}
+	if isConstExpr(pass, xe) || isConstExpr(pass, ye) {
+		return
+	}
+	switch op {
+	case token.MUL:
+		pass.Reportf("unitcheck", pos,
+			"product of two %s values is %s², not %s; de-dimension with float64() before multiplying", ux, ux, ux)
+	case token.QUO:
+		pass.Reportf("unitcheck", pos,
+			"quotient of two %s values is a dimensionless ratio still typed %s; compute it as float64(a)/float64(b)", ux, ux)
+	}
+}
+
+// isConstExpr reports whether the expression is a compile-time constant.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Pkg.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

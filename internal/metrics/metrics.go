@@ -29,14 +29,16 @@ var ioCarrier = map[string]bool{
 }
 
 // Metrics holds the ConvMeter model features for one network at batch
-// size 1.
+// size 1. The fields carry their dimensions as types (see units.go);
+// regression feature vectors de-dimension explicitly via Vector and
+// friends.
 type Metrics struct {
-	Model   string  // graph name
-	FLOPs   float64 // F: floating point operations over all layers
-	Inputs  float64 // I: summed input tensor elements of conv layers
-	Outputs float64 // O: summed output tensor elements of conv layers
-	Weights float64 // W: learnable parameter count
-	Layers  float64 // L: number of parameter-carrying layers
+	Model   string // graph name
+	FLOPs   FLOPs  // F: floating point operations over all layers
+	Inputs  Count  // I: summed input tensor elements of conv layers
+	Outputs Count  // O: summed output tensor elements of conv layers
+	Weights Count  // W: learnable parameter count
+	Layers  Count  // L: number of parameter-carrying layers
 }
 
 // FromGraph extracts the metrics from a validated graph.
@@ -46,13 +48,13 @@ func FromGraph(g *graph.Graph) (Metrics, error) {
 	}
 	m := Metrics{Model: g.Name}
 	for i, n := range g.Nodes {
-		m.FLOPs += float64(g.NodeFLOPs(i))
+		m.FLOPs += FLOPs(g.NodeFLOPs(i))
 		if ioCarrier[n.Op.Kind()] {
-			m.Inputs += float64(g.NodeInputElems(i))
-			m.Outputs += float64(n.Out.Elems())
+			m.Inputs += Count(g.NodeInputElems(i))
+			m.Outputs += Count(n.Out.Elems())
 		}
 		if p := n.Op.Params(); p > 0 {
-			m.Weights += float64(p)
+			m.Weights += Count(p)
 			m.Layers++
 		}
 	}
@@ -72,13 +74,13 @@ func FromGraphRange(g *graph.Graph, from, to int) (Metrics, error) {
 	m := Metrics{Model: fmt.Sprintf("%s[%d:%d]", g.Name, from, to)}
 	for i := from; i < to; i++ {
 		n := g.Nodes[i]
-		m.FLOPs += float64(g.NodeFLOPs(i))
+		m.FLOPs += FLOPs(g.NodeFLOPs(i))
 		if ioCarrier[n.Op.Kind()] {
-			m.Inputs += float64(g.NodeInputElems(i))
-			m.Outputs += float64(n.Out.Elems())
+			m.Inputs += Count(g.NodeInputElems(i))
+			m.Outputs += Count(n.Out.Elems())
 		}
 		if p := n.Op.Params(); p > 0 {
-			m.Weights += float64(p)
+			m.Weights += Count(p)
 			m.Layers++
 		}
 	}
@@ -93,9 +95,9 @@ func (m Metrics) Scale(b float64) Metrics {
 		panic(fmt.Sprintf("metrics: non-positive batch scale %g", b))
 	}
 	s := m
-	s.FLOPs *= b
-	s.Inputs *= b
-	s.Outputs *= b
+	s.FLOPs = FLOPs(float64(m.FLOPs) * b)
+	s.Inputs = Count(float64(m.Inputs) * b)
+	s.Outputs = Count(float64(m.Outputs) * b)
 	return s
 }
 
@@ -110,19 +112,19 @@ func (m Metrics) String() string {
 // intercept (the paper's Equation 3 layout).
 func (m Metrics) Vector(b float64) []float64 {
 	s := m.Scale(b)
-	return []float64{s.FLOPs, s.Inputs, s.Outputs, 1}
+	return []float64{float64(s.FLOPs), float64(s.Inputs), float64(s.Outputs), 1}
 }
 
 // GradVectorSingle is the gradient-update feature layout for a single
 // device: [L, 1] (the paper's T_grad = c1·L case, with an intercept).
 func (m Metrics) GradVectorSingle() []float64 {
-	return []float64{m.Layers, 1}
+	return []float64{float64(m.Layers), 1}
 }
 
 // GradVectorMulti is the gradient-update feature layout for N>1 devices:
 // [L, W, N, 1] (paper's T_grad = c1·L + c2·W + c3·N, with an intercept).
 func (m Metrics) GradVectorMulti(devices int) []float64 {
-	return []float64{m.Layers, m.Weights, float64(devices), 1}
+	return []float64{float64(m.Layers), float64(m.Weights), float64(devices), 1}
 }
 
 // CombinedVector is the 7-coefficient feature layout for the overlapped
@@ -131,5 +133,5 @@ func (m Metrics) GradVectorMulti(devices int) []float64 {
 // gradient features [L, W, N] and one shared intercept.
 func (m Metrics) CombinedVector(b float64, devices int) []float64 {
 	s := m.Scale(b)
-	return []float64{s.FLOPs, s.Inputs, s.Outputs, m.Layers, m.Weights, float64(devices), 1}
+	return []float64{float64(s.FLOPs), float64(s.Inputs), float64(s.Outputs), float64(m.Layers), float64(m.Weights), float64(devices), 1}
 }

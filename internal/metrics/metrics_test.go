@@ -35,12 +35,12 @@ func TestFromGraphConvOnlyIO(t *testing.T) {
 		t.Fatalf("Model = %q", m.Model)
 	}
 	// Inputs: conv1 reads 3*16*16, conv2 reads 8*16*16.
-	wantIn := float64(3*16*16 + 8*16*16)
+	wantIn := Count(3*16*16 + 8*16*16)
 	if m.Inputs != wantIn {
 		t.Fatalf("Inputs = %g, want %g", m.Inputs, wantIn)
 	}
 	// Outputs: conv1 8*16*16, conv2 16*8*8. Linear layer must NOT count.
-	wantOut := float64(8*16*16 + 16*8*8)
+	wantOut := Count(8*16*16 + 16*8*8)
 	if m.Outputs != wantOut {
 		t.Fatalf("Outputs = %g, want %g", m.Outputs, wantOut)
 	}
@@ -48,10 +48,10 @@ func TestFromGraphConvOnlyIO(t *testing.T) {
 	if m.Layers != 4 {
 		t.Fatalf("Layers = %g, want 4", m.Layers)
 	}
-	if m.Weights != float64(g.TotalParams()) {
+	if m.Weights != Count(g.TotalParams()) {
 		t.Fatalf("Weights = %g, want %d", m.Weights, g.TotalParams())
 	}
-	if m.FLOPs != float64(g.TotalFLOPs()) {
+	if m.FLOPs != FLOPs(g.TotalFLOPs()) {
 		t.Fatalf("FLOPs = %g, want %d", m.FLOPs, g.TotalFLOPs())
 	}
 }
@@ -67,9 +67,9 @@ func TestScaleLinearity(t *testing.T) {
 	f := func(raw uint16) bool {
 		b := float64(raw%4096) + 1
 		s := m.Scale(b)
-		return s.FLOPs == m.FLOPs*b &&
-			s.Inputs == m.Inputs*b &&
-			s.Outputs == m.Outputs*b &&
+		return float64(s.FLOPs) == float64(m.FLOPs)*b &&
+			float64(s.Inputs) == float64(m.Inputs)*b &&
+			float64(s.Outputs) == float64(m.Outputs)*b &&
 			s.Weights == m.Weights &&
 			s.Layers == m.Layers
 	}
@@ -178,7 +178,7 @@ func TestFractionalMiniBatchScale(t *testing.T) {
 	// device count; the model must still scale smoothly.
 	m := Metrics{FLOPs: 100, Inputs: 10, Outputs: 20, Weights: 7, Layers: 3}
 	s := m.Scale(2.5)
-	if math.Abs(s.FLOPs-250) > 1e-12 {
+	if math.Abs(float64(s.FLOPs)-250) > 1e-12 {
 		t.Fatalf("fractional scale FLOPs = %g", s.FLOPs)
 	}
 }

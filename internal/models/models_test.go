@@ -228,7 +228,7 @@ func TestMetricsSanityAcrossZoo(t *testing.T) {
 		if m.FLOPs <= 0 || m.Inputs <= 0 || m.Outputs <= 0 || m.Weights <= 0 || m.Layers <= 0 {
 			t.Errorf("%s: non-positive metric: %+v", name, m)
 		}
-		if m.Weights != float64(g.TotalParams()) {
+		if m.Weights != metrics.Count(g.TotalParams()) {
 			t.Errorf("%s: weights metric mismatch", name)
 		}
 	}

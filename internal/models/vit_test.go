@@ -70,7 +70,7 @@ func TestViTMetricsDominatedByTokenOps(t *testing.T) {
 		t.Fatalf("vit_b_16 FLOPs = %.3g, want ≈35e9 (2 FLOPs/MAC convention)", m.FLOPs)
 	}
 	// Token ops must dominate the I/O metrics over the single patch conv.
-	if m.Inputs < 10*float64(3*224*224) {
+	if m.Inputs < 10*metrics.Count(3*224*224) {
 		t.Fatalf("Inputs = %g suspiciously small — token ops not counted?", m.Inputs)
 	}
 }

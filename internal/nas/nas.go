@@ -183,7 +183,7 @@ func mutate(rng *rand.Rand, c Candidate, flips int) Candidate {
 // diminishing returns (log scale) — mirroring the accuracy/latency
 // trade-off curves real NAS navigates.
 func AccuracyProxy(met metrics.Metrics) float64 {
-	return math.Log(met.FLOPs) + 0.3*math.Log(met.Weights)
+	return math.Log(float64(met.FLOPs)) + 0.3*math.Log(float64(met.Weights))
 }
 
 // Evaluator scores candidates with a latency oracle.
@@ -196,7 +196,7 @@ type Evaluator struct {
 // PredictedEvaluator wraps a fitted ConvMeter model — the NAS fast path.
 func PredictedEvaluator(m *core.InferenceModel, batch float64) Evaluator {
 	return Evaluator{Latency: func(g *graph.Graph, met metrics.Metrics) (float64, error) {
-		return m.Predict(met, batch), nil
+		return float64(m.Predict(met, batch)), nil
 	}}
 }
 

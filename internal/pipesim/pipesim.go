@@ -171,7 +171,7 @@ func (p *Predictor) Predict(stages []Stage, batch, microBatch int) (float64, err
 	fill := 0.0
 	bottleneck := 0.0
 	for i, st := range stages {
-		t := p.Model.Predict(st.Met, float64(microBatch))
+		t := float64(p.Model.Predict(st.Met, float64(microBatch)))
 		if t < 0 {
 			t = 0
 		}

@@ -44,9 +44,9 @@ func TestPartitionBalancesFLOPs(t *testing.T) {
 		total := 0.0
 		maxStage := 0.0
 		for _, st := range stages {
-			total += st.Met.FLOPs
-			if st.Met.FLOPs > maxStage {
-				maxStage = st.Met.FLOPs
+			total += float64(st.Met.FLOPs)
+			if float64(st.Met.FLOPs) > maxStage {
+				maxStage = float64(st.Met.FLOPs)
 			}
 		}
 		if math.Abs(total-float64(g.TotalFLOPs())) > 1 {

@@ -103,7 +103,7 @@ func (p *Planner) PredictJobTime(j Job, nodes, gpusPerNode int) (float64, error)
 	}
 	devices := nodes * gpusPerNode
 	epoch := p.tm.PredictEpoch(m, j.DatasetSize, float64(j.BatchPerDevice), devices, nodes)
-	return epoch * float64(j.Epochs), nil
+	return float64(epoch) * float64(j.Epochs), nil
 }
 
 // Plan allocates every node of the cluster across the jobs to minimise

@@ -13,6 +13,7 @@ package tracefmt
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"convmeter/internal/obs"
 	"convmeter/internal/trainsim"
@@ -40,7 +41,14 @@ func WriteChromeTrace(w io.Writer, events []trainsim.TimelineEvent) error {
 			Pid: 1, Tid: e.Track,
 		})
 	}
+	// Emit the metadata in sorted track order: the trace document is
+	// serialized output and must be bit-identical across runs.
+	tracks := make([]int, 0, len(seenTracks))
 	for track := range seenTracks {
+		tracks = append(tracks, track)
+	}
+	sort.Ints(tracks)
+	for _, track := range tracks {
 		name := trackNames[track]
 		if name == "" {
 			name = fmt.Sprintf("track %d", track)
