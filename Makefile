@@ -23,20 +23,33 @@ test:
 	$(GO) test ./...
 
 # The concurrent packages (ring all-reduce, parallel bench collector,
-# data-parallel trainer, telemetry registry/tracer) run under the race
-# detector, plus the lint package itself — its fixture suites drive the
-# loader and analyzers concurrently enough to be worth the coverage.
+# data-parallel trainer, telemetry registry/tracer, ops server under
+# ./internal/obs/..., drift monitor) run under the race detector, plus
+# the lint package itself — its fixture suites drive the loader and
+# analyzers concurrently enough to be worth the coverage.
 race:
-	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/... ./internal/obs/... ./internal/lint/...
+	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/... ./internal/obs/... ./internal/driftwatch/... ./internal/lint/...
 
-# obs-smoke: run a real experiment with the telemetry flags and validate
-# the artefacts with cmd/obscheck — catches exposition/trace formatting
-# regressions that unit tests on the exporters alone would miss.
+# obs-smoke: run real experiments with the observability flags and
+# validate the artefacts with cmd/obscheck — catches exposition/trace/
+# drift formatting regressions that unit tests on the exporters alone
+# would miss. Three stages: (1) the telemetry fixture run, (2) a live
+# ops-server scrape under the race detector (concurrent /metrics and
+# /drift requests against a running chaos experiment), (3) a slowdown
+# chaos run whose drift artefact must report the detection, and a clean
+# run whose artefact must not.
 obs-smoke:
 	rm -rf .obs-smoke && mkdir -p .obs-smoke
 	$(GO) run ./cmd/experiments -run exttrainreal -quick \
 		-metrics-out .obs-smoke/metrics.prom -trace-out .obs-smoke/trace.json > .obs-smoke/report.txt
 	$(GO) run ./cmd/obscheck -metrics .obs-smoke/metrics.prom -trace .obs-smoke/trace.json
+	$(GO) test -race -count=1 -run 'TestRunWithOpsServer' ./cmd/experiments
+	$(GO) run ./cmd/experiments -run exttrainfaults -quick -faults-seed 7 -faults-profile slowdown \
+		-drift-out .obs-smoke/drift-slow.json > .obs-smoke/report-slow.txt
+	$(GO) run ./cmd/obscheck -drift .obs-smoke/drift-slow.json -require-drift
+	$(GO) run ./cmd/experiments -run exttrainfaults -quick -faults-seed 7 -faults-profile none \
+		-drift-out .obs-smoke/drift-clean.json > .obs-smoke/report-clean.txt
+	$(GO) run ./cmd/obscheck -drift .obs-smoke/drift-clean.json -forbid-drift
 	rm -rf .obs-smoke
 
 # obs-bench: exporter and hot-path benchmarks; the Disabled* benchmarks

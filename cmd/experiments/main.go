@@ -20,7 +20,9 @@ import (
 
 	"convmeter"
 	"convmeter/internal/checkpoint"
+	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
+	"convmeter/internal/obs/ops"
 )
 
 func main() {
@@ -29,13 +31,16 @@ func main() {
 	flag.Int64Var(&opts.seed, "seed", 1, "simulator/fitting seed")
 	flag.BoolVar(&opts.quick, "quick", false, "use reduced sweeps (for smoke runs)")
 	flag.Int64Var(&opts.faultsSeed, "faults-seed", 0, "fault-injection schedule seed for exttrainfaults (0 = use -seed); the same seed reproduces the identical fault schedule")
-	flag.StringVar(&opts.faultsProfile, "faults-profile", "", "fault profile for exttrainfaults: none, light, heavy or chaos (default chaos)")
+	flag.StringVar(&opts.faultsProfile, "faults-profile", "", "fault profile for exttrainfaults: none, light, heavy, chaos or slowdown (default chaos)")
 	flag.StringVar(&opts.checkpointPath, "checkpoint", "", "checkpoint file: completed experiments and LOMO evaluations are recorded here and skipped on re-run, so a killed sweep resumes from the last completed unit")
 	flag.StringVar(&opts.outPath, "out", "", "also write the output to this file")
 	flag.StringVar(&opts.csvDir, "csvdir", "", "write figure data series as CSV files into this directory")
 	flag.StringVar(&opts.metricsOut, "metrics-out", "", "write collected runtime metrics to this file (Prometheus text; JSONL when the path ends in .jsonl)")
 	flag.StringVar(&opts.traceOut, "trace-out", "", "write recorded spans as Chrome trace-event JSON to this file (open in Perfetto)")
-	flag.StringVar(&opts.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while experiments run; off by default")
+	flag.StringVar(&opts.opsAddr, "ops-addr", "", "serve the live ops endpoints (/metrics, /healthz, /readyz, /trace, /drift, /debug/pprof) on this address (e.g. localhost:6060) while experiments run; off by default")
+	flag.StringVar(&opts.opsAddrOut, "ops-addr-out", "", "write the ops server's actual bound address to this file (useful with -ops-addr :0)")
+	flag.StringVar(&opts.driftOut, "drift-out", "", "write the final drift-monitor state as JSON to this file")
+	flag.BoolVar(&opts.driftRefit, "drift-refit", false, "on a drift event, recalibrate the affected stream onto the new regime instead of staying latched")
 	flag.Parse()
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -45,24 +50,20 @@ func main() {
 
 // options carries the full flag surface of one invocation.
 type options struct {
-	id                              string
-	seed                            int64
-	quick                           bool
-	faultsSeed                      int64
-	faultsProfile                   string
-	checkpointPath                  string
-	outPath, csvDir                 string
-	metricsOut, traceOut, pprofAddr string
+	id                   string
+	seed                 int64
+	quick                bool
+	faultsSeed           int64
+	faultsProfile        string
+	checkpointPath       string
+	outPath, csvDir      string
+	metricsOut, traceOut string
+	opsAddr, opsAddrOut  string
+	driftOut             string
+	driftRefit           bool
 }
 
 func run(opts options) (err error) {
-	if opts.pprofAddr != "" {
-		stop, err := obs.StartPprof(opts.pprofAddr)
-		if err != nil {
-			return err
-		}
-		defer stop()
-	}
 	cfg := convmeter.ExperimentConfig{
 		Seed: opts.seed, Quick: opts.quick,
 		FaultsSeed: opts.faultsSeed, FaultsProfile: opts.faultsProfile,
@@ -82,9 +83,37 @@ func run(opts options) (err error) {
 		cfg.Checkpoint = store
 	}
 	var bundle *obs.Obs
-	if opts.metricsOut != "" || opts.traceOut != "" {
+	var mon *driftwatch.Monitor
+	if opts.metricsOut != "" || opts.traceOut != "" || opts.opsAddr != "" || opts.driftOut != "" {
 		bundle = obs.New()
 		cfg.Obs = bundle
+		dcfg := driftwatch.Config{Obs: bundle}
+		if opts.driftRefit {
+			dcfg.OnDrift = func(ev driftwatch.Event) {
+				fmt.Fprintf(os.Stderr, "experiments: drift event #%d on %s/%s, recalibrating\n",
+					ev.Events, ev.Model, ev.Phase)
+				ev.Stream.Recalibrate()
+			}
+		}
+		mon = driftwatch.New(dcfg)
+		cfg.Drift = mon
+	}
+	if opts.opsAddr != "" {
+		srv, err := ops.Start(ops.Config{Addr: opts.opsAddr, Obs: bundle, Drift: mon})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := srv.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "experiments: ops server on http://%s\n", srv.Addr())
+		if opts.opsAddrOut != "" {
+			if err := os.WriteFile(opts.opsAddrOut, []byte(srv.Addr()+"\n"), 0o644); err != nil {
+				return err
+			}
+		}
 	}
 	var results []*convmeter.ExperimentResult
 	if opts.id == "all" {
@@ -101,6 +130,20 @@ func run(opts options) (err error) {
 	}
 	if err := bundle.Export(opts.metricsOut, opts.traceOut); err != nil {
 		return err
+	}
+	if opts.driftOut != "" {
+		f, err := os.Create(opts.driftOut)
+		if err != nil {
+			return err
+		}
+		if err := mon.WriteJSON(f); err != nil {
+			// The write failure is the error worth reporting.
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	sinks := []io.Writer{os.Stdout}
 	if opts.outPath != "" {

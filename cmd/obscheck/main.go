@@ -1,10 +1,12 @@
 // Command obscheck validates telemetry artefacts produced by the
-// --metrics-out/--trace-out flags: the metrics file must be parseable
-// Prometheus text exposition (or JSONL) containing at least one
-// convmeter_ sample, and the trace file must be a Chrome trace-event
-// JSON document with a traceEvents array. CI's obs-smoke target runs it
-// against a real experiment run so a formatting regression fails the
-// build rather than silently producing files Grafana or Perfetto reject.
+// --metrics-out/--trace-out/--drift-out flags: the metrics file must be
+// parseable Prometheus text exposition (or JSONL) containing at least
+// one convmeter_ sample, the trace file must be a Chrome trace-event
+// JSON document with a traceEvents array, and the drift file must be a
+// well-formed drift-monitor snapshot (optionally asserting that drift
+// was, or was not, detected). CI's obs-smoke target runs it against real
+// experiment runs so a formatting regression fails the build rather than
+// silently producing files Grafana or Perfetto reject.
 package main
 
 import (
@@ -20,14 +22,25 @@ import (
 func main() {
 	metrics := flag.String("metrics", "", "metrics file to validate (Prometheus text, or JSONL for .jsonl paths)")
 	trace := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	drift := flag.String("drift", "", "drift-monitor JSON snapshot to validate (from -drift-out or GET /drift)")
 	requireFaults := flag.Bool("require-faults", false, "additionally require a convmeter_faults_injected_total sample with value > 0 (chaos-run validation)")
+	requireDrift := flag.Bool("require-drift", false, "additionally require at least one drift event and a drifting stream in the -drift snapshot (slowdown-run validation)")
+	forbidDrift := flag.Bool("forbid-drift", false, "additionally require zero drift events in the -drift snapshot (clean-run validation)")
 	flag.Parse()
-	if *metrics == "" && *trace == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics and/or -trace)")
+	if *metrics == "" && *trace == "" && *drift == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics, -trace and/or -drift)")
 		os.Exit(2)
 	}
 	if *requireFaults && *metrics == "" {
 		fmt.Fprintln(os.Stderr, "obscheck: -require-faults needs -metrics")
+		os.Exit(2)
+	}
+	if (*requireDrift || *forbidDrift) && *drift == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: -require-drift/-forbid-drift need -drift")
+		os.Exit(2)
+	}
+	if *requireDrift && *forbidDrift {
+		fmt.Fprintln(os.Stderr, "obscheck: -require-drift and -forbid-drift are mutually exclusive")
 		os.Exit(2)
 	}
 	if *metrics != "" {
@@ -43,6 +56,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("obscheck: %s ok\n", *trace)
+	}
+	if *drift != "" {
+		if err := checkDrift(*drift, *requireDrift, *forbidDrift); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obscheck: %s ok\n", *drift)
 	}
 }
 
@@ -133,6 +153,66 @@ func checkJSONL(path string, f *os.File, requireFaults bool) error {
 	}
 	if requireFaults && faults <= 0 {
 		return fmt.Errorf("%s: no positive %s record (chaos run injected nothing?)", path, faultsSeries)
+	}
+	return nil
+}
+
+// driftStates are the states a drift stream may legally report.
+var driftStates = map[string]bool{
+	"calibrating": true, "warmup": true, "ok": true, "drifting": true,
+}
+
+// checkDrift validates a drift-monitor snapshot: a streams array whose
+// entries carry a model, a phase and a legal state, with non-negative
+// pair/event counts that are consistent with the top-level total. With
+// requireDrift it additionally demands at least one event on a drifting
+// stream (a slowdown run must have been caught); with forbidDrift it
+// demands zero events (a clean run must not false-positive).
+func checkDrift(path string, requireDrift, forbidDrift bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Streams []struct {
+			Model  string `json:"model"`
+			Phase  string `json:"phase"`
+			State  string `json:"state"`
+			Pairs  int    `json:"pairs"`
+			Events int    `json:"events"`
+		} `json:"streams"`
+		Events *int `json:"events_total"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: invalid drift JSON: %v", path, err)
+	}
+	if doc.Streams == nil || doc.Events == nil {
+		return fmt.Errorf("%s: streams or events_total missing", path)
+	}
+	total, drifting := 0, false
+	for i, st := range doc.Streams {
+		if st.Model == "" || st.Phase == "" {
+			return fmt.Errorf("%s: stream %d has no model/phase", path, i)
+		}
+		if !driftStates[st.State] {
+			return fmt.Errorf("%s: stream %s/%s has unknown state %q", path, st.Model, st.Phase, st.State)
+		}
+		if st.Pairs < 0 || st.Events < 0 {
+			return fmt.Errorf("%s: stream %s/%s has negative counts", path, st.Model, st.Phase)
+		}
+		total += st.Events
+		if st.State == "drifting" {
+			drifting = true
+		}
+	}
+	if total != *doc.Events {
+		return fmt.Errorf("%s: events_total %d != sum of stream events %d", path, *doc.Events, total)
+	}
+	if requireDrift && (total < 1 || !drifting) {
+		return fmt.Errorf("%s: no drift detected (events_total=%d) — the slowdown run was missed", path, total)
+	}
+	if forbidDrift && total != 0 {
+		return fmt.Errorf("%s: %d drift event(s) on a clean run (false positive)", path, total)
 	}
 	return nil
 }

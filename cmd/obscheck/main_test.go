@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeDrift drops a drift snapshot fixture and returns its path.
+func writeDrift(t *testing.T, doc string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "drift.json")
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckDrift(t *testing.T) {
+	drifting := `{"streams":[{"model":"trainreal","phase":"iter","state":"drifting","pairs":10,"events":2}],"events_total":2}`
+	clean := `{"streams":[{"model":"trainreal","phase":"iter","state":"ok","pairs":10,"events":0}],"events_total":0}`
+	empty := `{"streams":[],"events_total":0}`
+
+	cases := []struct {
+		name                      string
+		doc                       string
+		requireDrift, forbidDrift bool
+		wantErr                   bool
+	}{
+		{"drifting-plain", drifting, false, false, false},
+		{"drifting-required", drifting, true, false, false},
+		{"drifting-forbidden", drifting, false, true, true},
+		{"clean-plain", clean, false, false, false},
+		{"clean-required", clean, true, false, true},
+		{"clean-forbidden", clean, false, true, false},
+		{"empty-forbidden", empty, false, true, false},
+		{"empty-required", empty, true, false, true},
+		{"bad-json", `{"streams":`, false, false, true},
+		{"missing-total", `{"streams":[]}`, false, false, true},
+		{"unknown-state", `{"streams":[{"model":"a","phase":"fwd","state":"panic","pairs":1,"events":0}],"events_total":0}`, false, false, true},
+		{"no-model", `{"streams":[{"phase":"fwd","state":"ok","pairs":1,"events":0}],"events_total":0}`, false, false, true},
+		{"total-mismatch", `{"streams":[{"model":"a","phase":"fwd","state":"ok","pairs":1,"events":1}],"events_total":3}`, false, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkDrift(writeDrift(t, tc.doc), tc.requireDrift, tc.forbidDrift)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("checkDrift err = %v, wantErr = %t", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"convmeter/internal/core"
+	"convmeter/internal/driftwatch"
+)
+
+// FeedDrift streams a benchmark sweep through a drift stream in sample
+// order: for each sample it observes (predict(s), actual(s)), so a
+// fitted model's in-sample accuracy appears on the live /drift endpoint
+// with the same rolling-window metrics the offline reports use. With a
+// nil stream (monitoring disabled) it is a no-op.
+func FeedDrift(st *driftwatch.Stream, samples []core.Sample, predict, actual func(core.Sample) float64) {
+	if st == nil {
+		return
+	}
+	for _, s := range samples {
+		st.Observe(predict(s), actual(s))
+	}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"testing"
+
+	"convmeter/internal/core"
+	"convmeter/internal/driftwatch"
+	"convmeter/internal/metrics"
+	"convmeter/internal/regress"
+)
+
+// TestFeedDrift: the sweep's pairs land on the stream in sample order,
+// and with κ = 1 the stream's window reproduces the offline regress
+// metrics over the same pairs.
+func TestFeedDrift(t *testing.T) {
+	samples := []core.Sample{
+		{Model: "a", Fwd: metrics.Seconds(0.010)},
+		{Model: "a", Fwd: metrics.Seconds(0.020)},
+		{Model: "a", Fwd: metrics.Seconds(0.030)},
+		{Model: "a", Fwd: metrics.Seconds(0.045)},
+	}
+	predict := func(s core.Sample) float64 { return float64(s.Fwd) * 1.1 }
+	actual := func(s core.Sample) float64 { return float64(s.Fwd) }
+
+	mon := driftwatch.New(driftwatch.Config{})
+	st := mon.Stream("a", "fwd")
+	FeedDrift(st, samples, predict, actual)
+
+	snap := st.Snapshot()
+	if snap.Pairs != len(samples) || snap.Window.N != len(samples) {
+		t.Fatalf("snapshot = %+v, want %d pairs in window", snap, len(samples))
+	}
+	var pred, act []float64
+	for _, s := range samples {
+		pred = append(pred, predict(s))
+		act = append(act, actual(s))
+	}
+	want, err := regress.Evaluate(act, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Window.R2 != want.R2 || snap.Window.MAPE != want.MAPE {
+		t.Errorf("window %+v differs from offline %+v", snap.Window, want)
+	}
+
+	// Disabled monitoring: a nil stream must be a no-op.
+	FeedDrift(nil, samples, predict, actual)
+}

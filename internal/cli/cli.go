@@ -235,7 +235,7 @@ func runDissect(args []string, env Env) error {
 	if err := parse(fs, args, env); err != nil {
 		return err
 	}
-	o, finish, err := oo.start()
+	sess, err := oo.start(env.Stderr)
 	if err != nil {
 		return err
 	}
@@ -243,7 +243,7 @@ func runDissect(args []string, env Env) error {
 	if err != nil {
 		return err
 	}
-	m, err := loadInferenceModel(*coeff, *data, *device, *seed, o)
+	m, err := loadInferenceModel(*coeff, *data, *device, *seed, sess.obs())
 	if err != nil {
 		return err
 	}
@@ -284,7 +284,7 @@ func runDissect(args []string, env Env) error {
 			float64(r.met.Outputs)*float64(*batch)/1e6,
 			r.pred*1e3, share*100)
 	}
-	return finish()
+	return sess.finish()
 }
 
 // runTimeline emits a Chrome trace of one simulated training step.
@@ -369,10 +369,11 @@ func runFit(args []string, env Env) error {
 	if err := parse(fs, args, env); err != nil {
 		return err
 	}
-	o, finish, err := oo.start()
+	sess, err := oo.start(env.Stderr)
 	if err != nil {
 		return err
 	}
+	o := sess.obs()
 	var payload any
 	switch *kind {
 	case "inference":
@@ -392,6 +393,9 @@ func runFit(args []string, env Env) error {
 		if err != nil {
 			return err
 		}
+		sess.feedFit(samples, "fwd",
+			func(s core.Sample) float64 { return float64(m.Predict(s.Met, float64(s.BatchPerDevice))) },
+			func(s core.Sample) float64 { return float64(s.Fwd) })
 		if *stats {
 			names := []string{"c1 (FLOPs)", "c2 (Inputs)", "c3 (Outputs)", "c4 (intercept)"}
 			printf(env.Stderr, "coefficient statistics (%d samples, %d dof):\n", len(samples), cs.DoF)
@@ -417,6 +421,11 @@ func runFit(args []string, env Env) error {
 		if err != nil {
 			return err
 		}
+		sess.feedFit(samples, "iter",
+			func(s core.Sample) float64 {
+				return float64(m.PredictIter(s.Met, float64(s.BatchPerDevice), s.Devices, s.Nodes))
+			},
+			func(s core.Sample) float64 { return float64(s.Iter()) })
 		payload = m
 	default:
 		return fmt.Errorf("unknown fit kind %q", *kind)
@@ -435,7 +444,7 @@ func runFit(args []string, env Env) error {
 	if err := enc.Encode(payload); err != nil {
 		return err
 	}
-	return finish()
+	return sess.finish()
 }
 
 // loadInferenceModel builds a predictor from -coeff JSON, -data CSV, or a
@@ -504,7 +513,7 @@ func runPredict(args []string, env Env) error {
 	if err := parse(fs, args, env); err != nil {
 		return err
 	}
-	o, finish, err := oo.start()
+	sess, err := oo.start(env.Stderr)
 	if err != nil {
 		return err
 	}
@@ -512,14 +521,14 @@ func runPredict(args []string, env Env) error {
 	if err != nil {
 		return err
 	}
-	m, err := loadInferenceModel(*coeff, *data, *device, *seed, o)
+	m, err := loadInferenceModel(*coeff, *data, *device, *seed, sess.obs())
 	if err != nil {
 		return err
 	}
 	t := float64(m.Predict(met, float64(*batch)))
 	printf(env.Stdout, "predicted inference time for %s @ %dpx, batch %d: %.4g ms (%.1f images/s)\n",
 		*model, *image, *batch, t*1e3, float64(*batch)/t)
-	return finish()
+	return sess.finish()
 }
 
 func runTrain(args []string, env Env) error {

@@ -2,51 +2,112 @@ package cli
 
 import (
 	"flag"
+	"io"
+	"sort"
 
+	"convmeter/internal/bench"
+	"convmeter/internal/core"
+	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
+	"convmeter/internal/obs/ops"
 )
 
-// obsOpts carries the shared telemetry flags (-metrics-out, -trace-out,
-// -pprof) that the data-heavy commands (fit, predict, dissect) accept.
+// obsOpts carries the shared observability flags (-metrics-out,
+// -trace-out, -ops-addr) that the data-heavy commands (fit, predict,
+// dissect) accept.
 type obsOpts struct {
 	metricsOut *string
 	traceOut   *string
-	pprofAddr  *string
+	opsAddr    *string
 }
 
-// addObsFlags registers the telemetry flags on the command's flag set.
+// addObsFlags registers the observability flags on the command's flag set.
 func addObsFlags(fs *flag.FlagSet) obsOpts {
 	return obsOpts{
 		metricsOut: fs.String("metrics-out", "",
 			"write collected metrics to this file (Prometheus text; JSONL when the path ends in .jsonl)"),
 		traceOut: fs.String("trace-out", "",
 			"write recorded spans as Chrome trace-event JSON to this file (open in Perfetto)"),
-		pprofAddr: fs.String("pprof", "",
-			"serve net/http/pprof on this address (e.g. localhost:6060) while the command runs; off by default"),
+		opsAddr: fs.String("ops-addr", "",
+			"serve the live ops endpoints (/metrics, /healthz, /readyz, /trace, /drift, /debug/pprof) on this address (e.g. localhost:6060) while the command runs; off by default"),
 	}
 }
 
-// start activates the requested telemetry: a bundle when an output file
-// was asked for (nil otherwise — the zero-cost disabled path), and the
-// pprof server when -pprof was given. The returned finish func stops
-// pprof and exports the output files; call it once the command's work is
-// done.
-func (oo obsOpts) start() (*obs.Obs, func() error, error) {
-	stopPprof := func() {}
-	if *oo.pprofAddr != "" {
-		stop, err := obs.StartPprof(*oo.pprofAddr)
+// obsSession is one command's live observability: the telemetry bundle,
+// the drift monitor scraped by /drift, and the ops server (each nil when
+// its flags are off). Every accessor tolerates a nil session, so command
+// code never branches on whether observability is enabled.
+type obsSession struct {
+	o     *obs.Obs
+	drift *driftwatch.Monitor
+	srv   *ops.Server
+	oo    obsOpts
+}
+
+// start activates whatever the flags asked for: a telemetry bundle and
+// drift monitor when any output or the ops server was requested, and the
+// ops server itself on -ops-addr (its actual bound address — meaningful
+// with :0 — is reported on stderr). Call finish once the command's work
+// is done.
+func (oo obsOpts) start(stderr io.Writer) (*obsSession, error) {
+	s := &obsSession{oo: oo}
+	if *oo.metricsOut != "" || *oo.traceOut != "" || *oo.opsAddr != "" {
+		s.o = obs.New()
+		s.drift = driftwatch.New(driftwatch.Config{Obs: s.o})
+	}
+	if *oo.opsAddr != "" {
+		srv, err := ops.Start(ops.Config{Addr: *oo.opsAddr, Obs: s.o, Drift: s.drift})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		stopPprof = stop
+		s.srv = srv
+		printf(stderr, "convmeter: ops server on http://%s\n", srv.Addr())
 	}
-	var o *obs.Obs
-	if *oo.metricsOut != "" || *oo.traceOut != "" {
-		o = obs.New()
+	return s, nil
+}
+
+// obs returns the telemetry bundle (nil when disabled).
+func (s *obsSession) obs() *obs.Obs {
+	if s == nil {
+		return nil
 	}
-	finish := func() error {
-		stopPprof()
-		return o.Export(*oo.metricsOut, *oo.traceOut)
+	return s.o
+}
+
+// feedFit streams a fitted model's in-sample accuracy into the drift
+// monitor, one stream per model so the /drift endpoint and the rolling
+// windows mirror the per-ConvNet layout of the offline reports. A
+// session without a monitor drops the feed for free.
+func (s *obsSession) feedFit(samples []core.Sample, phase string, predict, actual func(core.Sample) float64) {
+	if s == nil || s.drift == nil {
+		return
 	}
-	return o, finish, nil
+	byModel := map[string][]core.Sample{}
+	for _, smp := range samples {
+		byModel[smp.Model] = append(byModel[smp.Model], smp)
+	}
+	names := make([]string, 0, len(byModel))
+	for name := range byModel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bench.FeedDrift(s.drift.Stream(name, phase), byModel[name], predict, actual)
+	}
+}
+
+// finish shuts the ops server down (unblocking in-flight scrapes) and
+// exports the requested output files.
+func (s *obsSession) finish() error {
+	if s == nil {
+		return nil
+	}
+	var first error
+	if s.srv != nil {
+		first = s.srv.Close()
+	}
+	if err := s.o.Export(*s.oo.metricsOut, *s.oo.traceOut); err != nil && first == nil {
+		first = err
+	}
+	return first
 }

@@ -1,0 +1,67 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFitFeedsDriftMetrics: a fit run with -metrics-out must export the
+// drift monitor's per-model rolling-window series — the in-sample feed
+// that makes a fitted model's accuracy scrapeable alongside the runtime
+// metrics.
+func TestFitFeedsDriftMetrics(t *testing.T) {
+	data := writeSmallDataset(t, false)
+	dir := t.TempDir()
+	coeff := filepath.Join(dir, "m.json")
+	metricsPath := filepath.Join(dir, "metrics.prom")
+	code, _, errOut := run(t, "fit", "-kind", "inference", "-data", data,
+		"-out", coeff, "-metrics-out", metricsPath)
+	if code != 0 {
+		t.Fatalf("fit failed: %s", errOut)
+	}
+	raw, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	for _, series := range []string{
+		`convmeter_drift_pairs_total{model="resnet18",phase="fwd"}`,
+		`convmeter_drift_window_r2{model="alexnet",phase="fwd"}`,
+		`convmeter_drift_state{model="mobilenet_v2",phase="fwd"}`,
+	} {
+		if !strings.Contains(text, series) {
+			t.Errorf("metrics file missing %s", series)
+		}
+	}
+	if strings.Contains(text, `convmeter_drift_events_total{model="resnet18",phase="fwd"} 1`) {
+		t.Error("in-sample feed raised a drift event")
+	}
+
+	// Training fit feeds the "iter" phase.
+	trainData := writeSmallDataset(t, true)
+	metrics2 := filepath.Join(dir, "metrics2.prom")
+	code, _, errOut = run(t, "fit", "-kind", "train-multi", "-data", trainData,
+		"-out", filepath.Join(dir, "t.json"), "-metrics-out", metrics2)
+	if code != 0 {
+		t.Fatalf("train fit failed: %s", errOut)
+	}
+	raw, err = os.ReadFile(metrics2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `convmeter_drift_pairs_total{model="resnet50",phase="iter"}`) {
+		t.Error("training fit did not feed the iter phase")
+	}
+}
+
+// TestOpsAddrRejected: a malformed -ops-addr must fail the command
+// before any work runs.
+func TestOpsAddrRejected(t *testing.T) {
+	code, _, errOut := run(t, "predict", "-model", "alexnet", "-image", "64",
+		"-ops-addr", "256.256.256.256:0")
+	if code != 1 || errOut == "" {
+		t.Fatalf("bad ops address accepted: code=%d err=%q", code, errOut)
+	}
+}

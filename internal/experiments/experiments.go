@@ -14,6 +14,7 @@ import (
 	"text/tabwriter"
 
 	"convmeter/internal/checkpoint"
+	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
 )
 
@@ -39,8 +40,14 @@ type Config struct {
 	// back to Seed. The same FaultsSeed reproduces the identical schedule.
 	FaultsSeed int64
 	// FaultsProfile names the fault profile for the chaos experiment
-	// (none, light, heavy, chaos); empty means the experiment's default.
+	// (none, light, heavy, chaos, slowdown); empty means the experiment's
+	// default.
 	FaultsProfile string
+	// Drift, when non-nil, receives streaming (predicted, measured)
+	// pairs: the chaos experiment feeds live step times against the
+	// fitted training model, and completed LOMO evaluations feed their
+	// per-model pairs. Nil disables drift monitoring at zero cost.
+	Drift *driftwatch.Monitor
 }
 
 // Result is the outcome of one experiment: a rendered table plus the

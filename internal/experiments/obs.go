@@ -3,6 +3,7 @@ package experiments
 import (
 	"time"
 
+	"convmeter/internal/core"
 	"convmeter/internal/obs"
 )
 
@@ -92,9 +93,43 @@ func lomoEval[T any](cfg Config, key string, eval func() (T, error)) (T, error) 
 		return out, err
 	}
 	out, err := run()
-	if err == nil && key != "" {
-		// Best-effort, like the experiment-level checkpoint above.
-		_ = cfg.Checkpoint.Put("lomo/"+key, out)
+	if err == nil {
+		feedDriftEval(cfg, any(out))
+		if key != "" {
+			// Best-effort, like the experiment-level checkpoint above.
+			_ = cfg.Checkpoint.Put("lomo/"+key, out)
+		}
 	}
 	return out, err
+}
+
+// feedDriftEval streams a completed LOMO evaluation's scatter pairs into
+// the drift monitor, one stream per held-out model: inference
+// evaluations land on the "fwd" phase, training evaluations on "iter".
+// Only freshly computed evaluations feed (checkpoint-served ones were
+// already fed by the run that produced them); with no monitor configured
+// this is a no-op.
+func feedDriftEval(cfg Config, out any) {
+	if cfg.Drift == nil {
+		return
+	}
+	var pairs []core.PredPair
+	phase := "fwd"
+	switch ev := out.(type) {
+	case *core.TrainEvaluation:
+		if ev == nil {
+			return
+		}
+		pairs, phase = ev.Pairs, "iter"
+	case *core.Evaluation:
+		if ev == nil {
+			return
+		}
+		pairs = ev.Pairs
+	default:
+		return
+	}
+	for _, p := range pairs {
+		cfg.Drift.Stream(p.Model, phase).Observe(p.Pred, p.Actual)
+	}
 }

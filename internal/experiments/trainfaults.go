@@ -7,8 +7,15 @@ import (
 	"time"
 
 	"convmeter/internal/allreduce"
+	"convmeter/internal/core"
+	"convmeter/internal/driftwatch"
 	"convmeter/internal/faults"
+	"convmeter/internal/graph"
+	"convmeter/internal/hwsim"
+	"convmeter/internal/metrics"
+	"convmeter/internal/netsim"
 	"convmeter/internal/train"
+	"convmeter/internal/trainsim"
 )
 
 // ExtTrainFaults is the chaos counterpart of ExtTrainReal: the same real
@@ -39,21 +46,32 @@ func ExtTrainFaults(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	workers, steps, globalBatch := 4, 10, 24
+	workers, steps, globalBatch := 4, 16, 24
 	if cfg.Quick {
-		steps, globalBatch = 6, 16
+		steps, globalBatch = 10, 16
 	}
 	task, err := train.NewPrototypeTask(g, 3, 0.3, cfg.Seed+41)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := train.NewTrainer(g, train.Config{
+	tcfg := train.Config{
 		Workers: workers, LR: 0.1, Seed: cfg.Seed + 42, Obs: cfg.Obs,
 		Transport: train.TransportTCP,
 		Faults:    inj,
 		OpTimeout: 200 * time.Millisecond,
 		Retry:     allreduce.RetryPolicy{Attempts: 2, Backoff: 2 * time.Millisecond, Max: 20 * time.Millisecond},
-	})
+	}
+	if cfg.Drift != nil {
+		predict, err := driftPredictor(cfg, g, globalBatch)
+		if err != nil {
+			return nil, err
+		}
+		tcfg.PredictStep = predict
+		tcfg.Drift = cfg.Drift.StreamOpts("trainreal", "iter", driftwatch.Options{
+			Window: 64, CalibrateN: 2, Warmup: 3, Delta: 0.5, Lambda: 8,
+		})
+	}
+	tr, err := train.NewTrainer(g, tcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -102,6 +120,7 @@ func ExtTrainFaults(cfg Config) (*Result, error) {
 	classes := []faults.Class{
 		faults.ClassDelay, faults.ClassDrop, faults.ClassReset,
 		faults.ClassCorrupt, faults.ClassTruncate, faults.ClassCrash,
+		faults.ClassSlow,
 	}
 	var parts []string
 	for _, c := range classes {
@@ -118,6 +137,56 @@ func ExtTrainFaults(cfg Config) (*Result, error) {
 		steps, workers, profileName(cfg), faultsSeed(cfg),
 		first, last, len(res.Live), workers, strings.Join(parts, " "))
 	return out, nil
+}
+
+// driftPredictor builds the chaos experiment's analytical step-time
+// oracle: it fits the paper's training model on simulator samples of the
+// chaos net itself, then predicts T_iter for whatever worker count is
+// live (the global batch is respread over the survivors, exactly like
+// the trainer's SourceGlobal). The drift stream's one-point κ
+// calibration absorbs the constant simulator-vs-host offset, so the
+// detector watches the *shape* of the residuals, not the absolute scale.
+func driftPredictor(cfg Config, g *graph.Graph, globalBatch int) (func(int) float64, error) {
+	met, err := metrics.FromGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := trainsim.New(trainsim.Config{
+		Device: hwsim.XeonCore(), Fabric: netsim.Cluster(), Seed: cfg.Seed + 43,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var samples []core.Sample
+	for _, devices := range []int{1, 2, 4} {
+		for _, batch := range []int{2, 3, 4, 6, 8, 12, 24} {
+			p, err := sim.TrainStep(g, batch, devices, 1)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, core.Sample{
+				Model: g.Name, Met: met, Image: 8,
+				BatchPerDevice: batch, Devices: devices, Nodes: 1,
+				Fwd:  metrics.Seconds(p.Fwd),
+				Bwd:  metrics.Seconds(p.Bwd),
+				Grad: metrics.Seconds(p.Grad),
+			})
+		}
+	}
+	m, err := core.FitTraining(samples)
+	if err != nil {
+		return nil, err
+	}
+	return func(live int) float64 {
+		if live < 1 {
+			live = 1
+		}
+		b := float64(globalBatch) / float64(live)
+		if b < 1 {
+			b = 1
+		}
+		return float64(m.PredictIter(met, b, live, 1))
+	}, nil
 }
 
 // profileName resolves the chaos experiment's fault profile.

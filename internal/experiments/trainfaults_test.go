@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"convmeter/internal/checkpoint"
+	"convmeter/internal/driftwatch"
 )
 
 // faultsCfg is the acceptance configuration: quick sweep, the chaos
@@ -82,6 +83,45 @@ func TestExtTrainFaultsProfileSelection(t *testing.T) {
 	cfg.FaultsProfile = "not-a-profile"
 	if _, err := ExtTrainFaults(cfg); err == nil {
 		t.Fatal("unknown profile accepted")
+	}
+}
+
+// chaosDriftStream runs the chaos experiment with a drift monitor
+// attached and returns the trainreal/iter stream snapshot.
+func chaosDriftStream(t *testing.T, profile string) driftwatch.StreamSnapshot {
+	t.Helper()
+	mon := driftwatch.New(driftwatch.Config{})
+	cfg := faultsCfg
+	cfg.FaultsProfile = profile
+	cfg.Drift = mon
+	if _, err := ExtTrainFaults(cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := mon.Snapshot()
+	if len(snap.Streams) != 1 {
+		t.Fatalf("monitor has %d streams, want the trainreal/iter feed: %+v", len(snap.Streams), snap)
+	}
+	return snap.Streams[0]
+}
+
+// TestExtTrainFaultsDriftDetection is the tentpole acceptance criterion:
+// under the slowdown profile the live step times break away from the
+// fitted model's predictions and the drift stream latches drifting,
+// while an otherwise identical fault-free run raises no drift event.
+func TestExtTrainFaultsDriftDetection(t *testing.T) {
+	slow := chaosDriftStream(t, "slowdown")
+	if slow.Model != "trainreal" || slow.Phase != "iter" {
+		t.Fatalf("drift feed landed on %s/%s, want trainreal/iter", slow.Model, slow.Phase)
+	}
+	if slow.Events < 1 || slow.State != driftwatch.StateDrifting {
+		t.Errorf("slowdown run did not drift: %+v", slow)
+	}
+	clean := chaosDriftStream(t, "none")
+	if clean.Events != 0 {
+		t.Errorf("fault-free run raised %d drift events: %+v", clean.Events, clean)
+	}
+	if clean.Pairs == 0 {
+		t.Errorf("fault-free run fed no pairs: %+v", clean)
 	}
 }
 

@@ -33,11 +33,13 @@ import (
 // Class enumerates the injectable fault classes.
 type Class string
 
-// The fault classes. Delay models stragglers; Drop and Reset kill a
-// connection (Reset abruptly, with an RST where the transport supports
-// it); Corrupt flips payload bits so CRC validation must catch them;
-// Truncate cuts a frame short; Crash kills a worker at a training-step
-// boundary.
+// The fault classes. Delay models transient stragglers; Drop and Reset
+// kill a connection (Reset abruptly, with an RST where the transport
+// supports it); Corrupt flips payload bits so CRC validation must catch
+// them; Truncate cuts a frame short; Crash kills a worker at a
+// training-step boundary; Slow is a *persistent* straggler — from its
+// scheduled onset step a worker's compute is slowed on every step, the
+// hardware-regime change the drift monitor must detect.
 const (
 	ClassDelay    Class = "delay"
 	ClassDrop     Class = "drop"
@@ -45,6 +47,7 @@ const (
 	ClassCorrupt  Class = "corrupt"
 	ClassTruncate Class = "truncate"
 	ClassCrash    Class = "crash"
+	ClassSlow     Class = "slow"
 )
 
 // classes lists the probabilistic classes in the order Decide consumes
@@ -68,6 +71,13 @@ type Profile struct {
 	// Crashes schedules hard worker deaths: worker id → training step at
 	// whose boundary the worker crashes (before computing that step).
 	Crashes map[int]int
+
+	// Slowdowns schedules persistent stragglers: worker id → training
+	// step from which the worker's compute takes SlowDelay extra on every
+	// subsequent step. Unlike Delay (transient, probabilistic) this is a
+	// level shift — the scenario a runtime predictor drifts on.
+	Slowdowns map[int]int
+	SlowDelay time.Duration
 }
 
 // prob returns the probability assigned to a drawable class.
@@ -115,6 +125,19 @@ func (p Profile) Validate() error {
 			return fmt.Errorf("faults: crash schedule entry worker %d step %d", w, s)
 		}
 	}
+	slowed := make([]int, 0, len(p.Slowdowns))
+	for w := range p.Slowdowns {
+		slowed = append(slowed, w)
+	}
+	sort.Ints(slowed)
+	for _, w := range slowed {
+		if s := p.Slowdowns[w]; w < 0 || s < 0 {
+			return fmt.Errorf("faults: slowdown schedule entry worker %d step %d", w, s)
+		}
+	}
+	if len(p.Slowdowns) > 0 && p.SlowDelay <= 0 {
+		return fmt.Errorf("faults: slowdown schedule needs a positive SlowDelay")
+	}
 	return nil
 }
 
@@ -122,7 +145,9 @@ func (p Profile) Validate() error {
 // stragglers and rare corruption; "heavy" adds frequent transient faults;
 // "chaos" is the acceptance profile: one scheduled worker crash plus
 // drops, resets, corruption and truncation at rates the resilient stack
-// must absorb.
+// must absorb; "slowdown" injects no transport faults at all but turns
+// worker 0 into a persistent straggler from step 5 — the clean
+// hardware-regime change the drift monitor's acceptance test detects.
 func ByName(name string) (Profile, error) {
 	switch name {
 	case "", "none":
@@ -140,8 +165,17 @@ func ByName(name string) (Profile, error) {
 			Drop: 0.006, Reset: 0.002, Corrupt: 0.008, Truncate: 0.002,
 			Crashes: map[int]int{1: 2},
 		}, nil
+	case "slowdown":
+		// The delay is sized to dominate a step of the test fixtures on any
+		// plausible host (including race-instrumented CI, where baseline
+		// steps are an order of magnitude slower), so the relative residual
+		// the drift detector sees is unambiguous rather than marginal.
+		return Profile{
+			Slowdowns: map[int]int{0: 5},
+			SlowDelay: 250 * time.Millisecond,
+		}, nil
 	}
-	return Profile{}, fmt.Errorf("faults: unknown profile %q (want none, light, heavy or chaos)", name)
+	return Profile{}, fmt.Errorf("faults: unknown profile %q (want none, light, heavy, chaos or slowdown)", name)
 }
 
 // Op identifies one logical transport operation. Seq is assigned by the
@@ -202,8 +236,8 @@ func New(seed int64, prof Profile, o *obs.Obs) (*Injector, error) {
 		seen: make(map[string]bool),
 	}
 	if o != nil {
-		in.counters = make(map[Class]*obs.Counter, len(classes)+1)
-		for _, c := range append(append([]Class{}, classes...), ClassCrash) {
+		in.counters = make(map[Class]*obs.Counter, len(classes)+2)
+		for _, c := range append(append([]Class{}, classes...), ClassCrash, ClassSlow) {
 			in.counters[c] = o.Counter(obs.Label("convmeter_faults_injected_total", "class", string(c)),
 				"faults injected into the measured stack, by class")
 		}
@@ -286,6 +320,25 @@ func (in *Injector) CrashAt(worker, step int) bool {
 		Class: ClassCrash,
 	})
 	return true
+}
+
+// SlowAt returns the extra compute delay scheduled for worker w at
+// training step `step` — SlowDelay once the profile's slowdown onset is
+// reached, 0 before it — recording each slowed step as an event.
+func (in *Injector) SlowAt(worker, step int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	onset, ok := in.prof.Slowdowns[worker]
+	if !ok || step < onset {
+		return 0
+	}
+	in.record(Event{
+		Op:    Op{Transport: "train", Worker: worker, Dir: "slow", Seq: uint64(step)},
+		Class: ClassSlow,
+		Delay: in.prof.SlowDelay,
+	})
+	return in.prof.SlowDelay
 }
 
 // record stores an executed event once and bumps its class counter.

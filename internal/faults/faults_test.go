@@ -24,6 +24,9 @@ func TestProfileValidate(t *testing.T) {
 		{"sum-over-one", Profile{Drop: 0.6, Corrupt: 0.6}, false},
 		{"delay-no-max", Profile{Delay: 0.1}, false},
 		{"bad-crash", Profile{Crashes: map[int]int{-1: 0}}, false},
+		{"slowdown", Profile{Slowdowns: map[int]int{0: 5}, SlowDelay: time.Millisecond}, true},
+		{"slowdown-no-delay", Profile{Slowdowns: map[int]int{0: 5}}, false},
+		{"bad-slowdown", Profile{Slowdowns: map[int]int{0: -1}, SlowDelay: time.Millisecond}, false},
 	}
 	for _, tc := range cases {
 		err := tc.p.Validate()
@@ -34,7 +37,7 @@ func TestProfileValidate(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"", "none", "light", "heavy", "chaos"} {
+	for _, name := range []string{"", "none", "light", "heavy", "chaos", "slowdown"} {
 		p, err := ByName(name)
 		if err != nil {
 			t.Fatalf("ByName(%q): %v", name, err)
@@ -357,4 +360,43 @@ func readFullConn(c net.Conn, buf []byte) (int, error) {
 		}
 	}
 	return off, nil
+}
+
+// TestSlowAt: a slowdown schedule is silent before its onset step, then
+// slows every subsequent step by exactly SlowDelay, recording each
+// slowed step once (dedup across retries like every other event).
+func TestSlowAt(t *testing.T) {
+	prof, err := ByName("slowdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := New(1, prof, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onset := prof.Slowdowns[0]
+	for step := 0; step < onset; step++ {
+		if d := in.SlowAt(0, step); d != 0 {
+			t.Fatalf("step %d slowed by %v before onset %d", step, d, onset)
+		}
+	}
+	for step := onset; step < onset+3; step++ {
+		if d := in.SlowAt(0, step); d != prof.SlowDelay {
+			t.Fatalf("step %d: SlowAt = %v, want %v", step, d, prof.SlowDelay)
+		}
+		// A retried step decides identically and records nothing new.
+		if d := in.SlowAt(0, step); d != prof.SlowDelay {
+			t.Fatalf("step %d retry: SlowAt = %v", step, d)
+		}
+	}
+	if d := in.SlowAt(1, onset+1); d != 0 {
+		t.Errorf("unscheduled worker slowed by %v", d)
+	}
+	if got := in.CountByClass()[ClassSlow]; got != 3 {
+		t.Errorf("slow events = %d, want 3 (one per slowed step)", got)
+	}
+	var nil_ *Injector
+	if d := nil_.SlowAt(0, 10); d != 0 {
+		t.Errorf("nil injector slowed by %v", d)
+	}
 }

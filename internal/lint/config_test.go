@@ -148,7 +148,7 @@ func TestRepoConfig(t *testing.T) {
 			t.Errorf("lint.config classifies %s as %q, want analytical", p, got)
 		}
 	}
-	for _, p := range []string{"exec", "hwsim", "hwreal", "netsim", "trainsim", "pipesim", "allreduce", "obs", "tracefmt"} {
+	for _, p := range []string{"exec", "hwsim", "hwreal", "netsim", "trainsim", "pipesim", "allreduce", "obs", "obs/ops", "driftwatch", "tracefmt"} {
 		if got := cfg.classify("convmeter/internal/" + p); got != "measured" {
 			t.Errorf("lint.config classifies %s as %q, want measured", p, got)
 		}
@@ -158,18 +158,18 @@ func TestRepoConfig(t *testing.T) {
 	}
 	// The replayability contract (DESIGN.md §6): the analytical side plus
 	// the measured packages whose output is replayed or diffed.
-	for _, p := range []string{"core", "metrics", "graph", "regress", "linalg", "faults", "checkpoint", "tracefmt"} {
+	for _, p := range []string{"core", "metrics", "graph", "regress", "linalg", "faults", "checkpoint", "tracefmt", "driftwatch/streamstat"} {
 		if !cfg.deterministicScope("convmeter/internal/" + p) {
 			t.Errorf("lint.config drops %s from the deterministic scope; the replayability contract must stay enforced", p)
 		}
 	}
 	// Packages whose job is to observe real time must stay out of it.
-	for _, p := range []string{"exec", "hwreal", "obs"} {
+	for _, p := range []string{"exec", "hwreal", "obs", "driftwatch"} {
 		if cfg.deterministicScope("convmeter/internal/" + p) {
 			t.Errorf("lint.config declares %s deterministic; it times real work and cannot honour the contract", p)
 		}
 	}
-	for _, p := range []string{"allreduce", "obs", "train"} {
+	for _, p := range []string{"allreduce", "obs", "train", "driftwatch"} {
 		if !cfg.lockcheckScope("convmeter/internal/" + p) {
 			t.Errorf("lint.config drops %s from the lockcheck scope", p)
 		}

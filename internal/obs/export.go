@@ -3,6 +3,7 @@ package obs
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -37,9 +38,16 @@ func (o *Obs) Export(metricsPath, tracePath string) error {
 	return nil
 }
 
-// writeFile creates path, runs write, and surfaces the first error —
-// including Close, since a truncated telemetry file parses as a lie.
+// writeFile creates path — including any missing parent directories,
+// so `-metrics-out out/run1/metrics.prom` works on a fresh checkout —
+// runs write, and surfaces the first error, including Close, since a
+// truncated telemetry file parses as a lie.
 func writeFile(path string, write func(io.Writer) error) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

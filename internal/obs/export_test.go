@@ -280,3 +280,22 @@ func BenchmarkWriteChromeTrace(b *testing.B) {
 		}
 	}
 }
+
+// TestExportCreatesParentDirs: -metrics-out/-trace-out paths under
+// directories that don't exist yet must work — Export creates them.
+func TestExportCreatesParentDirs(t *testing.T) {
+	o := New()
+	o.Counter("convmeter_export_total", "h").Inc()
+
+	dir := t.TempDir()
+	prom := filepath.Join(dir, "a", "b", "metrics.prom")
+	trace := filepath.Join(dir, "c", "trace.json")
+	if err := o.Export(prom, trace); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{prom, trace} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("export did not create %s: %v", p, err)
+		}
+	}
+}

@@ -7,25 +7,33 @@ import (
 	"time"
 )
 
-// StartPprof serves the net/http/pprof endpoints on addr (e.g.
-// "localhost:6060") and returns a stop function. It listens before
-// returning so a bad address fails fast, and uses a private mux so
-// nothing is registered on http.DefaultServeMux. Profiling is strictly
-// opt-in: nothing in this package starts a server unless asked.
-func StartPprof(addr string) (stop func(), err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// PprofHandler returns the net/http/pprof endpoints on a private mux
+// rooted at /debug/pprof/, so nothing is registered on
+// http.DefaultServeMux. The ops server (internal/obs/ops) folds this
+// into its listener; StartPprof serves it standalone.
+func PprofHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// StartPprof serves the profiling endpoints on addr (e.g.
+// "localhost:6060") and returns the actual bound address — so ":0"
+// callers learn the kernel-chosen port — plus a stop function. It
+// listens before returning so a bad address fails fast. Profiling is
+// strictly opt-in: nothing in this package starts a server unless asked.
+func StartPprof(addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: PprofHandler(), ReadHeaderTimeout: 5 * time.Second}
 	go servePprof(srv, ln)
-	return func() { _ = srv.Close() }, nil
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }
 
 // servePprof runs the profiling server until Close. Serve always

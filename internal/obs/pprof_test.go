@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestStartPprofReportsBoundAddr: with ":0" the caller must learn the
+// kernel-chosen port, and the reported address must actually serve the
+// pprof index.
+func TestStartPprofReportsBoundAddr(t *testing.T) {
+	bound, stop, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	if strings.HasSuffix(bound, ":0") {
+		t.Fatalf("bound address %q still has port 0", bound)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", bound))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index does not list profiles:\n%s", body)
+	}
+}
+
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, _, err := StartPprof("256.256.256.256:99999"); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"convmeter/internal/allreduce"
+	"convmeter/internal/driftwatch"
 	"convmeter/internal/exec"
 	"convmeter/internal/faults"
 	"convmeter/internal/graph"
@@ -94,6 +95,16 @@ type Config struct {
 	// MinWorkers is the floor below which elastic degradation refuses to
 	// drop further members and the step fails instead; <=0 means 1.
 	MinWorkers int
+
+	// Drift, when non-nil together with PredictStep, receives one
+	// (predicted, measured) wall-clock pair per completed step — the live
+	// feed of the prediction-quality monitor. The predicted side is the
+	// fitted model's T_iter for the step's live-worker count; the
+	// measured side is the step's wall-clock time.
+	Drift *driftwatch.Stream
+	// PredictStep returns the predicted step time in seconds for a given
+	// live-worker count (the paper's T_iter at b = B/N).
+	PredictStep func(liveWorkers int) float64
 }
 
 // resilient reports whether the run needs the fault-tolerant paths.
@@ -289,11 +300,18 @@ func (t *Trainer) Step(data DataSource) (float64, error) {
 	stepSp := t.cfg.Obs.Start("step " + strconv.Itoa(step))
 	stepObs := t.cfg.Obs.WithSpan(stepSp)
 	if t.cfg.Obs != nil {
-		stepT0 = time.Now()
 		for _, w := range live {
 			t.replicas[w].SetObs(stepObs)
 		}
 	}
+	feedDrift := t.cfg.Drift != nil && t.cfg.PredictStep != nil
+	if t.tel != nil || feedDrift {
+		stepT0 = time.Now()
+	}
+	// The predicted side belongs to the worker count the step *computes*
+	// with; mid-sync degradation changes the survivors, not the batches
+	// already drawn at b = B/N.
+	nCompute := n
 	defer stepSp.End()
 
 	// Local gradients, concurrently, with first-error capture.
@@ -302,6 +320,12 @@ func (t *Trainer) Step(data DataSource) (float64, error) {
 	vectors := make([][]float32, n)
 	if err := join(n, func(i int) error {
 		w := live[i]
+		// Persistent-straggler injection: a slowed worker pays its extra
+		// compute latency here, before the ring, stretching the measured
+		// step time the drift monitor compares against the prediction.
+		if d := t.cfg.Faults.SlowAt(w, step); d > 0 {
+			time.Sleep(d)
+		}
 		batch, err := data(w, step)
 		if err != nil {
 			return fmt.Errorf("train: worker %d step %d data: %w", w, step, err)
@@ -373,6 +397,9 @@ func (t *Trainer) Step(data DataSource) (float64, error) {
 	if t.tel != nil {
 		t.tel.stepH.Observe(time.Since(stepT0).Seconds())
 		t.tel.steps.Inc()
+	}
+	if feedDrift {
+		t.cfg.Drift.Observe(t.cfg.PredictStep(nCompute), time.Since(stepT0).Seconds())
 	}
 	t.step++
 	return mean, nil
