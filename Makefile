@@ -4,7 +4,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build vet lint test race fuzz obs-smoke obs-bench chaos ci
+.PHONY: build vet lint test race fuzz obs-smoke obs-bench bench-snapshot bench-check chaos ci
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,20 @@ obs-smoke:
 obs-bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/obs
 
+# bench-snapshot: capture the perf baseline — run the benchmark suites,
+# write the benchstat-comparable BENCH_1.json snapshot and validate it
+# with obscheck. The snapshot is committed so every later PR has a
+# trajectory to diff against.
+bench-snapshot:
+	$(GO) run ./cmd/benchsnap -out BENCH_1.json
+	$(GO) run ./cmd/obscheck -bench BENCH_1.json
+
+# bench-check: re-run the suites and fail on a >15% ns/op regression
+# against the committed baseline, or on any 0-allocs/op benchmark that
+# started allocating (the dynamic half of the hotpath contract).
+bench-check:
+	$(GO) run ./cmd/benchsnap -check BENCH_1.json
+
 # Short fuzz smoke of every fuzz target; seed corpora live under the
 # packages' testdata/fuzz/ directories and always run as part of `test`.
 fuzz:
@@ -79,4 +93,4 @@ chaos:
 	done
 	rm -rf .chaos-smoke
 
-ci: build vet lint test race obs-smoke chaos
+ci: build vet lint test race obs-smoke chaos bench-check

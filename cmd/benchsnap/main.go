@@ -1,0 +1,180 @@
+// Command benchsnap captures the repository's benchmark baseline: it
+// runs the `go test -bench` suites, parses the standard benchmark
+// output and writes a benchstat-comparable JSON snapshot
+// (schema convmeter/bench-snapshot/v1, validated by obscheck -bench).
+// The committed BENCH_<n>.json files record the perf trajectory; in
+// -check mode benchsnap re-runs the suites and fails when any
+// benchmark regresses beyond the ns/op threshold against a committed
+// baseline, or when a 0-allocs/op benchmark starts allocating — the
+// dynamic counterpart of the hotpath analyzer's static contract.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	out := flag.String("out", "", "write the snapshot JSON to this file")
+	check := flag.String("check", "", "baseline snapshot to compare a fresh run against; exit 1 on regression")
+	threshold := flag.Float64("threshold", 0.15, "fractional ns/op regression tolerated in -check mode")
+	benchRe := flag.String("bench", ".", "benchmark selection regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "20ms", "go test -benchtime value; time-based so micro-benchmarks get enough iterations to beat timer granularity while the experiment benches stay cheap")
+	count := flag.Int("count", 5, "go test -count value; repeated measurements are merged by min ns/op to filter scheduler and GC noise")
+	pkgs := flag.String("pkgs", "./,./internal/obs", "comma-separated packages whose benchmarks form the baseline")
+	input := flag.String("input", "", "parse this `go test -bench` output file instead of running the benchmarks")
+	flag.Parse()
+	if *out == "" && *check == "" {
+		fmt.Fprintln(os.Stderr, "benchsnap: nothing to do (pass -out and/or -check)")
+		os.Exit(2)
+	}
+	var lines []string
+	if *input != "" {
+		data, err := os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		lines = strings.Split(string(data), "\n")
+	} else {
+		for _, pkg := range strings.Split(*pkgs, ",") {
+			text, err := runBench(pkg, *benchRe, *benchtime, *count)
+			if err != nil {
+				fatal(err)
+			}
+			lines = append(lines, strings.Split(text, "\n")...)
+		}
+	}
+	snap, err := buildSnapshot(lines, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchsnap: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+	}
+	if *check != "" {
+		base, err := readSnapshot(*check)
+		if err != nil {
+			fatal(err)
+		}
+		regressions := compare(base, snap, *threshold, os.Stdout)
+		// A regression may be machine load, not code: re-measure only the
+		// offending benchmarks and keep the per-benchmark minimum. The
+		// minimum is monotone under more samples while the baseline is
+		// fixed, so genuine regressions survive and noise converges away.
+		for retry := 0; len(regressions) > 0 && retry < 3 && *input == ""; retry++ {
+			re := retryRegexp(regressions)
+			if re == "" {
+				break // allocation regressions are deterministic: re-measuring cannot clear them
+			}
+			fmt.Printf("benchsnap: re-measuring %d regressed benchmark(s)\n", len(regressions))
+			for _, pkg := range strings.Split(*pkgs, ",") {
+				text, err := runBench(pkg, re, *benchtime, *count<<(retry+1))
+				if err != nil {
+					fatal(err)
+				}
+				lines = append(lines, strings.Split(text, "\n")...)
+			}
+			if snap, err = buildSnapshot(lines, *benchtime); err != nil {
+				fatal(err)
+			}
+			regressions = compare(base, snap, *threshold, io.Discard)
+		}
+		if len(regressions) > 0 {
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "benchsnap:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchsnap: %d benchmarks within %.0f%% of %s\n",
+			len(snap.Benchmarks), *threshold*100, *check)
+	}
+}
+
+// retryRegexp builds the -bench regexp selecting the top-level
+// benchmarks named in ns/op regressions ("" if none, e.g. only alloc
+// regressions). Sub-benchmark paths and the -GOMAXPROCS suffix are
+// stripped: go test selects by top-level function first.
+func retryRegexp(regressions []string) string {
+	seen := map[string]bool{}
+	var names []string
+	for _, r := range regressions {
+		if !strings.Contains(r, "ns/op") {
+			continue
+		}
+		name, _, _ := strings.Cut(r, ":")
+		name, _, _ = strings.Cut(name, "/")
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			name = name[:i]
+		}
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, regexp.QuoteMeta(name))
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	return "^(" + strings.Join(names, "|") + ")$"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchsnap:", err)
+	os.Exit(1)
+}
+
+// runBench executes one package's benchmarks and returns the raw
+// `go test` output. Benchmark-less packages yield no benchmark lines,
+// which is fine; a failing build or test is not.
+func runBench(pkg, benchRe, benchtime string, count int) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", benchRe, "-benchmem", "-benchtime", benchtime,
+		"-count", strconv.Itoa(count), pkg)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench %s: %v\n%s", pkg, err, outBytes)
+	}
+	return string(outBytes), nil
+}
+
+// newSnapshot stamps the environment the numbers were measured in, so
+// a later diff knows whether it is comparing like with like.
+func newSnapshot(benchtime string) *Snapshot {
+	return &Snapshot{
+		Schema:    SchemaV1,
+		Go:        runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: benchtime,
+	}
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("%s: invalid snapshot JSON: %v", path, err)
+	}
+	if snap.Schema != SchemaV1 {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, snap.Schema, SchemaV1)
+	}
+	return &snap, nil
+}

@@ -10,9 +10,15 @@
 // line or the line above.
 //
 // With -json, findings are emitted instead as a JSON array of
-// {file, line, col, analyzer, message} objects on stdout — the machine
-// interface CI uses to turn findings into inline code annotations. The
-// exit status contract is unchanged, and an empty run prints [].
+// {file, line, col, analyzer, message, why?} objects on stdout — the
+// machine interface CI uses to turn findings into inline code
+// annotations. The exit status contract is unchanged, and an empty run
+// prints [].
+//
+// With -why, text output appends each finding's explanation chain —
+// for the hotpath family, the lint.config root → … → function call
+// chain that made the code hot — as an indented "why:" line. JSON
+// output always carries the chain in the "why" field when present.
 package main
 
 import (
@@ -28,12 +34,13 @@ import (
 func main() {
 	configPath := flag.String("config", "", "path to lint.config (default: auto-discovered next to go.mod)")
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	why := flag.Bool("why", false, "print each finding's explanation chain (hotpath reachability)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: convlint [-config lint.config] [-json] [packages...]\n")
+		fmt.Fprintf(os.Stderr, "usage: convlint [-config lint.config] [-json] [-why] [packages...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	os.Exit(run(*configPath, *jsonOut, flag.Args()))
+	os.Exit(run(*configPath, *jsonOut, *why, flag.Args()))
 }
 
 // jsonFinding is the -json wire shape of one finding.
@@ -43,9 +50,10 @@ type jsonFinding struct {
 	Col      int    `json:"col"`
 	Analyzer string `json:"analyzer"`
 	Message  string `json:"message"`
+	Why      string `json:"why,omitempty"`
 }
 
-func run(configPath string, jsonOut bool, patterns []string) int {
+func run(configPath string, jsonOut, why bool, patterns []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -78,7 +86,7 @@ func run(configPath string, jsonOut bool, patterns []string) int {
 			f = relFinding(wd, f)
 			out = append(out, jsonFinding{
 				File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
-				Analyzer: f.Analyzer, Message: f.Message,
+				Analyzer: f.Analyzer, Message: f.Message, Why: f.Why,
 			})
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -90,6 +98,9 @@ func run(configPath string, jsonOut bool, patterns []string) int {
 	} else {
 		for _, f := range findings {
 			fmt.Println(relFinding(wd, f).String())
+			if why && f.Why != "" {
+				fmt.Println("\twhy:", f.Why)
+			}
 		}
 	}
 	if len(findings) > 0 {

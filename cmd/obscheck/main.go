@@ -4,9 +4,12 @@
 // one convmeter_ sample, the trace file must be a Chrome trace-event
 // JSON document with a traceEvents array, and the drift file must be a
 // well-formed drift-monitor snapshot (optionally asserting that drift
-// was, or was not, detected). CI's obs-smoke target runs it against real
-// experiment runs so a formatting regression fails the build rather than
-// silently producing files Grafana or Perfetto reject.
+// was, or was not, detected). It also validates benchmark baseline
+// snapshots written by cmd/benchsnap (-bench BENCH_<n>.json: schema,
+// sorted unique names, >= 1 iteration, finite values). CI's obs-smoke
+// and bench-snapshot targets run it against real artefacts so a
+// formatting regression fails the build rather than silently producing
+// files Grafana, Perfetto or benchsnap -check reject.
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -23,12 +27,13 @@ func main() {
 	metrics := flag.String("metrics", "", "metrics file to validate (Prometheus text, or JSONL for .jsonl paths)")
 	trace := flag.String("trace", "", "Chrome trace-event JSON file to validate")
 	drift := flag.String("drift", "", "drift-monitor JSON snapshot to validate (from -drift-out or GET /drift)")
+	bench := flag.String("bench", "", "benchmark snapshot JSON to validate (from benchsnap -out, e.g. BENCH_1.json)")
 	requireFaults := flag.Bool("require-faults", false, "additionally require a convmeter_faults_injected_total sample with value > 0 (chaos-run validation)")
 	requireDrift := flag.Bool("require-drift", false, "additionally require at least one drift event and a drifting stream in the -drift snapshot (slowdown-run validation)")
 	forbidDrift := flag.Bool("forbid-drift", false, "additionally require zero drift events in the -drift snapshot (clean-run validation)")
 	flag.Parse()
-	if *metrics == "" && *trace == "" && *drift == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics, -trace and/or -drift)")
+	if *metrics == "" && *trace == "" && *drift == "" && *bench == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics, -trace, -drift and/or -bench)")
 		os.Exit(2)
 	}
 	if *requireFaults && *metrics == "" {
@@ -64,6 +69,81 @@ func main() {
 		}
 		fmt.Printf("obscheck: %s ok\n", *drift)
 	}
+	if *bench != "" {
+		if err := checkBench(*bench); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obscheck: %s ok\n", *bench)
+	}
+}
+
+// benchSchema is the snapshot format benchsnap writes; keep in sync
+// with cmd/benchsnap's SchemaV1.
+const benchSchema = "convmeter/bench-snapshot/v1"
+
+// checkBench validates a benchmark baseline snapshot: the schema tag,
+// a non-empty benchmark list sorted by unique name (so diffs are
+// stable), at least one measured iteration per benchmark, and finite,
+// sane values throughout — a baseline with a NaN or a zero ns/op would
+// make every later benchsnap -check comparison meaningless.
+func checkBench(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Schema     string `json:"schema"`
+		Go         string `json:"go"`
+		Benchmarks []struct {
+			Name        string   `json:"name"`
+			Iterations  int64    `json:"iterations"`
+			NsPerOp     *float64 `json:"ns_per_op"`
+			BytesPerOp  float64  `json:"bytes_per_op"`
+			AllocsPerOp float64  `json:"allocs_per_op"`
+			MBPerS      float64  `json:"mb_per_s"`
+		} `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: invalid bench JSON: %v", path, err)
+	}
+	if doc.Schema != benchSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, benchSchema)
+	}
+	if doc.Go == "" {
+		return fmt.Errorf("%s: missing go version stamp", path)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("%s: no benchmarks", path)
+	}
+	prev := ""
+	for i, b := range doc.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("%s: benchmark %d has no name", path, i)
+		}
+		if b.Name <= prev {
+			return fmt.Errorf("%s: benchmark names not sorted/unique at %q", path, b.Name)
+		}
+		prev = b.Name
+		if b.Iterations < 1 {
+			return fmt.Errorf("%s: %s: iterations %d, want >= 1", path, b.Name, b.Iterations)
+		}
+		if b.NsPerOp == nil {
+			return fmt.Errorf("%s: %s: ns_per_op missing", path, b.Name)
+		}
+		for what, v := range map[string]float64{
+			"ns_per_op": *b.NsPerOp, "bytes_per_op": b.BytesPerOp,
+			"allocs_per_op": b.AllocsPerOp, "mb_per_s": b.MBPerS,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("%s: %s: %s = %v, want finite and non-negative", path, b.Name, what, v)
+			}
+		}
+		if *b.NsPerOp == 0 {
+			return fmt.Errorf("%s: %s: ns_per_op is zero", path, b.Name)
+		}
+	}
+	return nil
 }
 
 // faultsSeries is the counter family a chaos run must have populated.

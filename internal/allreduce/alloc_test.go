@@ -1,0 +1,45 @@
+package allreduce
+
+import (
+	"testing"
+
+	"convmeter/internal/testrace"
+)
+
+// TestRingStepZeroAllocs pins the chanRing.step allocation contract the
+// hotpath analyzer enforces statically: once the three rotating send
+// buffers are warm, a fault-free ring step allocates nothing — no chunk
+// copies, no timers, no CRC hasher. The test drives one worker's step
+// directly, playing the predecessor by pre-filling the receive link and
+// the successor by draining the send link (both links have capacity 1,
+// exactly as Ring wires them).
+func TestRingStepZeroAllocs(t *testing.T) {
+	testrace.SkipIfRace(t)
+
+	const length = 64
+	r := &chanRing{
+		v: make([]float32, length), me: 0, n: 2, length: length,
+		send: make(chan chanMsg, 1), recv: make(chan chanMsg, 1),
+	}
+	for i := range r.v {
+		r.v[i] = float32(i)
+	}
+	a, b := chunkBounds(length, r.n, 1) // chunk this worker receives at step 0
+	inbound := make([]float32, b-a)
+	for i := range inbound {
+		inbound[i] = 1
+	}
+	oneStep := func() {
+		r.recv <- chanMsg{seq: 0, data: inbound}
+		if we := r.step(0, 0, 1, false); we != nil {
+			t.Fatalf("ring step: %v", we)
+		}
+		<-r.send
+	}
+	for i := 0; i < 3; i++ {
+		oneStep() // warm the rotating send buffers
+	}
+	if n := testing.AllocsPerRun(100, oneStep); n != 0 {
+		t.Errorf("chanRing.step allocates %.2f/op, want 0", n)
+	}
+}

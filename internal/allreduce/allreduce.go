@@ -139,14 +139,16 @@ type chanMsg struct {
 }
 
 // crcFloats checksums the bit pattern of a float32 slice (IEEE CRC-32).
+// It feeds crc32.Update directly instead of a hash.Hash32 so the hot
+// ring step validates chunks without allocating the hasher.
 func crcFloats(data []float32) uint32 {
-	h := crc32.NewIEEE()
+	var crc uint32
 	var b [4]byte
 	for _, v := range data {
 		binary.LittleEndian.PutUint32(b[:], math.Float32bits(v))
-		_, _ = h.Write(b[:])
+		crc = crc32.Update(crc, crc32.IEEETable, b[:])
 	}
-	return h.Sum32()
+	return crc
 }
 
 // Ring reduces the workers' vectors in place to their elementwise sum
@@ -194,143 +196,222 @@ func RingOpts(vectors [][]float32, opts Options) error {
 	return joinWorkerErrs(errs)
 }
 
+// chanRing is one worker's state for a channel-transport ring run: the
+// ring wiring, three rotating send buffers, and a reusable op timer.
+// Its step method is a declared hot-path root (lint.config): in steady
+// state one ring step allocates nothing, so the step latencies the
+// telemetry histograms record measure communication, not the garbage
+// collector.
+type chanRing struct {
+	v          []float32
+	me, n      int
+	length     int
+	send, recv chan chanMsg
+	opts       Options
+	rt         *ringTelemetry
+	resilient  bool
+	timer      *time.Timer // armed per resilient op, nil on the fast path
+	bufs       [3][]float32
+	bufIdx     int
+}
+
 // chanWorker runs one worker's 2·(n−1) ring steps over the channels.
 func chanWorker(vectors [][]float32, me, length int, links []chan chanMsg, opts Options, rt *ringTelemetry) *WorkerError {
 	n := len(links)
-	v := vectors[me]
-	send, recv := links[(me+1)%n], links[me]
-	resilient := opts.resilient()
-	step := func(opIdx uint64, sendChunk, recvChunk int, reduce bool) *WorkerError {
-		var t0 time.Time
-		if rt != nil {
-			t0 = time.Now()
+	r := &chanRing{
+		v: vectors[me], me: me, n: n, length: length,
+		send: links[(me+1)%n], recv: links[me],
+		opts: opts, rt: rt, resilient: opts.resilient(),
+	}
+	if r.resilient {
+		// The reusable timer is born stopped and drained; each op arms
+		// it with the op deadline and disarms it on completion.
+		r.timer = time.NewTimer(time.Hour)
+		if !r.timer.Stop() {
+			<-r.timer.C
 		}
-		a, b := chunkBounds(length, n, sendChunk)
-		out := make([]float32, b-a)
-		copy(out, v[a:b])
-		msg := chanMsg{seq: opIdx, data: out}
-		skip := false
-		if opts.Faults != nil {
-			msg.crc, msg.hasCRC = crcFloats(out), true
-			f := opts.Faults.Decide(faults.Op{
-				Transport: "chan", Worker: opts.workerID(me), Dir: "send", Seq: opts.SeqBase + opIdx,
-			})
-			switch f.Class {
-			case faults.ClassDelay:
-				time.Sleep(f.Delay)
-			case faults.ClassDrop, faults.ClassReset:
-				skip = true // the message vanishes; the successor times out or sees a gap
-			case faults.ClassCorrupt:
-				if len(out) > 0 {
-					i := int(f.Arg % uint64(len(out)))
-					out[i] = math.Float32frombits(math.Float32bits(out[i]) ^ 1<<(f.Arg%23))
-				}
-			case faults.ClassTruncate:
-				msg.data = out[:len(out)/2] // CRC still covers the full chunk
-			}
-		}
-		self, succ := opts.workerID(me), opts.workerID((me+1)%n)
-		pred := opts.workerID((me - 1 + n) % n)
-		if !skip {
-			if !resilient {
-				send <- msg
-			} else if we := chanSend(send, msg, self, succ, opts, rt); we != nil {
-				return we
-			}
-		}
-		var in chanMsg
-		if !resilient {
-			in = <-recv
-		} else {
-			var we *WorkerError
-			if in, we = chanRecv(recv, self, pred, opts, rt); we != nil {
-				return we
-			}
-		}
-		if in.seq != opIdx {
-			return &WorkerError{Worker: pred, Primary: true,
-				Err: fmt.Errorf("lost ring message: got step %d, want %d", in.seq, opIdx)}
-		}
-		if in.hasCRC && crcFloats(in.data) != in.crc {
-			rt.crcFailure()
-			return &WorkerError{Worker: pred, Primary: true, Err: fmt.Errorf("chunk CRC mismatch at step %d", opIdx)}
-		}
-		a, b = chunkBounds(length, n, recvChunk)
-		if len(in.data) != b-a {
-			return &WorkerError{Worker: pred, Primary: true,
-				Err: fmt.Errorf("chunk size %d, want %d at step %d", len(in.data), b-a, opIdx)}
-		}
-		if reduce {
-			for k := range in.data {
-				v[a+k] += in.data[k]
-			}
-		} else {
-			copy(v[a:b], in.data)
-		}
-		if rt != nil {
-			rt.step(time.Since(t0))
-		}
-		return nil
+		defer r.timer.Stop()
 	}
 	// Phase 1 — reduce-scatter: after step s, worker me holds the partial
 	// sum of chunk (me−s) accumulated over s+1 workers. At the end, worker
 	// me owns the fully reduced chunk (me+1) mod n.
 	for s := 0; s < n-1; s++ {
-		if we := step(uint64(s), ((me-s)%n+n)%n, ((me-s-1)%n+n)%n, true); we != nil {
+		if we := r.step(uint64(s), ((me-s)%n+n)%n, ((me-s-1)%n+n)%n, true); we != nil {
 			return we
 		}
 	}
 	// Phase 2 — all-gather: circulate the fully reduced chunks.
 	for s := 0; s < n-1; s++ {
-		if we := step(uint64(n-1+s), ((me-s+1)%n+n)%n, ((me-s)%n+n)%n, false); we != nil {
+		if we := r.step(uint64(n-1+s), ((me-s+1)%n+n)%n, ((me-s)%n+n)%n, false); we != nil {
 			return we
 		}
 	}
 	return nil
 }
 
-// chanSend delivers one message under deadline + retry; a persistently
-// full link means the successor stopped draining, so blame lands there.
-func chanSend(ch chan chanMsg, msg chanMsg, self, succ int, opts Options, rt *ringTelemetry) *WorkerError {
-	attempts := opts.Retry.attempts()
-	for attempt := 1; ; attempt++ {
-		t := time.NewTimer(opts.opTimeout())
-		select {
-		case ch <- msg:
-			t.Stop()
-			return nil
-		case <-opts.ctx().Done():
-			t.Stop()
-			return &WorkerError{Worker: self, Err: opts.ctx().Err()}
-		case <-t.C:
-			if attempt >= attempts {
-				return &WorkerError{Worker: succ,
-					Err: fmt.Errorf("send timed out after %d attempts", attempts)}
+// sendBuf returns the next rotating send buffer resliced to size.
+// Three buffers suffice on the fault-free path: the ring links have
+// capacity 1, so this worker's send of step s+2 completing proves the
+// successor dequeued step s+1 — which it only does after fully
+// processing step s — so the buffer reused at step s+3 has no readers
+// left. A fault skip breaks that signal chain; skips burn the rotation
+// and later steps grow fresh buffers.
+func (r *chanRing) sendBuf(size int) []float32 {
+	if cap(r.bufs[r.bufIdx]) < size {
+		//lint:ignore hotpath amortised send-buffer growth; steady-state steps rotate three reusable buffers
+		r.bufs[r.bufIdx] = make([]float32, size)
+	}
+	b := r.bufs[r.bufIdx][:size]
+	r.bufs[r.bufIdx] = b
+	r.bufIdx = (r.bufIdx + 1) % 3
+	return b
+}
+
+// burnBufs retires every rotating buffer. Called when a fault skips a
+// send: without that send's completion signal the reuse proof in
+// sendBuf no longer holds, so the old buffers must never be rewritten.
+func (r *chanRing) burnBufs() {
+	for i := range r.bufs {
+		r.bufs[i] = nil
+	}
+}
+
+// step executes one ring step: send one chunk to the successor, receive
+// one from the predecessor, and reduce or store it.
+func (r *chanRing) step(opIdx uint64, sendChunk, recvChunk int, reduce bool) *WorkerError {
+	var t0 time.Time
+	if r.rt != nil {
+		t0 = time.Now()
+	}
+	a, b := chunkBounds(r.length, r.n, sendChunk)
+	out := r.sendBuf(b - a)
+	copy(out, r.v[a:b])
+	msg := chanMsg{seq: opIdx, data: out}
+	skip := false
+	if r.opts.Faults != nil {
+		msg.crc, msg.hasCRC = crcFloats(out), true
+		f := r.opts.Faults.Decide(faults.Op{
+			Transport: "chan", Worker: r.opts.workerID(r.me), Dir: "send", Seq: r.opts.SeqBase + opIdx,
+		})
+		switch f.Class {
+		case faults.ClassDelay:
+			time.Sleep(f.Delay)
+		case faults.ClassDrop, faults.ClassReset:
+			skip = true // the message vanishes; the successor times out or sees a gap
+			r.burnBufs()
+		case faults.ClassCorrupt:
+			if len(out) > 0 {
+				i := int(f.Arg % uint64(len(out)))
+				out[i] = math.Float32frombits(math.Float32bits(out[i]) ^ 1<<(f.Arg%23))
 			}
-			rt.retry()
+		case faults.ClassTruncate:
+			msg.data = out[:len(out)/2] // CRC still covers the full chunk
+		}
+	}
+	self, succ := r.opts.workerID(r.me), r.opts.workerID((r.me+1)%r.n)
+	pred := r.opts.workerID((r.me - 1 + r.n) % r.n)
+	if !skip {
+		if !r.resilient {
+			r.send <- msg
+		} else if we := r.sendResilient(msg, self, succ); we != nil {
+			return we
+		}
+	}
+	var in chanMsg
+	if !r.resilient {
+		in = <-r.recv
+	} else {
+		var we *WorkerError
+		if in, we = r.recvResilient(self, pred); we != nil {
+			return we
+		}
+	}
+	if in.seq != opIdx {
+		return &WorkerError{Worker: pred, Primary: true,
+			Err: fmt.Errorf("lost ring message: got step %d, want %d", in.seq, opIdx)}
+	}
+	if in.hasCRC && crcFloats(in.data) != in.crc {
+		r.rt.crcFailure()
+		return &WorkerError{Worker: pred, Primary: true, Err: fmt.Errorf("chunk CRC mismatch at step %d", opIdx)}
+	}
+	a, b = chunkBounds(r.length, r.n, recvChunk)
+	if len(in.data) != b-a {
+		return &WorkerError{Worker: pred, Primary: true,
+			Err: fmt.Errorf("chunk size %d, want %d at step %d", len(in.data), b-a, opIdx)}
+	}
+	if reduce {
+		for k := range in.data {
+			r.v[a+k] += in.data[k]
+		}
+	} else {
+		copy(r.v[a:b], in.data)
+	}
+	if r.rt != nil {
+		r.rt.step(time.Since(t0))
+	}
+	return nil
+}
+
+// armTimer resets the reusable timer to the op deadline.
+func (r *chanRing) armTimer() {
+	r.timer.Reset(r.opts.opTimeout())
+}
+
+// disarmTimer stops the timer and drains a concurrent expiry so the
+// next armTimer starts clean.
+func (r *chanRing) disarmTimer() {
+	if !r.timer.Stop() {
+		select {
+		case <-r.timer.C:
+		default:
 		}
 	}
 }
 
-// chanRecv awaits one message under deadline + retry; a silent link means
-// the predecessor stalled or dropped the message, so blame lands there.
-func chanRecv(ch chan chanMsg, self, pred int, opts Options, rt *ringTelemetry) (chanMsg, *WorkerError) {
-	attempts := opts.Retry.attempts()
+// sendResilient delivers one message under deadline + retry; a
+// persistently full link means the successor stopped draining, so blame
+// lands there.
+func (r *chanRing) sendResilient(msg chanMsg, self, succ int) *WorkerError {
+	attempts := r.opts.Retry.attempts()
 	for attempt := 1; ; attempt++ {
-		t := time.NewTimer(opts.opTimeout())
+		r.armTimer()
 		select {
-		case msg := <-ch:
-			t.Stop()
+		case r.send <- msg:
+			r.disarmTimer()
+			return nil
+		case <-r.opts.ctx().Done():
+			r.disarmTimer()
+			return &WorkerError{Worker: self, Err: r.opts.ctx().Err()}
+		case <-r.timer.C:
+			if attempt >= attempts {
+				return &WorkerError{Worker: succ,
+					Err: fmt.Errorf("send timed out after %d attempts", attempts)}
+			}
+			r.rt.retry()
+		}
+	}
+}
+
+// recvResilient awaits one message under deadline + retry; a silent
+// link means the predecessor stalled or dropped the message, so blame
+// lands there.
+func (r *chanRing) recvResilient(self, pred int) (chanMsg, *WorkerError) {
+	attempts := r.opts.Retry.attempts()
+	for attempt := 1; ; attempt++ {
+		r.armTimer()
+		select {
+		case msg := <-r.recv:
+			r.disarmTimer()
 			return msg, nil
-		case <-opts.ctx().Done():
-			t.Stop()
-			return chanMsg{}, &WorkerError{Worker: self, Err: opts.ctx().Err()}
-		case <-t.C:
+		case <-r.opts.ctx().Done():
+			r.disarmTimer()
+			return chanMsg{}, &WorkerError{Worker: self, Err: r.opts.ctx().Err()}
+		case <-r.timer.C:
 			if attempt >= attempts {
 				return chanMsg{}, &WorkerError{Worker: pred,
 					Err: fmt.Errorf("receive timed out after %d attempts", attempts)}
 			}
-			rt.retry()
+			r.rt.retry()
 		}
 	}
 }

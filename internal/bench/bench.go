@@ -112,6 +112,25 @@ func DefaultInferenceScenario(dev hwsim.Device, seed int64) InferenceScenario {
 	}
 }
 
+// inferencePoint measures one (model, image, batch) sweep point and
+// appends the sample to out, or counts a skip when the model does not
+// fit device memory. It is the per-point inner loop of CollectInference
+// and a declared hot-path root: the fit check, the forward prediction
+// and the sample construction allocate nothing — the caller preallocates
+// out to the full batch-sweep length, so append never grows it.
+func inferencePoint(sim *hwsim.Simulator, bm builtModel, model string, img, batch int,
+	out []core.Sample, skippedC *obs.Counter) ([]core.Sample, bool) {
+	if !sim.Fits(bm.g, batch, false) {
+		skippedC.Inc()
+		return out, false // paper rule: sweep only while memory allows
+	}
+	return append(out, core.Sample{
+		Model: model, Met: bm.met, Image: img,
+		BatchPerDevice: batch, Devices: 1, Nodes: 1,
+		Fwd: metrics.Seconds(sim.Forward(bm.g, batch)),
+	}), true
+}
+
 // CollectInference runs the sweep and returns one sample per feasible
 // (model, image, batch) combination.
 func CollectInference(sc InferenceScenario) ([]core.Sample, error) {
@@ -146,17 +165,9 @@ func CollectInference(sc InferenceScenario) ([]core.Sample, error) {
 		bm := built[t.model][t.img]
 		sim := hwsim.NewSimulator(sc.Device, sc.NoiseSigma,
 			deriveSeed(sc.Seed, "inference", t.model, strconv.Itoa(t.img)))
-		var out []core.Sample
+		out := make([]core.Sample, 0, len(sc.Batches))
 		for _, batch := range sc.Batches {
-			if !sim.Fits(bm.g, batch, false) {
-				skippedC.Inc()
-				continue // paper rule: sweep only while memory allows
-			}
-			out = append(out, core.Sample{
-				Model: t.model, Met: bm.met, Image: t.img,
-				BatchPerDevice: batch, Devices: 1, Nodes: 1,
-				Fwd: metrics.Seconds(sim.Forward(bm.g, batch)),
-			})
+			out, _ = inferencePoint(sim, bm, t.model, t.img, batch, out, skippedC)
 		}
 		pointsC.Add(float64(len(out)))
 		results[i] = out

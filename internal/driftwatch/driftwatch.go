@@ -245,6 +245,7 @@ type StreamSnapshot struct {
 // ignores every call.
 type Stream struct {
 	model, phase string
+	driftSpan    string // precomputed span name, so drift events do not build strings on the observe path
 	opts         Options
 	o            *obs.Obs
 	onDrift      func(Event)
@@ -278,11 +279,12 @@ func newStream(model, phase string, opts Options, cfg Config) *Stream {
 		return obs.Label(name, "model", model, "phase", phase)
 	}
 	s := &Stream{
-		model:   model,
-		phase:   phase,
-		opts:    opts,
-		o:       o,
-		onDrift: cfg.OnDrift,
+		model:     model,
+		phase:     phase,
+		driftSpan: "drift:" + model + "/" + phase,
+		opts:      opts,
+		o:         o,
+		onDrift:   cfg.OnDrift,
 
 		eventsC: o.Counter(lbl("convmeter_drift_events_total"), "prediction-drift events detected (Page-Hinkley)"),
 		pairsC:  o.Counter(lbl("convmeter_drift_pairs_total"), "(predicted, measured) pairs observed"),
@@ -387,7 +389,7 @@ func (s *Stream) Observe(predicted, measured float64) {
 	s.mapeG.Set(sum.MAPE)
 	if fired {
 		s.eventsC.Inc()
-		s.o.Start("drift:" + s.model + "/" + s.phase).End()
+		s.o.Start(s.driftSpan).End()
 		if s.onDrift != nil {
 			s.onDrift(Event{Model: s.model, Phase: s.phase, Events: events, Stream: s})
 		}

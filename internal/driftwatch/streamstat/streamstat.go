@@ -84,6 +84,11 @@ type Window struct {
 	actual []float64
 	next   int // ring write cursor
 	n      int // pairs held, <= cap
+
+	// Summary scratch: arrival-order copies handed to regress.Evaluate,
+	// preallocated so the per-step observe path never allocates.
+	sumPred   []float64
+	sumActual []float64
 }
 
 // NewWindow returns a window holding the last `capacity` pairs.
@@ -93,8 +98,10 @@ func NewWindow(capacity int) *Window {
 		return nil
 	}
 	return &Window{
-		pred:   make([]float64, capacity),
-		actual: make([]float64, capacity),
+		pred:      make([]float64, capacity),
+		actual:    make([]float64, capacity),
+		sumPred:   make([]float64, capacity),
+		sumActual: make([]float64, capacity),
 	}
 }
 
@@ -151,11 +158,19 @@ func (w *Window) Pairs() (pred, actual []float64) {
 // Summary evaluates the regress accuracy metrics over the window's
 // current pairs — by construction identical to regress.Evaluate on the
 // same suffix of the stream. An empty (or nil) window reports the zero
-// Report.
+// Report. The pairs are staged in the window's preallocated scratch, so
+// a Summary allocates nothing regardless of window size.
 func (w *Window) Summary() regress.Report {
-	pred, actual := w.Pairs()
-	if len(actual) == 0 {
+	if w == nil || w.n == 0 {
 		return regress.Report{}
+	}
+	pred := w.sumPred[:w.n]
+	actual := w.sumActual[:w.n]
+	start := (w.next - w.n + len(w.pred)) % len(w.pred)
+	for i := 0; i < w.n; i++ {
+		j := (start + i) % len(w.pred)
+		pred[i] = w.pred[j]
+		actual[i] = w.actual[j]
 	}
 	// The only error paths are length mismatch and emptiness, both
 	// excluded above.

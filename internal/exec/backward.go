@@ -56,6 +56,7 @@ func (e *Executor) Gradients(input *Tensor, labels []int) (float64, map[int]*Wei
 	dActs := make([]*Tensor, len(e.g.Nodes))
 	dLogits := NewTensor(batch, logits.Shape)
 	loss := 0.0
+	probs := make([]float64, classes)
 	for b := 0; b < batch; b++ {
 		row := logits.image(b)
 		maxV := row[0]
@@ -65,7 +66,6 @@ func (e *Executor) Gradients(input *Tensor, labels []int) (float64, map[int]*Wei
 			}
 		}
 		sum := 0.0
-		probs := make([]float64, classes)
 		for i, v := range row {
 			probs[i] = math.Exp(float64(v - maxV))
 			sum += probs[i]

@@ -138,8 +138,15 @@ func (e *Executor) runInternal(input *Tensor, acts []*Tensor) (*Tensor, error) {
 		return nil, fmt.Errorf("exec: input shape %v, graph expects %v", input.Shape, inShape)
 	}
 	batch := input.Batch
+	maxIns := 0
+	for _, n := range e.g.Nodes {
+		if len(n.Inputs) > maxIns {
+			maxIns = len(n.Inputs)
+		}
+	}
+	insBuf := make([]*Tensor, maxIns)
 	for i, n := range e.g.Nodes {
-		ins := make([]*Tensor, len(n.Inputs))
+		ins := insBuf[:len(n.Inputs)]
 		for j, id := range n.Inputs {
 			ins[j] = acts[id]
 		}

@@ -2,130 +2,150 @@ package exec
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"convmeter/internal/graph"
 )
 
-// parallelFor runs f(i) for i in [0, n) over a bounded worker pool. Used
-// to spread convolution output channels across cores.
-func parallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+// The parallel kernels below split their work over a flattened index
+// space (batch × output-channel, batch × head, …) and hand it to the
+// persistent worker pool via a pooled task struct — see pool.go. Every
+// item writes a disjoint set of output elements, so scheduling cannot
+// change the numerics, and the per-invocation allocation count is zero.
+
+// convTask is one conv2d invocation; item i enumerates the flattened
+// (batch, out-channel) space.
+type convTask struct {
+	in, out        *Tensor
+	op             *graph.Conv2dOp
+	weight, bias   []float32
+	icPerG, ocPerG int
+	kArea          int
+}
+
+var convTaskPool = sync.Pool{New: func() any { return new(convTask) }}
+
+func (t *convTask) run(i int, _ *kernelScratch) {
+	b, oc := i/t.op.OutC, i%t.op.OutC
+	in, out, op := t.in, t.out, t.op
+	g := oc / t.ocPerG
+	icBase := g * t.icPerG
+	wBase := oc * t.icPerG * t.kArea
+	outPlane := out.channel(b, oc)
+	var bv float32
+	if t.bias != nil {
+		bv = t.bias[oc]
 	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
+	for oh := 0; oh < out.Shape.H; oh++ {
+		for ow := 0; ow < out.Shape.W; ow++ {
+			acc := bv
+			for ic := 0; ic < t.icPerG; ic++ {
+				inPlane := in.channel(b, icBase+ic)
+				wRow := t.weight[wBase+ic*t.kArea:]
+				for kh := 0; kh < op.KH; kh++ {
+					ih := oh*op.StrideH - op.PadH + kh*op.DilationH
+					if ih < 0 || ih >= in.Shape.H {
+						continue
+					}
+					rowOff := ih * in.Shape.W
+					kOff := kh * op.KW
+					for kw := 0; kw < op.KW; kw++ {
+						iw := ow*op.StrideW - op.PadW + kw*op.DilationW
+						if iw < 0 || iw >= in.Shape.W {
+							continue
+						}
+						acc += inPlane[rowOff+iw] * wRow[kOff+kw]
+					}
+				}
 			}
-		}()
+			outPlane[oh*out.Shape.W+ow] = acc
+		}
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
 }
 
 // conv2d computes a grouped, strided, padded, dilated 2-D convolution.
 // Weight layout: [outC][inC/groups][KH][KW]; bias may be nil.
 func conv2d(in *Tensor, op *graph.Conv2dOp, weight, bias []float32, out *Tensor) {
-	icPerG := op.InC / op.Groups
-	ocPerG := op.OutC / op.Groups
-	kArea := op.KH * op.KW
-	for b := 0; b < in.Batch; b++ {
-		bb := b
-		parallelFor(op.OutC, func(oc int) {
-			g := oc / ocPerG
-			icBase := g * icPerG
-			wBase := oc * icPerG * kArea
-			outPlane := out.channel(bb, oc)
-			var bv float32
-			if bias != nil {
-				bv = bias[oc]
-			}
-			for oh := 0; oh < out.Shape.H; oh++ {
-				for ow := 0; ow < out.Shape.W; ow++ {
-					acc := bv
-					for ic := 0; ic < icPerG; ic++ {
-						inPlane := in.channel(bb, icBase+ic)
-						wRow := weight[wBase+ic*kArea:]
-						for kh := 0; kh < op.KH; kh++ {
-							ih := oh*op.StrideH - op.PadH + kh*op.DilationH
-							if ih < 0 || ih >= in.Shape.H {
-								continue
-							}
-							rowOff := ih * in.Shape.W
-							kOff := kh * op.KW
-							for kw := 0; kw < op.KW; kw++ {
-								iw := ow*op.StrideW - op.PadW + kw*op.DilationW
-								if iw < 0 || iw >= in.Shape.W {
-									continue
-								}
-								acc += inPlane[rowOff+iw] * wRow[kOff+kw]
-							}
-						}
-					}
-					outPlane[oh*out.Shape.W+ow] = acc
-				}
-			}
-		})
+	t := convTaskPool.Get().(*convTask)
+	*t = convTask{
+		in: in, out: out, op: op, weight: weight, bias: bias,
+		icPerG: op.InC / op.Groups, ocPerG: op.OutC / op.Groups,
+		kArea: op.KH * op.KW,
 	}
+	parallelRun(t, in.Batch*op.OutC)
+	*t = convTask{}
+	convTaskPool.Put(t)
+}
+
+// linearTask is one linear invocation; item i enumerates the flattened
+// (batch, output) space.
+type linearTask struct {
+	in, out      *Tensor
+	op           *graph.LinearOp
+	weight, bias []float32
+}
+
+var linearTaskPool = sync.Pool{New: func() any { return new(linearTask) }}
+
+func (t *linearTask) run(i int, _ *kernelScratch) {
+	b, o := i/t.op.Out, i%t.op.Out
+	x := t.in.image(b)
+	row := t.weight[o*t.op.In : (o+1)*t.op.In]
+	acc := float32(0)
+	if t.bias != nil {
+		acc = t.bias[o]
+	}
+	for k, v := range x {
+		acc += row[k] * v
+	}
+	t.out.image(b)[o] = acc
 }
 
 // linear computes out = W·flatten(in) + b per batch element.
 // Weight layout: [out][in].
 func linear(in *Tensor, op *graph.LinearOp, weight, bias []float32, out *Tensor) {
-	for b := 0; b < in.Batch; b++ {
-		x := in.image(b)
-		y := out.image(b)
-		parallelFor(op.Out, func(o int) {
-			row := weight[o*op.In : (o+1)*op.In]
-			acc := float32(0)
-			if bias != nil {
-				acc = bias[o]
-			}
-			for i, v := range x {
-				acc += row[i] * v
-			}
-			y[o] = acc
-		})
+	t := linearTaskPool.Get().(*linearTask)
+	*t = linearTask{in: in, out: out, op: op, weight: weight, bias: bias}
+	parallelRun(t, in.Batch*op.Out)
+	*t = linearTask{}
+	linearTaskPool.Put(t)
+}
+
+// tokenLinearTask is one tokenLinear invocation; item i enumerates the
+// flattened (batch, output) space, each item covering every token.
+type tokenLinearTask struct {
+	in, out      *Tensor
+	op           *graph.TokenLinearOp
+	weight, bias []float32
+}
+
+var tokenLinearTaskPool = sync.Pool{New: func() any { return new(tokenLinearTask) }}
+
+func (t *tokenLinearTask) run(i int, _ *kernelScratch) {
+	b, o := i/t.op.Out, i%t.op.Out
+	T := t.in.Shape.H
+	row := t.weight[o*t.op.In : (o+1)*t.op.In]
+	var bv float32
+	if t.bias != nil {
+		bv = t.bias[o]
+	}
+	for tok := 0; tok < T; tok++ {
+		acc := bv
+		for k := 0; k < t.op.In; k++ {
+			acc += row[k] * t.in.At(b, k, tok, 0)
+		}
+		t.out.Set(b, o, tok, 0, acc)
 	}
 }
 
 // tokenLinear applies a linear layer independently per token of a C×T×1
 // sequence. Weight layout: [out][in].
 func tokenLinear(in *Tensor, op *graph.TokenLinearOp, weight, bias []float32, out *Tensor) {
-	T := in.Shape.H
-	for b := 0; b < in.Batch; b++ {
-		bb := b
-		parallelFor(op.Out, func(o int) {
-			row := weight[o*op.In : (o+1)*op.In]
-			var bv float32
-			if bias != nil {
-				bv = bias[o]
-			}
-			for t := 0; t < T; t++ {
-				acc := bv
-				for i := 0; i < op.In; i++ {
-					acc += row[i] * in.At(bb, i, t, 0)
-				}
-				out.Set(bb, o, t, 0, acc)
-			}
-		})
-	}
+	t := tokenLinearTaskPool.Get().(*tokenLinearTask)
+	*t = tokenLinearTask{in: in, out: out, op: op, weight: weight, bias: bias}
+	parallelRun(t, in.Batch*op.Out)
+	*t = tokenLinearTask{}
+	tokenLinearTaskPool.Put(t)
 }
 
 // batchNorm applies the inference-time affine transform per channel.
@@ -142,22 +162,31 @@ func batchNorm(in *Tensor, scale, shift []float32, out *Tensor) {
 	}
 }
 
-// layerNorm normalises each token across the embedding dimension.
+// layerNorm normalises each token across the embedding dimension. The
+// mean/variance passes accumulate in float64 in channel order — the
+// exact arithmetic of mean32/variance32 over a gathered buffer, without
+// gathering one.
 func layerNorm(in *Tensor, scale, shift []float32, out *Tensor) {
 	const eps = 1e-5
 	C := in.Shape.C
-	buf := make([]float32, C)
 	for b := 0; b < in.Batch; b++ {
 		for t := 0; t < in.Shape.H; t++ {
 			for w := 0; w < in.Shape.W; w++ {
+				var s float64
 				for c := 0; c < C; c++ {
-					buf[c] = in.At(b, c, t, w)
+					s += float64(in.At(b, c, t, w))
 				}
-				mu := mean32(buf)
-				va := variance32(buf)
+				mu := float32(s / float64(C))
+				mu64 := float64(mu)
+				var sv float64
+				for c := 0; c < C; c++ {
+					d := float64(in.At(b, c, t, w)) - mu64
+					sv += d * d
+				}
+				va := float32(sv / float64(C))
 				inv := float32(1 / math.Sqrt(float64(va)+eps))
 				for c := 0; c < C; c++ {
-					out.Set(b, c, t, w, (buf[c]-mu)*inv*scale[c]+shift[c])
+					out.Set(b, c, t, w, (in.At(b, c, t, w)-mu)*inv*scale[c]+shift[c])
 				}
 			}
 		}
@@ -242,51 +271,70 @@ func adaptiveAvgPool(in *Tensor, out *Tensor) {
 	}
 }
 
+// attnTask is one attentionCore invocation; item i enumerates the
+// flattened (batch, head) space. The softmax scores live in the
+// worker's scratch buffer.
+type attnTask struct {
+	in, out *Tensor
+	op      *graph.AttentionCoreOp
+	dh      int
+	invSqrt float32
+}
+
+var attnTaskPool = sync.Pool{New: func() any { return new(attnTask) }}
+
+func (t *attnTask) run(i int, sc *kernelScratch) {
+	b, h := i/t.op.Heads, i%t.op.Heads
+	in, out, op := t.in, t.out, t.op
+	T := in.Shape.H
+	scores := sc.floats(T)
+	base := h * t.dh
+	for q := 0; q < T; q++ {
+		// scores = softmax(q_i · k_j / sqrt(dh))
+		maxS := float32(math.Inf(-1))
+		for j := 0; j < T; j++ {
+			var s float32
+			for d := 0; d < t.dh; d++ {
+				qv := in.At(b, base+d, q, 0)
+				kv := in.At(b, op.Dim+base+d, j, 0)
+				s += qv * kv
+			}
+			s *= t.invSqrt
+			scores[j] = s
+			if s > maxS {
+				maxS = s
+			}
+		}
+		var sum float32
+		for j := 0; j < T; j++ {
+			scores[j] = float32(math.Exp(float64(scores[j] - maxS)))
+			sum += scores[j]
+		}
+		for j := 0; j < T; j++ {
+			scores[j] /= sum
+		}
+		for d := 0; d < t.dh; d++ {
+			var acc float32
+			for j := 0; j < T; j++ {
+				acc += scores[j] * in.At(b, 2*op.Dim+base+d, j, 0)
+			}
+			out.Set(b, base+d, q, 0, acc)
+		}
+	}
+}
+
 // attentionCore runs multi-head scaled-dot-product attention over a
 // fused QKV sequence (3·dim × T).
 func attentionCore(in *Tensor, op *graph.AttentionCoreOp, out *Tensor) {
-	T := in.Shape.H
 	dh := op.Dim / op.Heads
-	invSqrt := float32(1 / math.Sqrt(float64(dh)))
-	for b := 0; b < in.Batch; b++ {
-		bb := b
-		parallelFor(op.Heads, func(h int) {
-			base := h * dh
-			scores := make([]float32, T)
-			for i := 0; i < T; i++ {
-				// scores = softmax(q_i · k_j / sqrt(dh))
-				maxS := float32(math.Inf(-1))
-				for j := 0; j < T; j++ {
-					var s float32
-					for d := 0; d < dh; d++ {
-						q := in.At(bb, base+d, i, 0)
-						k := in.At(bb, op.Dim+base+d, j, 0)
-						s += q * k
-					}
-					s *= invSqrt
-					scores[j] = s
-					if s > maxS {
-						maxS = s
-					}
-				}
-				var sum float32
-				for j := 0; j < T; j++ {
-					scores[j] = float32(math.Exp(float64(scores[j] - maxS)))
-					sum += scores[j]
-				}
-				for j := 0; j < T; j++ {
-					scores[j] /= sum
-				}
-				for d := 0; d < dh; d++ {
-					var acc float32
-					for j := 0; j < T; j++ {
-						acc += scores[j] * in.At(bb, 2*op.Dim+base+d, j, 0)
-					}
-					out.Set(bb, base+d, i, 0, acc)
-				}
-			}
-		})
+	t := attnTaskPool.Get().(*attnTask)
+	*t = attnTask{
+		in: in, out: out, op: op, dh: dh,
+		invSqrt: float32(1 / math.Sqrt(float64(dh))),
 	}
+	parallelRun(t, in.Batch*op.Heads)
+	*t = attnTask{}
+	attnTaskPool.Put(t)
 }
 
 // toTokens flattens spatial patches into a token sequence, prepends the

@@ -17,8 +17,11 @@
 //  3. an oracle for shape/accounting invariants (output shapes of real
 //     execution must match static inference exactly).
 //
-// Kernels favour clarity with reasonable cache behaviour; convolutions
-// parallelise across output channels with a bounded worker pool.
+// Kernels favour clarity with reasonable cache behaviour; the parallel
+// kernels (convolution, linear, attention) split flattened index spaces
+// over a persistent worker pool and allocate nothing per invocation —
+// they are declared hot-path roots in lint.config, and the hotpath
+// analyzer plus testing.AllocsPerRun enforce the discipline.
 package exec
 
 import (

@@ -3,6 +3,8 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Node is a single operation instance inside a Graph.
@@ -17,9 +19,21 @@ type Node struct {
 // Graph is a validated ConvNet computational graph. Nodes are stored in
 // topological order (every node's inputs precede it), which the builder
 // guarantees by construction and Validate re-checks.
+//
+// The unexported fields cache every node's producer shapes in one
+// contiguous arena so the per-node query methods (NodeFLOPs,
+// NodeInputElems) are allocation-free — they sit inside the hardware
+// model's innermost loops. The arena is built lazily on first query and
+// assumes Nodes is immutable from then on, which both construction
+// paths (the builder and UnmarshalJSON) guarantee.
 type Graph struct {
 	Name  string
 	Nodes []*Node
+
+	shapesBuilt atomic.Uint32
+	shapesMu    sync.Mutex
+	inOffs      []int32 // len(Nodes)+1 offsets into inBuf
+	inBuf       []Shape // concatenated producer shapes, node-major
 }
 
 // InputShape returns the shape of the graph's input tensor.
@@ -76,13 +90,42 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// inShapes gathers the output shapes of a node's producers.
+// inShapes gathers the output shapes of a node's producers. The slice
+// aliases the graph's shape arena: it is valid until the next call only
+// in the sense that callers must not mutate it, and the call itself
+// never allocates.
 func (g *Graph) inShapes(n *Node) []Shape {
-	s := make([]Shape, len(n.Inputs))
-	for i, id := range n.Inputs {
-		s[i] = g.Nodes[id].Out
+	if g.shapesBuilt.Load() == 0 {
+		g.buildShapes()
 	}
-	return s
+	return g.inBuf[g.inOffs[n.ID]:g.inOffs[n.ID+1]]
+}
+
+// buildShapes populates the shape arena. Double-checked under the
+// mutex so concurrent first queries build it exactly once; the atomic
+// flag publishes the finished arena to the lock-free fast path.
+func (g *Graph) buildShapes() {
+	g.shapesMu.Lock()
+	defer g.shapesMu.Unlock()
+	if g.shapesBuilt.Load() == 1 {
+		return
+	}
+	offs := make([]int32, len(g.Nodes)+1)
+	total := 0
+	for i, n := range g.Nodes {
+		offs[i] = int32(total)
+		total += len(n.Inputs)
+	}
+	offs[len(g.Nodes)] = int32(total)
+	buf := make([]Shape, total)
+	for _, n := range g.Nodes {
+		off := offs[n.ID]
+		for j, id := range n.Inputs {
+			buf[off+int32(j)] = g.Nodes[id].Out
+		}
+	}
+	g.inOffs, g.inBuf = offs, buf
+	g.shapesBuilt.Store(1)
 }
 
 // NodeFLOPs returns the per-image FLOPs of node i.

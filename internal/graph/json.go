@@ -118,5 +118,9 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 	}
 	g.Name = jg.Name
 	g.Nodes = nodes
+	// Decoding into a reused Graph must drop any shape arena built for
+	// the previous node set; it rebuilds lazily on the next query.
+	g.inOffs, g.inBuf = nil, nil
+	g.shapesBuilt.Store(0)
 	return g.Validate()
 }

@@ -24,10 +24,16 @@ import (
 //	deterministic <import-path-prefix>
 //	lockcheck     <import-path-prefix>
 //	unit          <import-path>.<TypeName>
+//	hotpath       <import-path>.<Func>
+//	hotpath       <import-path>.<Recv>.<Method>
 //
 // Prefixes match whole path segments: "convmeter/internal/core" covers
 // that package and everything below it. A unit entry names one defined
-// type treated as a physical dimension by the unitcheck analyzer.
+// type treated as a physical dimension by the unitcheck analyzer. A
+// hotpath entry declares one function (or method, via its receiver type
+// name) as a hot-path root: everything reachable from it inside its own
+// package must stay allocation-free, which the hotpath and hotdefer
+// analyzers enforce.
 type Config struct {
 	Analytical    []string
 	Measured      []string
@@ -35,6 +41,7 @@ type Config struct {
 	Deterministic []string
 	Lockcheck     []string
 	Units         []string // qualified "import/path.TypeName" entries
+	Hotpath       []string // qualified "import/path.Func" or "import/path.Recv.Method" roots
 }
 
 // ParseConfig reads a lint.config stream. Every malformed line is
@@ -64,7 +71,7 @@ func ParseConfig(r io.Reader, name string) (*Config, error) {
 		}
 		fields := strings.Fields(line)
 		switch fields[0] {
-		case "analytical", "measured", "deterministic", "lockcheck", "unit":
+		case "analytical", "measured", "deterministic", "lockcheck", "unit", "hotpath":
 			if len(fields) != 2 {
 				errs = append(errs, fmt.Sprintf("%s:%d: %q takes exactly one argument, got %d fields", name, ln, fields[0], len(fields)-1))
 				continue
@@ -87,6 +94,12 @@ func ParseConfig(r io.Reader, name string) (*Config, error) {
 					continue
 				}
 				cfg.Units = append(cfg.Units, fields[1])
+			case "hotpath":
+				if !strings.Contains(fields[1], ".") {
+					errs = append(errs, fmt.Sprintf("%s:%d: hotpath entry %q is not a qualified function (want <import-path>.<Func> or <import-path>.<Recv>.<Method>)", name, ln, fields[1]))
+					continue
+				}
+				cfg.Hotpath = append(cfg.Hotpath, fields[1])
 			}
 		case "allow":
 			if len(fields) != 3 {
@@ -95,7 +108,7 @@ func ParseConfig(r io.Reader, name string) (*Config, error) {
 			}
 			cfg.Allow = append(cfg.Allow, [2]string{fields[1], fields[2]})
 		default:
-			errs = append(errs, fmt.Sprintf("%s:%d: unknown directive %q (want analytical, measured, allow, deterministic, lockcheck or unit)", name, ln, fields[0]))
+			errs = append(errs, fmt.Sprintf("%s:%d: unknown directive %q (want analytical, measured, allow, deterministic, lockcheck, unit or hotpath)", name, ln, fields[0]))
 		}
 	}
 	// A package on both sides of the boundary is a contradiction the
@@ -190,4 +203,21 @@ func (c *Config) unitSet() map[string]bool {
 		set[u] = true
 	}
 	return set
+}
+
+// hotpathRoots returns the local names ("Func" or "Recv.Method") of the
+// hot-path roots declared for exactly the given package. Hotpath entries
+// name single functions, so — unlike the prefix stanzas — the package
+// part must match exactly: an entry for a subpackage has a '/' in its
+// remainder and is skipped.
+func (c *Config) hotpathRoots(importPath string) []string {
+	var roots []string
+	for _, e := range c.Hotpath {
+		rest, ok := strings.CutPrefix(e, importPath+".")
+		if !ok || rest == "" || strings.Contains(rest, "/") {
+			continue
+		}
+		roots = append(roots, rest)
+	}
+	return roots
 }

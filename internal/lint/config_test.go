@@ -40,7 +40,8 @@ allow      convmeter/internal/core convmeter/internal/exec
 
 // TestParseConfigScopes covers the dataflow-analyzer stanzas:
 // deterministic and lockcheck scopes match on path segments like the
-// boundary classification, and unit entries form a qualified-name set.
+// boundary classification, unit entries form a qualified-name set, and
+// hotpath entries resolve to per-package local root names.
 func TestParseConfigScopes(t *testing.T) {
 	cfg, err := ParseConfig(strings.NewReader(`
 deterministic convmeter/internal/metrics
@@ -48,6 +49,9 @@ deterministic convmeter/internal/checkpoint
 lockcheck     convmeter/internal/allreduce
 unit          convmeter/internal/metrics.Seconds
 unit          convmeter/internal/metrics.FLOPs
+hotpath       convmeter/internal/exec.conv2d
+hotpath       convmeter/internal/exec.convTask.run
+hotpath       convmeter/internal/obs.Counter.Add
 `), "scopes.config")
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +77,17 @@ unit          convmeter/internal/metrics.FLOPs
 	}
 	if len(units) != 2 {
 		t.Errorf("unit set %v has stray entries", units)
+	}
+	// hotpathRoots strips the exact package prefix and keeps the local
+	// name, including the Recv.Method form; other packages see nothing.
+	if got := cfg.hotpathRoots("convmeter/internal/exec"); len(got) != 2 || got[0] != "conv2d" || got[1] != "convTask.run" {
+		t.Errorf("hotpathRoots(exec) = %v, want [conv2d convTask.run]", got)
+	}
+	if got := cfg.hotpathRoots("convmeter/internal/obs"); len(got) != 1 || got[0] != "Counter.Add" {
+		t.Errorf("hotpathRoots(obs) = %v, want [Counter.Add]", got)
+	}
+	if got := cfg.hotpathRoots("convmeter/internal"); got != nil {
+		t.Errorf("hotpathRoots(parent) = %v, want nil: entries bind to one exact package", got)
 	}
 }
 
@@ -178,6 +193,27 @@ func TestRepoConfig(t *testing.T) {
 	for _, u := range []string{"Seconds", "FLOPs", "Bytes", "Count"} {
 		if !units["convmeter/internal/metrics."+u] {
 			t.Errorf("lint.config drops unit metrics.%s; unitcheck would stop guarding it", u)
+		}
+	}
+	// The hot-path allocation contract: the kernels the runtime model
+	// measures, the collective inner step, and the always-on telemetry
+	// observe paths must stay declared, or the hotpath analyzer stops
+	// guarding the numbers the paper's predictions are fitted to.
+	for pkg, roots := range map[string][]string{
+		"convmeter/internal/exec":                 {"conv2d", "linear", "attentionCore", "conv2dBackward"},
+		"convmeter/internal/allreduce":            {"chanRing.step"},
+		"convmeter/internal/obs":                  {"Counter.Add", "Gauge.Set", "Histogram.Observe"},
+		"convmeter/internal/driftwatch":           {"Stream.Observe"},
+		"convmeter/internal/driftwatch/streamstat": {"Window.Add", "Window.Summary"},
+	} {
+		declared := map[string]bool{}
+		for _, r := range cfg.hotpathRoots(pkg) {
+			declared[r] = true
+		}
+		for _, r := range roots {
+			if !declared[r] {
+				t.Errorf("lint.config drops hotpath root %s.%s; the allocation discipline on it is no longer enforced", pkg, r)
+			}
 		}
 	}
 }

@@ -23,6 +23,9 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add("analytical\tp\r\nmeasured\tq\r\n") // CRLF + tab separators
 	f.Add("analytical p extra\n")
 	f.Add("unit a.b\nunit a.b\nlockcheck x\nlockcheck x y\n")
+	f.Add("hotpath convmeter/internal/exec.conv2d\nhotpath convmeter/internal/obs.Counter.Add\n")
+	f.Add("hotpath NoDotHere\n")
+	f.Add("hotpath a.b\nhotpath a.b\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		cfg, err := ParseConfig(strings.NewReader(input), "fuzz.config")
@@ -44,6 +47,7 @@ func FuzzParseConfig(f *testing.F) {
 			"deterministic": cfg.Deterministic,
 			"lockcheck":     cfg.Lockcheck,
 			"unit":          cfg.Units,
+			"hotpath":       cfg.Hotpath,
 		} {
 			seen := map[string]bool{}
 			for _, e := range entries {
@@ -68,6 +72,11 @@ func FuzzParseConfig(f *testing.F) {
 				t.Fatalf("accepted unqualified unit entry %q", u)
 			}
 		}
+		for _, h := range cfg.Hotpath {
+			if !strings.Contains(h, ".") {
+				t.Fatalf("accepted unqualified hotpath entry %q", h)
+			}
+		}
 		// An accepted config must round-trip: re-serialising its entries
 		// as config lines and re-parsing yields the identical Config.
 		var sb strings.Builder
@@ -88,6 +97,9 @@ func FuzzParseConfig(f *testing.F) {
 		}
 		for _, e := range cfg.Units {
 			fmt.Fprintf(&sb, "unit %s\n", e)
+		}
+		for _, e := range cfg.Hotpath {
+			fmt.Fprintf(&sb, "hotpath %s\n", e)
 		}
 		back, err := ParseConfig(strings.NewReader(sb.String()), "roundtrip.config")
 		if err != nil {
@@ -113,7 +125,8 @@ func equalConfig(a, b *Config) bool {
 	}
 	if !eq(a.Analytical, b.Analytical) || !eq(a.Measured, b.Measured) ||
 		!eq(a.Deterministic, b.Deterministic) || !eq(a.Lockcheck, b.Lockcheck) ||
-		!eq(a.Units, b.Units) || len(a.Allow) != len(b.Allow) {
+		!eq(a.Units, b.Units) || !eq(a.Hotpath, b.Hotpath) ||
+		len(a.Allow) != len(b.Allow) {
 		return false
 	}
 	for i := range a.Allow {

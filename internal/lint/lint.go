@@ -27,6 +27,13 @@ type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+
+	// Why, when non-empty, explains how the analyzer concluded the
+	// finding applies — for the hotpath family, the call chain from the
+	// declared root to the offending function. It is supplementary
+	// detail (printed by convlint -why, carried in -json), not part of
+	// the canonical String rendering.
+	Why string
 }
 
 // String renders the canonical file:line:col analyzer: message form.
@@ -55,10 +62,17 @@ type Pass struct {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	p.ReportWhyf(analyzer, pos, "", format, args...)
+}
+
+// ReportWhyf records a finding at pos with an explanation chain (see
+// Finding.Why). An empty why degrades to Reportf.
+func (p *Pass) ReportWhyf(analyzer string, pos token.Pos, why string, format string, args ...any) {
 	p.report = append(p.report, Finding{
 		Pos:      p.Pkg.Fset.Position(pos),
 		Analyzer: analyzer,
 		Message:  fmt.Sprintf(format, args...),
+		Why:      why,
 	})
 }
 

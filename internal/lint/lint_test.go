@@ -75,6 +75,11 @@ func fixtureConfig() *Config {
 			"convmeter/internal/lint/testdata/unitcheck.Count",
 			"convmeter/internal/lint/testdata/unitcheck.Bytes",
 		},
+		Hotpath: []string{
+			"convmeter/internal/lint/testdata/hotpath.Root",
+			"convmeter/internal/lint/testdata/hotpath.ring.step",
+			"convmeter/internal/lint/testdata/hotdefer.Root",
+		},
 	}
 }
 
@@ -85,7 +90,7 @@ func fixtureConfig() *Config {
 func TestAnalyzerFixtures(t *testing.T) {
 	root := repoRoot(t)
 	loader := NewLoader(root)
-	for _, name := range []string{"boundary", "floatcmp", "droppederr", "synccopy", "goleak", "determinism", "unitcheck", "lockcheck"} {
+	for _, name := range []string{"boundary", "floatcmp", "droppederr", "synccopy", "goleak", "determinism", "unitcheck", "lockcheck", "hotpath", "hotdefer"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join(root, "internal", "lint", "testdata", name)
 			pkg, err := loader.LoadDir(dir, "convmeter/internal/lint/testdata/"+name)
@@ -111,6 +116,59 @@ func TestAnalyzerFixtures(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestHotpathUnknownRoot pins the config-hygiene rule: a hotpath root
+// naming no function in its package is itself a finding — a typo'd
+// root would otherwise silently guard nothing.
+func TestHotpathUnknownRoot(t *testing.T) {
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "hotpath")
+	pkg, err := NewLoader(root).LoadDir(dir, "convmeter/internal/lint/testdata/hotpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &Config{Hotpath: []string{"convmeter/internal/lint/testdata/hotpath.NoSuchFunc"}}
+	var hot []Finding
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{NewHotPath(cfg), NewHotDefer(cfg)}) {
+		if f.Analyzer == "hotpath" {
+			hot = append(hot, f)
+		}
+	}
+	if len(hot) != 1 {
+		t.Fatalf("got %d hotpath findings, want exactly the unknown-root report: %v", len(hot), hot)
+	}
+	if !strings.Contains(hot[0].Message, "NoSuchFunc") {
+		t.Errorf("finding does not name the missing root: %s", hot[0])
+	}
+}
+
+// TestHotpathWhyChain checks that hotpath findings carry the
+// root→…→function reachability chain convlint -why prints.
+func TestHotpathWhyChain(t *testing.T) {
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "hotpath")
+	pkg, err := NewLoader(root).LoadDir(dir, "convmeter/internal/lint/testdata/hotpath")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{NewHotPath(fixtureConfig())}) {
+		if f.Analyzer != "hotpath" {
+			continue
+		}
+		if strings.Contains(f.Why, "ring.step") {
+			found = true
+			if want := "declared root ring.step → ring.note"; !strings.Contains(f.Why, want) {
+				t.Errorf("finding why = %q, want it to contain %q", f.Why, want)
+			}
+		} else if f.Why == "" {
+			t.Errorf("hotpath finding without a why chain: %s", f)
+		}
+	}
+	if !found {
+		t.Error("no finding for the method-root chain (ring.note)")
 	}
 }
 

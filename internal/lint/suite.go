@@ -1,14 +1,16 @@
 package lint
 
 // Suite returns the full convlint analyzer set in reporting order.
-// The boundary, determinism, unitcheck and lockcheck analyzers read
-// their scope from the repo's lint.config.
+// The boundary, determinism, unitcheck, lockcheck, hotpath and
+// hotdefer analyzers read their scope from the repo's lint.config.
 func Suite(cfg *Config) []*Analyzer {
 	return []*Analyzer{
 		NewBoundary(cfg),
 		NewDeterminism(cfg),
 		NewUnitCheck(cfg),
 		NewLockCheck(cfg),
+		NewHotPath(cfg),
+		NewHotDefer(cfg),
 		FloatCmp,
 		DroppedErr,
 		SyncCopy,

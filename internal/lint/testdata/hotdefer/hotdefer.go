@@ -1,0 +1,41 @@
+// Package hotdeferfix seeds defer/closure-discipline violations for
+// the hotdefer analyzer test. fixtureConfig declares Root as a
+// hot-path root: defers inside loops and per-iteration capturing
+// closures on paths reachable from it must be reported, while defers
+// outside loops and named calls in loops stay silent.
+package hotdeferfix
+
+import "sync"
+
+var mu sync.Mutex
+
+// Root is the declared hot-path root.
+func Root(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		defer mu.Unlock() // want hotdefer
+		mu.Lock()
+		total += v
+		mu.Unlock()
+	}
+	for i := range vals {
+		f := func() float64 { return vals[i] * total } // want hotdefer
+		total += f()
+	}
+	for _, v := range vals {
+		total += scale(v) // named call in a loop: fine
+	}
+	for _, v := range vals {
+		//lint:ignore hotdefer cleanup must run at function exit even on panic
+		defer release(v)
+	}
+	defer mu.Unlock() // defer outside a loop: open-coded, not flagged
+	mu.Lock()
+	return total
+}
+
+// scale is hot by reachability and allocation-free.
+func scale(v float64) float64 { return v * 2 }
+
+// release is reached through the deferred call.
+func release(float64) {}

@@ -1,0 +1,133 @@
+// Package hotpathfix seeds allocation-discipline violations for the
+// hotpath analyzer test. fixtureConfig declares Root and ring.step as
+// hot-path roots, so allocations reachable from them must be reported,
+// constructors and cold exit paths must stay silent, and code not
+// reachable from a root must be ignored entirely.
+package hotpathfix
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+var (
+	errSink error
+	boxSink any
+	scratch []float64
+)
+
+type state struct{ n int }
+
+// Root is the declared allocation-discipline root.
+func Root(dst, src []float64, ch chan float64) (float64, error) {
+	if len(src) == 0 {
+		return 0, errors.New("hotpathfix: empty input") // cold exit path: not flagged
+	}
+	buf := make([]float64, len(src)) // want hotpath
+	copy(buf, src)
+	tmp := grow(len(src))  // want hotpath
+	w := []float64{1, 0.5} // want hotpath
+	var acc []float64
+	for i := range src {
+		acc = append(acc, src[i]*w[i%2]) // want hotpath
+	}
+	dst = append(dst, 1) // parameter target: preallocation unknown, not flagged
+	total := sum(buf) + sum(tmp) + sum(acc) + sum(dst)
+	total += pointerSum(src) + float64(stamp(len(src))) + float64(tag(nil))
+	if err := checked(len(src)); err != nil { // cold-exit allocator: not a constructor, call not charged
+		return 0, err
+	}
+	sink(total)    // want hotpath
+	sink(&errSink) // pointer-shaped: stored inline, not flagged
+	f := func() float64 { return total } // want hotpath
+	total += f()
+	errSink = errors.New("hotpathfix: observed") // want hotpath
+	name := fmt.Sprintf("total=%g", total)       // want hotpath
+	total += float64(len(name))
+	//lint:ignore hotpath deliberate amortised growth; steady state reuses scratch
+	scratch = make([]float64, len(src))
+	copy(scratch, src)
+	select {
+	case v := <-ch:
+		total += v
+	case <-time.After(time.Millisecond): // want hotpath
+	}
+	return total, nil
+}
+
+// sum is hot by reachability from Root and allocation-free.
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// grow is an allocating constructor: the make flowing to its return is
+// exempt at the definition, but hot calls to grow are charged.
+func grow(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// checked allocates only on its cold error branch, so it is not an
+// allocating constructor: hot calls to it stay clean, and the error
+// construction itself is cold-exempt.
+func checked(n int) error {
+	if n > 1<<20 {
+		return fmt.Errorf("hotpathfix: %d elements exceed budget", n)
+	}
+	return nil
+}
+
+// pointerSum is hot; its new does not flow to the return value.
+func pointerSum(v []float64) float64 {
+	p := new(float64) // want hotpath
+	for _, x := range v {
+		*p += x
+	}
+	return *p
+}
+
+// stamp is hot; the composite literal escapes but is not returned.
+func stamp(n int) int {
+	st := &state{n: n} // want hotpath
+	return st.n
+}
+
+// tag is hot; the conversion copies the byte slice.
+func tag(b []byte) int {
+	s := string(b) // want hotpath
+	return len(s)
+}
+
+// sink is hot; boxing happens at its call sites, not here.
+func sink(v any) { boxSink = v }
+
+type ring struct{ buf []float64 }
+
+// step is the declared method root.
+func (r *ring) step(i int) {
+	r.buf[i%len(r.buf)] += float64(i)
+	r.note(i)
+}
+
+// note is hot by reachability from the method root.
+func (r *ring) note(i int) {
+	errSink = fmt.Errorf("ring step %d", i) // want hotpath
+}
+
+// coldPath is not reachable from any declared root: its allocations
+// are outside the analyzer's scope.
+func coldPath(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, float64(i))
+	}
+	return out
+}

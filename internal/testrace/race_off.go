@@ -1,0 +1,6 @@
+//go:build !race
+
+package testrace
+
+// Enabled reports that this binary was built without -race.
+const Enabled = false

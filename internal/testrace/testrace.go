@@ -1,0 +1,18 @@
+// Package testrace reports whether the binary was built with the race
+// detector, so allocation-count assertions can skip themselves: the
+// race runtime instruments memory operations and inflates
+// testing.AllocsPerRun counts, making 0-allocs/op contracts
+// unverifiable under -race. The race and non-race builds each compile
+// exactly one of the two tagged files defining Enabled.
+package testrace
+
+import "testing"
+
+// SkipIfRace skips t when the race detector is active. Call it at the
+// top of every test that asserts exact allocation counts.
+func SkipIfRace(t *testing.T) {
+	if Enabled {
+		t.Helper()
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+}
