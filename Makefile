@@ -4,7 +4,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build vet lint test race fuzz obs-smoke obs-bench bench-snapshot bench-check chaos ci
+.PHONY: build vet lint test race fuzz obs-smoke obs-bench bench-snapshot bench-check chaos critpath-smoke ci
 
 build:
 	$(GO) build ./...
@@ -71,6 +71,27 @@ bench-snapshot:
 bench-check:
 	$(GO) run ./cmd/benchsnap -check BENCH_1.json
 
+# critpath-smoke: the distributed-tracing acceptance path. First the
+# blame chaos suite under the race detector (seeded straggler must be
+# deterministically blamed on both transports, clean seed must blame no
+# one), then end-to-end: a slowdown chaos run (persistent straggler on
+# worker 0) must export a critical-path report blaming worker 0 and a
+# well-formed multi-worker trace (resolvable span parents, no negative
+# durations, no cross-worker time-travel), and the clean run's report
+# must blame nobody.
+critpath-smoke:
+	$(GO) test -race -count=1 -run 'TestCritpath' ./internal/train
+	rm -rf .critpath-smoke && mkdir -p .critpath-smoke
+	$(GO) run ./cmd/experiments -run exttrainfaults -quick -faults-seed 7 -faults-profile slowdown \
+		-critpath-out .critpath-smoke/critpath-slow.json -trace-out .critpath-smoke/trace-slow.json \
+		> .critpath-smoke/report-slow.txt
+	$(GO) run ./cmd/obscheck -critpath .critpath-smoke/critpath-slow.json -require-blame 0
+	$(GO) run ./cmd/obscheck -trace .critpath-smoke/trace-slow.json
+	$(GO) run ./cmd/experiments -run exttrainfaults -quick -faults-seed 7 -faults-profile none \
+		-critpath-out .critpath-smoke/critpath-clean.json > .critpath-smoke/report-clean.txt
+	$(GO) run ./cmd/obscheck -critpath .critpath-smoke/critpath-clean.json -forbid-blame
+	rm -rf .critpath-smoke
+
 # Short fuzz smoke of every fuzz target; seed corpora live under the
 # packages' testdata/fuzz/ directories and always run as part of `test`.
 fuzz:
@@ -93,4 +114,4 @@ chaos:
 	done
 	rm -rf .chaos-smoke
 
-ci: build vet lint test race obs-smoke chaos bench-check
+ci: build vet lint test race obs-smoke chaos critpath-smoke bench-check

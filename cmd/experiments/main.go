@@ -22,6 +22,7 @@ import (
 	"convmeter/internal/checkpoint"
 	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
+	"convmeter/internal/obs/critpath"
 	"convmeter/internal/obs/ops"
 )
 
@@ -37,10 +38,11 @@ func main() {
 	flag.StringVar(&opts.csvDir, "csvdir", "", "write figure data series as CSV files into this directory")
 	flag.StringVar(&opts.metricsOut, "metrics-out", "", "write collected runtime metrics to this file (Prometheus text; JSONL when the path ends in .jsonl)")
 	flag.StringVar(&opts.traceOut, "trace-out", "", "write recorded spans as Chrome trace-event JSON to this file (open in Perfetto)")
-	flag.StringVar(&opts.opsAddr, "ops-addr", "", "serve the live ops endpoints (/metrics, /healthz, /readyz, /trace, /drift, /debug/pprof) on this address (e.g. localhost:6060) while experiments run; off by default")
+	flag.StringVar(&opts.opsAddr, "ops-addr", "", "serve the live ops endpoints (/metrics, /healthz, /readyz, /trace, /drift, /critpath, /debug/pprof) on this address (e.g. localhost:6060) while experiments run; off by default")
 	flag.StringVar(&opts.opsAddrOut, "ops-addr-out", "", "write the ops server's actual bound address to this file (useful with -ops-addr :0)")
 	flag.StringVar(&opts.driftOut, "drift-out", "", "write the final drift-monitor state as JSON to this file")
 	flag.BoolVar(&opts.driftRefit, "drift-refit", false, "on a drift event, recalibrate the affected stream onto the new regime instead of staying latched")
+	flag.StringVar(&opts.critpathOut, "critpath-out", "", "write the chaos trainer's per-step critical-path attribution report as JSON to this file (also enables clock alignment and /critpath)")
 	flag.Parse()
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -61,6 +63,7 @@ type options struct {
 	opsAddr, opsAddrOut  string
 	driftOut             string
 	driftRefit           bool
+	critpathOut          string
 }
 
 func run(opts options) (err error) {
@@ -84,7 +87,8 @@ func run(opts options) (err error) {
 	}
 	var bundle *obs.Obs
 	var mon *driftwatch.Monitor
-	if opts.metricsOut != "" || opts.traceOut != "" || opts.opsAddr != "" || opts.driftOut != "" {
+	var crit *critpath.Tracker
+	if opts.metricsOut != "" || opts.traceOut != "" || opts.opsAddr != "" || opts.driftOut != "" || opts.critpathOut != "" {
 		bundle = obs.New()
 		cfg.Obs = bundle
 		dcfg := driftwatch.Config{Obs: bundle}
@@ -98,8 +102,12 @@ func run(opts options) (err error) {
 		mon = driftwatch.New(dcfg)
 		cfg.Drift = mon
 	}
+	if opts.critpathOut != "" || opts.opsAddr != "" {
+		crit = critpath.NewTracker(bundle)
+		cfg.Crit = crit
+	}
 	if opts.opsAddr != "" {
-		srv, err := ops.Start(ops.Config{Addr: opts.opsAddr, Obs: bundle, Drift: mon})
+		srv, err := ops.Start(ops.Config{Addr: opts.opsAddr, Obs: bundle, Drift: mon, Crit: crit})
 		if err != nil {
 			return err
 		}
@@ -138,6 +146,19 @@ func run(opts options) (err error) {
 		}
 		if err := mon.WriteJSON(f); err != nil {
 			// The write failure is the error worth reporting.
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if opts.critpathOut != "" {
+		f, err := os.Create(opts.critpathOut)
+		if err != nil {
+			return err
+		}
+		if err := crit.WriteJSON(f); err != nil {
 			_ = f.Close()
 			return err
 		}

@@ -6,10 +6,17 @@
 // well-formed drift-monitor snapshot (optionally asserting that drift
 // was, or was not, detected). It also validates benchmark baseline
 // snapshots written by cmd/benchsnap (-bench BENCH_<n>.json: schema,
-// sorted unique names, >= 1 iteration, finite values). CI's obs-smoke
-// and bench-snapshot targets run it against real artefacts so a
-// formatting regression fails the build rather than silently producing
-// files Grafana, Perfetto or benchsnap -check reject.
+// sorted unique names, >= 1 iteration, finite values) and critical-path
+// attribution reports (-critpath: schema, finite non-negative
+// durations, legal dominant phases, blame consistency — optionally
+// asserting that a specific worker was, or no worker was, blamed).
+// Trace validation additionally checks span-graph well-formedness when
+// events carry span args: unique ids, resolvable parents, non-negative
+// durations, and no cross-worker time-travel through causal links
+// beyond the clock-alignment tolerance. CI's obs-smoke, chaos and
+// critpath-smoke targets run it against real artefacts so a formatting
+// regression fails the build rather than silently producing files
+// Grafana, Perfetto or benchsnap -check reject.
 package main
 
 import (
@@ -28,12 +35,15 @@ func main() {
 	trace := flag.String("trace", "", "Chrome trace-event JSON file to validate")
 	drift := flag.String("drift", "", "drift-monitor JSON snapshot to validate (from -drift-out or GET /drift)")
 	bench := flag.String("bench", "", "benchmark snapshot JSON to validate (from benchsnap -out, e.g. BENCH_1.json)")
+	critpath := flag.String("critpath", "", "critical-path attribution report JSON to validate (from -critpath-out or GET /critpath)")
 	requireFaults := flag.Bool("require-faults", false, "additionally require a convmeter_faults_injected_total sample with value > 0 (chaos-run validation)")
 	requireDrift := flag.Bool("require-drift", false, "additionally require at least one drift event and a drifting stream in the -drift snapshot (slowdown-run validation)")
 	forbidDrift := flag.Bool("forbid-drift", false, "additionally require zero drift events in the -drift snapshot (clean-run validation)")
+	requireBlame := flag.Int("require-blame", -1, "additionally require at least one -critpath step blaming this worker (straggler-run validation); -1 disables")
+	forbidBlame := flag.Bool("forbid-blame", false, "additionally require zero blamed steps in the -critpath report (clean-run validation)")
 	flag.Parse()
-	if *metrics == "" && *trace == "" && *drift == "" && *bench == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics, -trace, -drift and/or -bench)")
+	if *metrics == "" && *trace == "" && *drift == "" && *bench == "" && *critpath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics, -trace, -drift, -bench and/or -critpath)")
 		os.Exit(2)
 	}
 	if *requireFaults && *metrics == "" {
@@ -46,6 +56,14 @@ func main() {
 	}
 	if *requireDrift && *forbidDrift {
 		fmt.Fprintln(os.Stderr, "obscheck: -require-drift and -forbid-drift are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*requireBlame >= 0 || *forbidBlame) && *critpath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: -require-blame/-forbid-blame need -critpath")
+		os.Exit(2)
+	}
+	if *requireBlame >= 0 && *forbidBlame {
+		fmt.Fprintln(os.Stderr, "obscheck: -require-blame and -forbid-blame are mutually exclusive")
 		os.Exit(2)
 	}
 	if *metrics != "" {
@@ -76,6 +94,136 @@ func main() {
 		}
 		fmt.Printf("obscheck: %s ok\n", *bench)
 	}
+	if *critpath != "" {
+		if err := checkCritpath(*critpath, *requireBlame, *forbidBlame); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obscheck: %s ok\n", *critpath)
+	}
+}
+
+// critpathSchema is the report format internal/obs/critpath writes;
+// keep in sync with critpath.SchemaV1.
+const critpathSchema = "convmeter/critpath/v1"
+
+// critpathClasses are the phases a step may legally report as dominant.
+var critpathClasses = map[string]bool{
+	"compute": true, "comm": true, "wait": true, "none": true,
+}
+
+// checkCritpath validates a critical-path attribution report: the
+// schema tag, finite non-negative durations, legal dominant phases, and
+// blame consistency (a blamed worker exists in the step's worker list
+// and the step is wait-dominated). With requireBlame >= 0 it demands at
+// least one step blaming that worker (a straggler run must have been
+// attributed); with forbidBlame it demands no blamed steps at all.
+func checkCritpath(path string, requireBlame int, forbidBlame bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Steps  []struct {
+			Step      int     `json:"step"`
+			Total     float64 `json:"total_seconds"`
+			Compute   float64 `json:"compute_seconds"`
+			Comm      float64 `json:"comm_seconds"`
+			Wait      float64 `json:"wait_seconds"`
+			Dominant  string  `json:"dominant"`
+			Blame     *int    `json:"blame"`
+			BlameWait float64 `json:"blame_wait_seconds"`
+			Workers   []struct {
+				Worker     int     `json:"worker"`
+				Compute    float64 `json:"compute_seconds"`
+				Comm       float64 `json:"comm_seconds"`
+				Wait       float64 `json:"wait_seconds"`
+				CausedWait float64 `json:"caused_wait_seconds"`
+			} `json:"workers"`
+			Path []struct {
+				Span         int64   `json:"span"`
+				Class        string  `json:"class"`
+				Contribution float64 `json:"contribution_seconds"`
+			} `json:"path"`
+		} `json:"steps"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: invalid critpath JSON: %v", path, err)
+	}
+	if doc.Schema != critpathSchema {
+		return fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, critpathSchema)
+	}
+	if doc.Steps == nil {
+		return fmt.Errorf("%s: steps missing or null", path)
+	}
+	blamed := map[int]int{} // worker -> blamed-step count
+	for i, st := range doc.Steps {
+		for what, v := range map[string]float64{
+			"total_seconds": st.Total, "compute_seconds": st.Compute,
+			"comm_seconds": st.Comm, "wait_seconds": st.Wait,
+			"blame_wait_seconds": st.BlameWait,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return fmt.Errorf("%s: step %d (index %d): %s = %v, want finite and non-negative", path, st.Step, i, what, v)
+			}
+		}
+		if !critpathClasses[st.Dominant] {
+			return fmt.Errorf("%s: step %d: unknown dominant phase %q", path, st.Step, st.Dominant)
+		}
+		if st.Blame == nil {
+			return fmt.Errorf("%s: step %d: blame missing", path, st.Step)
+		}
+		if b := *st.Blame; b >= 0 {
+			if st.Dominant != "wait" {
+				return fmt.Errorf("%s: step %d: blames worker %d but dominant is %q", path, st.Step, b, st.Dominant)
+			}
+			found := false
+			for _, w := range st.Workers {
+				if w.Worker == b {
+					found = true
+				}
+			}
+			if !found {
+				return fmt.Errorf("%s: step %d: blamed worker %d not in worker attribution", path, st.Step, b)
+			}
+			blamed[b]++
+		}
+		prev := -1 << 62
+		for _, w := range st.Workers {
+			if w.Worker <= prev {
+				return fmt.Errorf("%s: step %d: workers not sorted by id", path, st.Step)
+			}
+			prev = w.Worker
+			for what, v := range map[string]float64{
+				"compute_seconds": w.Compute, "comm_seconds": w.Comm,
+				"wait_seconds": w.Wait, "caused_wait_seconds": w.CausedWait,
+			} {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					return fmt.Errorf("%s: step %d: worker %d: %s = %v", path, st.Step, w.Worker, what, v)
+				}
+			}
+		}
+		for _, p := range st.Path {
+			if math.IsNaN(p.Contribution) || math.IsInf(p.Contribution, 0) || p.Contribution < 0 {
+				return fmt.Errorf("%s: step %d: path span %d contribution %v", path, st.Step, p.Span, p.Contribution)
+			}
+		}
+	}
+	if forbidBlame && len(blamed) > 0 {
+		return fmt.Errorf("%s: %d blamed step(s) on a clean run (false positive)", path, len(blamed))
+	}
+	if requireBlame >= 0 {
+		if blamed[requireBlame] == 0 {
+			return fmt.Errorf("%s: no step blames worker %d (blamed: %v) — the straggler was missed", path, requireBlame, blamed)
+		}
+		for w := range blamed {
+			if w != requireBlame {
+				return fmt.Errorf("%s: worker %d blamed alongside expected straggler %d", path, w, requireBlame)
+			}
+		}
+	}
+	return nil
 }
 
 // benchSchema is the snapshot format benchsnap writes; keep in sync
@@ -297,15 +445,35 @@ func checkDrift(path string, requireDrift, forbidDrift bool) error {
 	return nil
 }
 
+// linkTolerance is the cross-worker ordering slack checkTrace allows on
+// causal links, in trace microseconds: after clock alignment a wait may
+// still appear to end slightly before its cross-worker sender started
+// (the handshake is accurate to a fraction of one link round-trip), but
+// a gross violation means the alignment, or the trace, is broken.
+const linkTolerance = 10_000 // 10ms
+
 // checkTrace requires a well-formed Chrome trace-event document with a
-// non-null traceEvents array.
+// non-null traceEvents array. Events that carry span args (the tracer's
+// exporter attaches {id, parent, link}) are additionally graph-checked:
+// span ids must be unique, non-zero parents must resolve to another
+// span in the document, durations must be non-negative, and a causal
+// link must not travel backwards in time beyond linkTolerance — the
+// linked sender must not *end* after the waiting span does by more than
+// the alignment slack. Dangling links (the sender faulted and never
+// recorded) are tolerated.
 func checkTrace(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	var doc struct {
-		TraceEvents []map[string]any `json:"traceEvents"`
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    *float64       `json:"ts"`
+			Dur   float64        `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("%s: invalid trace JSON: %v", path, err)
@@ -313,9 +481,62 @@ func checkTrace(path string) error {
 	if doc.TraceEvents == nil {
 		return fmt.Errorf("%s: traceEvents missing or null", path)
 	}
+	type spanEv struct {
+		start, end float64
+	}
+	spans := map[int64]spanEv{}
+	type pending struct {
+		name   string
+		parent int64
+		link   int64
+		end    float64
+	}
+	var checks []pending
+	argID := func(args map[string]any, key string) (int64, bool) {
+		v, ok := args[key].(float64)
+		return int64(v), ok
+	}
 	for i, e := range doc.TraceEvents {
-		if _, ok := e["name"].(string); !ok {
+		if e.Name == "" {
 			return fmt.Errorf("%s: event %d has no name", path, i)
+		}
+		if e.Phase != "X" {
+			continue
+		}
+		if e.TS == nil {
+			return fmt.Errorf("%s: event %d (%s): duration event without ts", path, i, e.Name)
+		}
+		if *e.TS < 0 || e.Dur < 0 {
+			return fmt.Errorf("%s: event %d (%s): negative ts/dur (%g/%g)", path, i, e.Name, *e.TS, e.Dur)
+		}
+		id, ok := argID(e.Args, "id")
+		if !ok {
+			continue // not a span-exported event; format-only checks apply
+		}
+		if _, dup := spans[id]; dup {
+			return fmt.Errorf("%s: event %d (%s): duplicate span id %d", path, i, e.Name, id)
+		}
+		spans[id] = spanEv{start: *e.TS, end: *e.TS + e.Dur}
+		p := pending{name: e.Name, end: *e.TS + e.Dur}
+		p.parent, _ = argID(e.Args, "parent")
+		p.link, _ = argID(e.Args, "link")
+		checks = append(checks, p)
+	}
+	for _, c := range checks {
+		if c.parent != 0 {
+			if _, ok := spans[c.parent]; !ok {
+				return fmt.Errorf("%s: span %q: unresolvable parent %d", path, c.name, c.parent)
+			}
+		}
+		if c.link != 0 {
+			sender, ok := spans[c.link]
+			if !ok {
+				continue // dangling link: the sender faulted mid-op
+			}
+			if sender.end > c.end+linkTolerance {
+				return fmt.Errorf("%s: span %q ends %.0fµs before its linked sender %d — cross-worker time-travel beyond the %dµs alignment tolerance",
+					path, c.name, sender.end-c.end, c.link, linkTolerance)
+			}
 		}
 	}
 	return nil

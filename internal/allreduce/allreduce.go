@@ -130,12 +130,17 @@ func validate(vectors [][]float32) (int, int, error) {
 
 // chanMsg is one framed message on a ring channel: the chunk data plus
 // the logical step index it belongs to, and a CRC when fault injection
-// is active (an in-memory channel cannot corrupt data by itself).
+// is active (an in-memory channel cannot corrupt data by itself). ctx
+// carries the sender's span context so the receiver's wait span can
+// link across workers; clock carries a clock sample during the
+// alignment handshake that precedes the ring steps.
 type chanMsg struct {
 	seq    uint64
 	data   []float32
 	crc    uint32
 	hasCRC bool
+	ctx    obs.SpanContext
+	clock  time.Duration
 }
 
 // crcFloats checksums the bit pattern of a float32 slice (IEEE CRC-32).
@@ -183,6 +188,9 @@ func RingOpts(vectors [][]float32, opts Options) error {
 	for i := range links {
 		links[i] = make(chan chanMsg, 1)
 	}
+	if opts.alignClocks() {
+		chanClockSync(links, opts)
+	}
 	errs := make([]*WorkerError, n)
 	var wg sync.WaitGroup
 	for w := 0; w < n; w++ {
@@ -209,6 +217,7 @@ type chanRing struct {
 	send, recv chan chanMsg
 	opts       Options
 	rt         *ringTelemetry
+	obs        *obs.Obs // worker-attributed handle, nil when telemetry is off
 	resilient  bool
 	timer      *time.Timer // armed per resilient op, nil on the fast path
 	bufs       [3][]float32
@@ -222,6 +231,9 @@ func chanWorker(vectors [][]float32, me, length int, links []chan chanMsg, opts 
 		v: vectors[me], me: me, n: n, length: length,
 		send: links[(me+1)%n], recv: links[me],
 		opts: opts, rt: rt, resilient: opts.resilient(),
+		// The worker-attributed handle is built once per run, outside the
+		// hot step loop; a nil Obs flows through as nil.
+		obs: opts.Obs.WithWorker(opts.workerID(me)).WithClockSkew(opts.skew(me)),
 	}
 	if r.resilient {
 		// The reusable timer is born stopped and drained; each op arms
@@ -286,7 +298,8 @@ func (r *chanRing) step(opIdx uint64, sendChunk, recvChunk int, reduce bool) *Wo
 	a, b := chunkBounds(r.length, r.n, sendChunk)
 	out := r.sendBuf(b - a)
 	copy(out, r.v[a:b])
-	msg := chanMsg{seq: opIdx, data: out}
+	ssp := r.obs.Start("ar.send")
+	msg := chanMsg{seq: opIdx, data: out, ctx: ssp.Context()}
 	skip := false
 	if r.opts.Faults != nil {
 		msg.crc, msg.hasCRC = crcFloats(out), true
@@ -314,28 +327,37 @@ func (r *chanRing) step(opIdx uint64, sendChunk, recvChunk int, reduce bool) *Wo
 		if !r.resilient {
 			r.send <- msg
 		} else if we := r.sendResilient(msg, self, succ); we != nil {
+			ssp.End()
 			return we
 		}
 	}
+	ssp.End()
+	wsp := r.obs.Start("ar.wait")
 	var in chanMsg
 	if !r.resilient {
 		in = <-r.recv
 	} else {
 		var we *WorkerError
 		if in, we = r.recvResilient(self, pred); we != nil {
+			wsp.End()
 			return we
 		}
 	}
+	wsp.LinkTo(in.ctx)
+	wsp.End()
 	if in.seq != opIdx {
 		return &WorkerError{Worker: pred, Primary: true,
 			Err: fmt.Errorf("lost ring message: got step %d, want %d", in.seq, opIdx)}
 	}
+	rsp := r.obs.Start("ar.recv")
 	if in.hasCRC && crcFloats(in.data) != in.crc {
 		r.rt.crcFailure()
+		rsp.End()
 		return &WorkerError{Worker: pred, Primary: true, Err: fmt.Errorf("chunk CRC mismatch at step %d", opIdx)}
 	}
 	a, b = chunkBounds(r.length, r.n, recvChunk)
 	if len(in.data) != b-a {
+		rsp.End()
 		return &WorkerError{Worker: pred, Primary: true,
 			Err: fmt.Errorf("chunk size %d, want %d at step %d", len(in.data), b-a, opIdx)}
 	}
@@ -346,6 +368,7 @@ func (r *chanRing) step(opIdx uint64, sendChunk, recvChunk int, reduce bool) *Wo
 	} else {
 		copy(r.v[a:b], in.data)
 	}
+	rsp.End()
 	if r.rt != nil {
 		r.rt.step(time.Since(t0))
 	}
@@ -413,6 +436,32 @@ func (r *chanRing) recvResilient(self, pred int) (chanMsg, *WorkerError) {
 			}
 			r.rt.retry()
 		}
+	}
+}
+
+// chanClockSync measures each worker's clock offset relative to ring
+// position 0 and records it in the tracer's offset table. It runs
+// sequentially before the worker goroutines launch (no leak surface):
+// for each link a symmetric NTP-style exchange samples the predecessor's
+// clock between two local samples, so the link transfer delay cancels to
+// first order. Offsets chain around the ring: position j's offset is
+// position j-1's minus the measured pairwise delta.
+func chanClockSync(links []chan chanMsg, opts Options) {
+	trc := opts.Obs.Trc
+	offsets := trc.Offsets()
+	n := len(links)
+	offsets.Set(opts.workerID(0), 0)
+	var off time.Duration
+	for j := 1; j < n; j++ {
+		pred := j - 1
+		t0 := trc.Now() + opts.skew(j)
+		links[j] <- chanMsg{clock: trc.Now() + opts.skew(pred)}
+		in := <-links[j]
+		t1 := trc.Now() + opts.skew(j)
+		// d = pred's clock minus position j's clock.
+		d := in.clock - (t0+t1)/2
+		off -= d
+		offsets.Set(opts.workerID(j), off)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"convmeter/internal/faults"
+	"convmeter/internal/obs"
 )
 
 // chaosOptions are tight bounds so every failing case errors out well
@@ -199,7 +200,7 @@ func TestReadChunkRetryResumesPartialFrame(t *testing.T) {
 		OpTimeout: 50 * time.Millisecond,
 		Retry:     RetryPolicy{Attempts: 3, Backoff: time.Millisecond, Max: time.Millisecond},
 	}
-	got, err := readChunkRetry(server, len(frame), opts, nil, nil, true)
+	got, _, err := readChunkRetry(server, len(frame), opts, nil, nil, true)
 	if err != nil {
 		t.Fatalf("resumed read failed: %v", err)
 	}
@@ -229,7 +230,7 @@ func TestReadChunkRetryBudgetExhausted(t *testing.T) {
 		Retry:     RetryPolicy{Attempts: 2, Backoff: time.Millisecond, Max: time.Millisecond},
 	}
 	start := time.Now()
-	_, err := readChunkRetry(server, 3, opts, nil, nil, true)
+	_, _, err := readChunkRetry(server, 3, opts, nil, nil, true)
 	if err == nil {
 		t.Fatal("read succeeded despite an exhausted retry budget")
 	}
@@ -270,7 +271,7 @@ func tcpPair(t *testing.T) (client, server net.Conn) {
 // frameBytes renders one wire frame the way writeChunk does.
 func frameBytes(data []float32) []byte {
 	var sink frameSink
-	if err := writeChunk(&sink, data, nil); err != nil {
+	if err := writeChunk(&sink, data, obs.SpanContext{}, nil); err != nil {
 		panic(err)
 	}
 	return sink.buf

@@ -115,6 +115,11 @@ func RingTCPOpts(vectors [][]float32, opts Options) error {
 		stop := context.AfterFunc(opts.Ctx, closeAll)
 		defer stop()
 	}
+	if opts.alignClocks() {
+		if err := tcpClockSync(inConns, outConns, opts); err != nil {
+			return err
+		}
+	}
 
 	workerErrs := make([]*WorkerError, n)
 	for w := 0; w < n; w++ {
@@ -137,6 +142,7 @@ func tcpWorker(me int, v []float32, n, length int, send, recv net.Conn, opts Opt
 	maxChunk := length/n + 1
 	fcOut, _ := send.(*faults.Conn)
 	fcIn, _ := recv.(*faults.Conn)
+	wObs := opts.Obs.WithWorker(self).WithClockSkew(opts.skew(me))
 	step := func(opIdx uint64, sendChunk, recvChunk int, reduce bool) *WorkerError {
 		var t0 time.Time
 		if rt != nil {
@@ -149,7 +155,10 @@ func tcpWorker(me int, v []float32, n, length int, send, recv net.Conn, opts Opt
 		if fcOut != nil {
 			fcOut.SetWriteSeq(opts.SeqBase + opIdx)
 		}
-		if err := writeChunk(send, v[a:b], sentBytes(rt)); err != nil {
+		ssp := wObs.Start("ar.send")
+		err := writeChunk(send, v[a:b], ssp.Context(), sentBytes(rt))
+		ssp.End()
+		if err != nil {
 			if isTimeout(err) {
 				// The successor stopped draining; it may only be stalled
 				// downstream of the real fault.
@@ -160,7 +169,10 @@ func tcpWorker(me int, v []float32, n, length int, send, recv net.Conn, opts Opt
 		if fcIn != nil {
 			fcIn.SetReadSeq(opts.SeqBase + opIdx)
 		}
-		in, err := readChunkRetry(recv, maxChunk, opts, rt, recvBytes(rt), resilient)
+		wsp := wObs.Start("ar.wait")
+		in, inCtx, err := readChunkRetry(recv, maxChunk, opts, rt, recvBytes(rt), resilient)
+		wsp.LinkTo(inCtx)
+		wsp.End()
 		if err != nil {
 			switch {
 			case errors.Is(err, errCRC):
@@ -177,6 +189,7 @@ func tcpWorker(me int, v []float32, n, length int, send, recv net.Conn, opts Opt
 			return &WorkerError{Worker: pred, Primary: true,
 				Err: fmt.Errorf("allreduce: chunk size %d, want %d", len(in), b-a)}
 		}
+		rsp := wObs.Start("ar.recv")
 		if reduce {
 			for k := range in {
 				v[a+k] += in[k]
@@ -184,6 +197,7 @@ func tcpWorker(me int, v []float32, n, length int, send, recv net.Conn, opts Opt
 		} else {
 			copy(v[a:b], in)
 		}
+		rsp.End()
 		if rt != nil {
 			rt.step(time.Since(t0))
 		}
@@ -198,6 +212,88 @@ func tcpWorker(me int, v []float32, n, length int, send, recv net.Conn, opts Opt
 		if we := step(uint64(n-1+s), ((me-s+1)%n+n)%n, ((me-s)%n+n)%n, false); we != nil {
 			return we
 		}
+	}
+	return nil
+}
+
+// clockSyncSeq is the reserved fault sequence number for handshake
+// traffic, far above any real step index so the handshake draws its own
+// fault decisions instead of consuming a ring step's.
+const clockSyncSeq = 0xFFF
+
+// clockSyncRounds is the number of NTP-style ping-pong exchanges per
+// ring link; the sample with the smallest round-trip wins, the standard
+// filter against scheduler noise.
+const clockSyncRounds = 3
+
+// tcpClockSync measures each worker's clock offset relative to ring
+// position 0 over the already-wired socket pairs and records it in the
+// tracer's offset table. It runs sequentially before the worker
+// goroutines launch (no leak surface, no new connections): for each ring
+// link, the dial side writes a clock sample, the accept side replies
+// with its own, and the classic NTP estimate offset = t_reply −
+// (t0+t1)/2 cancels the symmetric wire delay. Offsets chain around the
+// ring. Every exchange runs under a deadline; a failure comes back as a
+// blame-attributed *RingError just like a ring-step failure.
+func tcpClockSync(inConns, outConns []net.Conn, opts Options) error {
+	trc := opts.Obs.Trc
+	offsets := trc.Offsets()
+	n := len(inConns)
+	offsets.Set(opts.workerID(0), 0)
+	var off time.Duration
+	var buf [8]byte
+	blame := func(w int, err error) error {
+		return &RingError{Errs: []*WorkerError{{Worker: w, Err: fmt.Errorf("clock sync: %w", err)}}}
+	}
+	for i := 0; i < n-1; i++ {
+		succ := i + 1
+		// The socket pair for link i→succ is full-duplex: outConns[i] is
+		// the dial side, inConns[succ] the accept side of the same
+		// connection, so the reply flows back without extra wiring.
+		a, b := outConns[i], inConns[succ]
+		if fc, ok := a.(*faults.Conn); ok {
+			fc.SetWriteSeq(opts.SeqBase + clockSyncSeq)
+			fc.SetReadSeq(opts.SeqBase + clockSyncSeq)
+		}
+		if fc, ok := b.(*faults.Conn); ok {
+			fc.SetWriteSeq(opts.SeqBase + clockSyncSeq)
+			fc.SetReadSeq(opts.SeqBase + clockSyncSeq)
+		}
+		deadline := time.Now().Add(opts.opTimeout())
+		_ = a.SetDeadline(deadline)
+		_ = b.SetDeadline(deadline)
+		bestRTT := time.Duration(1<<63 - 1)
+		var d time.Duration // succ's clock minus worker i's clock
+		for k := 0; k < clockSyncRounds; k++ {
+			t0 := trc.Now() + opts.skew(i)
+			binary.LittleEndian.PutUint64(buf[:], uint64(t0))
+			if _, err := a.Write(buf[:]); err != nil {
+				return blame(opts.workerID(i), err)
+			}
+			if _, err := io.ReadFull(b, buf[:]); err != nil {
+				return blame(opts.workerID(i), err)
+			}
+			tr := trc.Now() + opts.skew(succ)
+			binary.LittleEndian.PutUint64(buf[:], uint64(tr))
+			if _, err := b.Write(buf[:]); err != nil {
+				return blame(opts.workerID(succ), err)
+			}
+			if _, err := io.ReadFull(a, buf[:]); err != nil {
+				return blame(opts.workerID(succ), err)
+			}
+			reply := time.Duration(binary.LittleEndian.Uint64(buf[:]))
+			t1 := trc.Now() + opts.skew(i)
+			if rtt := t1 - t0; rtt < bestRTT {
+				bestRTT = rtt
+				d = reply - (t0+t1)/2
+			}
+		}
+		off += d
+		offsets.Set(opts.workerID(succ), off)
+		// Clear the handshake deadlines: the plain fast path expects
+		// deadline-free sockets, and resilient workers arm their own.
+		_ = a.SetDeadline(time.Time{})
+		_ = b.SetDeadline(time.Time{})
 	}
 	return nil
 }
@@ -248,18 +344,27 @@ func recvBytes(rt *ringTelemetry) *obs.Counter {
 	return rt.recv
 }
 
-// writeChunk frames a float32 slice as one length-prefixed message with
-// a trailing CRC-32 of the payload, written in a single Write so fault
-// injection and deadlines see one wire operation per chunk. The whole
-// frame is credited to the byte counter.
-func writeChunk(w io.Writer, data []float32, sent *obs.Counter) error {
-	buf := make([]byte, 4+4*len(data)+4)
+// frameHeaderLen is the fixed frame prologue: a u32 element count
+// followed by the sender's span context (trace id, span id — two i64s).
+// A disabled tracer sends zeros; the header sits outside the payload
+// CRC, whose job is protecting the gradient bits.
+const frameHeaderLen = 4 + 8 + 8
+
+// writeChunk frames a float32 slice as one length-prefixed message —
+// element count, span context, payload, trailing CRC-32 of the payload —
+// written in a single Write so fault injection and deadlines see one
+// wire operation per chunk. The whole frame is credited to the byte
+// counter.
+func writeChunk(w io.Writer, data []float32, ctx obs.SpanContext, sent *obs.Counter) error {
+	buf := make([]byte, frameHeaderLen+4*len(data)+4)
 	binary.LittleEndian.PutUint32(buf, uint32(len(data)))
+	binary.LittleEndian.PutUint64(buf[4:], uint64(ctx.Trace))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(ctx.Span))
 	for i, v := range data {
-		binary.LittleEndian.PutUint32(buf[4+4*i:], math.Float32bits(v))
+		binary.LittleEndian.PutUint32(buf[frameHeaderLen+4*i:], math.Float32bits(v))
 	}
-	payload := buf[4 : 4+4*len(data)]
-	binary.LittleEndian.PutUint32(buf[4+4*len(data):], crc32.ChecksumIEEE(payload))
+	payload := buf[frameHeaderLen : frameHeaderLen+4*len(data)]
+	binary.LittleEndian.PutUint32(buf[frameHeaderLen+4*len(data):], crc32.ChecksumIEEE(payload))
 	_, err := w.Write(buf)
 	if err == nil {
 		sent.Add(float64(len(buf)))
@@ -271,14 +376,15 @@ func writeChunk(w io.Writer, data []float32, sent *obs.Counter) error {
 // against maxElems before allocating (a corrupted or malicious peer must
 // not be able to OOM the process) and the payload against its CRC.
 func readChunk(r io.Reader, maxElems int, recv *obs.Counter) ([]float32, error) {
-	return readChunkRetry(r, maxElems, Options{}, nil, recv, false)
+	data, _, err := readChunkRetry(r, maxElems, Options{}, nil, recv, false)
+	return data, err
 }
 
 // readChunkRetry is readChunk with per-op deadlines and bounded retries:
 // each wait for bytes runs under opts.OpTimeout, and a timed-out read
 // resumes where it left off (partial frames are completed, not
 // restarted) up to the retry budget.
-func readChunkRetry(r io.Reader, maxElems int, opts Options, rt *ringTelemetry, recv *obs.Counter, resilient bool) ([]float32, error) {
+func readChunkRetry(r io.Reader, maxElems int, opts Options, rt *ringTelemetry, recv *obs.Counter, resilient bool) ([]float32, obs.SpanContext, error) {
 	attempts := 1
 	if resilient {
 		attempts = opts.Retry.attempts()
@@ -309,26 +415,30 @@ func readChunkRetry(r io.Reader, maxElems int, opts Options, rt *ringTelemetry, 
 		}
 		return nil
 	}
-	var header [4]byte
+	var header [frameHeaderLen]byte
 	if err := readFull(header[:]); err != nil {
-		return nil, err
+		return nil, obs.SpanContext{}, err
 	}
 	n := binary.LittleEndian.Uint32(header[:])
+	ctx := obs.SpanContext{
+		Trace: int64(binary.LittleEndian.Uint64(header[4:])),
+		Span:  int64(binary.LittleEndian.Uint64(header[12:])),
+	}
 	if maxElems < 0 || n > uint32(maxElems) {
-		return nil, fmt.Errorf("allreduce: implausible chunk size %d (max %d)", n, maxElems)
+		return nil, ctx, fmt.Errorf("allreduce: implausible chunk size %d (max %d)", n, maxElems)
 	}
 	body := make([]byte, 4*int(n)+4)
 	if err := readFull(body); err != nil {
-		return nil, err
+		return nil, ctx, err
 	}
 	payload := body[:4*int(n)]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(body[4*int(n):]) {
-		return nil, errCRC
+		return nil, ctx, errCRC
 	}
 	out := make([]float32, n)
 	for i := range out {
 		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:]))
 	}
 	recv.Add(float64(len(header) + len(body)))
-	return out, nil
+	return out, ctx, nil
 }

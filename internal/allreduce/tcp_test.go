@@ -3,6 +3,8 @@ package allreduce
 import (
 	"bytes"
 	"testing"
+
+	"convmeter/internal/obs"
 )
 
 func TestRingTCPMatchesChannelRing(t *testing.T) {
@@ -63,7 +65,7 @@ func TestRingTCPShortVector(t *testing.T) {
 func TestChunkFraming(t *testing.T) {
 	var buf bytes.Buffer
 	orig := []float32{1.5, -2.25, 0, 3e8}
-	if err := writeChunk(&buf, orig, nil); err != nil {
+	if err := writeChunk(&buf, orig, obs.SpanContext{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	back, err := readChunk(&buf, len(orig), nil)
@@ -80,7 +82,7 @@ func TestChunkFraming(t *testing.T) {
 	}
 	// Empty chunk.
 	buf.Reset()
-	if err := writeChunk(&buf, nil, nil); err != nil {
+	if err := writeChunk(&buf, nil, obs.SpanContext{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if back, err := readChunk(&buf, 8, nil); err != nil || len(back) != 0 {
@@ -96,16 +98,17 @@ func TestChunkFraming(t *testing.T) {
 	// before any allocation happens.
 	buf.Reset()
 	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	buf.Write(make([]byte, frameHeaderLen-4)) // rest of the frame header
 	if _, err := readChunk(&buf, 8, nil); err == nil {
 		t.Fatal("expected size rejection")
 	}
 	// Corrupted payload must fail CRC validation.
 	buf.Reset()
-	if err := writeChunk(&buf, orig, nil); err != nil {
+	if err := writeChunk(&buf, orig, obs.SpanContext{}, nil); err != nil {
 		t.Fatal(err)
 	}
 	frame := buf.Bytes()
-	frame[6] ^= 0x10 // flip a payload bit
+	frame[frameHeaderLen+2] ^= 0x10 // flip a payload bit
 	if _, err := readChunk(bytes.NewReader(frame), len(orig), nil); err == nil {
 		t.Fatal("expected CRC rejection")
 	}

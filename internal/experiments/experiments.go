@@ -16,6 +16,7 @@ import (
 	"convmeter/internal/checkpoint"
 	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
+	"convmeter/internal/obs/critpath"
 )
 
 // Config controls an experiment run.
@@ -48,6 +49,11 @@ type Config struct {
 	// fitted training model, and completed LOMO evaluations feed their
 	// per-model pairs. Nil disables drift monitoring at zero cost.
 	Drift *driftwatch.Monitor
+	// Crit, when non-nil, receives per-step critical-path attributions
+	// from the chaos experiment's trainer (which then also aligns worker
+	// clocks and injects a small simulated skew so the alignment path is
+	// exercised). Nil disables attribution at zero cost.
+	Crit *critpath.Tracker
 }
 
 // Result is the outcome of one experiment: a rendered table plus the

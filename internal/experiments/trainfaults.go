@@ -71,6 +71,16 @@ func ExtTrainFaults(cfg Config) (*Result, error) {
 			Window: 64, CalibrateN: 2, Warmup: 3, Delta: 0.5, Lambda: 8,
 		})
 	}
+	if cfg.Crit != nil {
+		tcfg.Crit = cfg.Crit
+		// Exercise the full attribution stack: align worker clocks over
+		// the TCP handshake, against small deterministic simulated skews
+		// the alignment must measure back out.
+		tcfg.AlignClocks = true
+		tcfg.ClockSkews = []time.Duration{
+			0, 2 * time.Millisecond, -1500 * time.Microsecond, 3 * time.Millisecond,
+		}
+	}
 	tr, err := train.NewTrainer(g, tcfg)
 	if err != nil {
 		return nil, err

@@ -202,7 +202,7 @@ func TestRepoConfig(t *testing.T) {
 	for pkg, roots := range map[string][]string{
 		"convmeter/internal/exec":                 {"conv2d", "linear", "attentionCore", "conv2dBackward"},
 		"convmeter/internal/allreduce":            {"chanRing.step"},
-		"convmeter/internal/obs":                  {"Counter.Add", "Gauge.Set", "Histogram.Observe"},
+		"convmeter/internal/obs":                  {"Counter.Add", "Gauge.Set", "Histogram.Observe", "Span.Context", "Span.LinkTo"},
 		"convmeter/internal/driftwatch":           {"Stream.Observe"},
 		"convmeter/internal/driftwatch/streamstat": {"Window.Add", "Window.Summary"},
 	} {

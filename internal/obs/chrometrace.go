@@ -62,12 +62,27 @@ func WriteTraceEvents(w io.Writer, events []TraceEvent) error {
 	return enc.Encode(out)
 }
 
-// WriteChromeTrace exports every finished span as a complete event, one
-// Chrome "thread" per span track named after the track's root span, so
-// nested spans render as Perfetto flame slices. Nil-safe (writes a valid
-// empty document).
+// Chrome-trace pids: unattributed spans render under the main process,
+// worker-attributed spans under a separate "workers" process whose
+// threads are the worker ids — one stable, sorted timeline row per
+// worker regardless of span interleaving.
+const (
+	tracePidMain    = 1
+	tracePidWorkers = 2
+)
+
+// WriteChromeTrace exports every finished span as a complete event.
+// Unattributed spans get one Chrome "thread" per span track named after
+// the track's root span, so nested spans render as Perfetto flame
+// slices; worker-attributed spans are merged onto a per-worker thread of
+// a dedicated "workers" process, with their timestamps aligned onto the
+// reference worker's timeline using the tracer's clock-offset table.
+// Every X event carries args {id, parent} (+ worker and link when set)
+// so the span graph survives the export. Nil-safe (writes a valid empty
+// document).
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
+	off := t.Offsets()
 	sort.Slice(spans, func(i, j int) bool {
 		if spans[i].Track != spans[j].Track {
 			return spans[i].Track < spans[j].Track
@@ -76,16 +91,41 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	})
 	var events []TraceEvent
 	trackName := map[int64]string{}
+	workers := map[int]bool{}
+	var minTS float64
 	for _, s := range spans {
-		if s.ID == s.Track {
+		start := s.Start
+		pid, tid := tracePidMain, int(s.Track)
+		if s.Worker >= 0 {
+			start -= off.Get(s.Worker)
+			pid, tid = tracePidWorkers, s.Worker
+			workers[s.Worker] = true
+		} else if s.ID == s.Track {
 			trackName[s.Track] = s.Name
 		}
+		args := map[string]any{"id": s.ID, "parent": s.Parent}
+		if s.Worker >= 0 {
+			args["worker"] = s.Worker
+		}
+		if s.Link.Valid() {
+			args["link"] = s.Link.Span
+		}
+		ts := float64(start.Nanoseconds()) / 1e3
+		minTS = min(minTS, ts)
 		events = append(events, TraceEvent{
 			Name: s.Name, Phase: "X",
-			TsUS:  float64(s.Start.Nanoseconds()) / 1e3,
+			TsUS:  ts,
 			DurUS: float64(s.Dur.Nanoseconds()) / 1e3,
-			Pid:   1, Tid: int(s.Track),
+			Pid:   pid, Tid: tid, Args: args,
 		})
+	}
+	// Clock alignment can shift an early span before the epoch; the
+	// trace format rejects negative timestamps, so shift the whole
+	// document instead — relative placement is what matters.
+	if minTS < 0 {
+		for i := range events {
+			events[i].TsUS -= minTS
+		}
 	}
 	tracks := make([]int64, 0, len(trackName))
 	for tr := range trackName {
@@ -94,9 +134,26 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	sort.Slice(tracks, func(i, j int) bool { return tracks[i] < tracks[j] })
 	for _, tr := range tracks {
 		events = append(events, TraceEvent{
-			Name: "thread_name", Phase: "M", Pid: 1, Tid: int(tr),
+			Name: "thread_name", Phase: "M", Pid: tracePidMain, Tid: int(tr),
 			Args: map[string]any{"name": trackName[tr]},
 		})
+	}
+	if len(workers) > 0 {
+		events = append(events, TraceEvent{
+			Name: "process_name", Phase: "M", Pid: tracePidWorkers,
+			Args: map[string]any{"name": "workers"},
+		})
+		ws := make([]int, 0, len(workers))
+		for w := range workers {
+			ws = append(ws, w)
+		}
+		sort.Ints(ws)
+		for _, wk := range ws {
+			events = append(events, TraceEvent{
+				Name: "thread_name", Phase: "M", Pid: tracePidWorkers, Tid: wk,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", wk)},
+			})
+		}
 	}
 	return WriteTraceEvents(w, events)
 }

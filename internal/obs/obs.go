@@ -18,7 +18,10 @@
 // belongs outside loops).
 package obs
 
-import "strings"
+import (
+	"strings"
+	"time"
+)
 
 // Obs bundles a metrics Registry and a span Tracer with an optional
 // parent span, so instrumented packages take one handle instead of three.
@@ -31,6 +34,15 @@ type Obs struct {
 	// the mechanism by which e.g. an experiment's span adopts the
 	// fwd/bwd/grad spans created deep inside exec and train.
 	parent *Span
+
+	// worker, when non-zero, attributes spans started via Start to
+	// worker id worker-1 (the +1 keeps the zero value meaning "unset").
+	worker int
+
+	// skew simulates a per-worker clock offset: spans started via Start
+	// record timestamps as if read from a clock running skew ahead of
+	// the tracer's. The alignment handshake measures it back out.
+	skew time.Duration
 }
 
 // New returns an enabled Obs with a fresh registry and tracer.
@@ -49,16 +61,52 @@ func (o *Obs) WithSpan(s *Span) *Obs {
 	return &c
 }
 
+// WithWorker returns a copy of o that attributes spans started via
+// Start to worker w. Nil receiver stays nil.
+func (o *Obs) WithWorker(w int) *Obs {
+	if o == nil {
+		return nil
+	}
+	c := *o
+	c.worker = w + 1
+	return &c
+}
+
+// WithClockSkew returns a copy of o whose spans carry timestamps shifted
+// by d, simulating a worker whose clock disagrees with the tracer's.
+// Nil receiver stays nil.
+func (o *Obs) WithClockSkew(d time.Duration) *Obs {
+	if o == nil {
+		return nil
+	}
+	c := *o
+	c.skew = d
+	return &c
+}
+
 // Start begins a span: a child of the bundle's parent span when one is
 // set, a root span otherwise. Returns nil (a no-op span) when disabled.
+// A bundle worker or clock skew overrides whatever the parent span
+// would have passed down.
 func (o *Obs) Start(name string) *Span {
 	if o == nil {
 		return nil
 	}
+	var s *Span
 	if o.parent != nil {
-		return o.parent.Child(name)
+		s = o.parent.Child(name)
+	} else {
+		s = o.Trc.Start(name)
 	}
-	return o.Trc.Start(name)
+	if s != nil {
+		if o.worker != 0 {
+			s.worker = o.worker
+		}
+		if o.skew != 0 {
+			s.skew = o.skew
+		}
+	}
+	return s
 }
 
 // Counter registers or fetches a counter; nil when disabled.

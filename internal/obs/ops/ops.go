@@ -8,6 +8,7 @@
 //	GET /readyz        readiness (503 until the configured probe passes)
 //	GET /trace         Chrome trace-event JSON of the spans finished so far
 //	GET /drift         the driftwatch monitor's prediction-quality state
+//	GET /critpath      the critical-path tracker's per-step attributions
 //	GET /debug/pprof/  the standard profiling endpoints (obs.PprofHandler)
 //
 // The server instruments itself through the same registry it serves:
@@ -31,6 +32,7 @@ import (
 
 	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
+	"convmeter/internal/obs/critpath"
 )
 
 // contentTypePrometheus is the Prometheus text exposition content type
@@ -46,6 +48,8 @@ type Config struct {
 	Obs *obs.Obs
 	// Drift supplies /drift. May be nil.
 	Drift *driftwatch.Monitor
+	// Crit supplies /critpath. May be nil (empty, schema-stamped report).
+	Crit *critpath.Tracker
 	// Ready gates /readyz; nil means ready as soon as the server is up.
 	Ready func() bool
 }
@@ -163,6 +167,10 @@ func Handler(cfg Config) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = cfg.Drift.WriteJSON(w)
 	})
+	handle("/critpath", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Crit.WriteJSON(w)
+	})
 	// The pprof mux carries its own sub-routing; instrument it as one
 	// logical path.
 	pprofReqs := cfg.Obs.Counter(obs.Label("convmeter_ops_requests_total", "path", "/debug/pprof/"), "ops requests served")
@@ -185,6 +193,7 @@ func Handler(cfg Config) http.Handler {
 			"GET /readyz        readiness\n"+
 			"GET /trace         Chrome trace-event JSON\n"+
 			"GET /drift         prediction-drift monitor state\n"+
+			"GET /critpath      per-step critical-path attribution\n"+
 			"GET /debug/pprof/  profiling\n")
 	})
 	return mux

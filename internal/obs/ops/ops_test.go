@@ -13,6 +13,7 @@ import (
 
 	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
+	"convmeter/internal/obs/critpath"
 )
 
 func startTestServer(t *testing.T, cfg Config) *Server {
@@ -65,8 +66,14 @@ func TestEndpoints(t *testing.T) {
 	sp.End()
 	mon := driftwatch.New(driftwatch.Config{Obs: o})
 	mon.Stream("net", "iter").Observe(0.01, 0.011)
+	crit := critpath.NewTracker(o)
+	crit.Record(critpath.StepAttribution{
+		Step: 3, Total: 0.1, Compute: 0.06, Comm: 0.01, Wait: 0.03,
+		Dominant: critpath.ClassWait, Blame: 1, BlameWait: 0.025,
+		Workers: []critpath.WorkerAttribution{{Worker: 1, CausedWait: 0.025}},
+	})
 	var ready atomic.Bool
-	srv := startTestServer(t, Config{Obs: o, Drift: mon, Ready: ready.Load})
+	srv := startTestServer(t, Config{Obs: o, Drift: mon, Ready: ready.Load, Crit: crit})
 	base := "http://" + srv.Addr()
 
 	status, body, hdr := get(t, base+"/metrics")
@@ -132,10 +139,29 @@ func TestEndpoints(t *testing.T) {
 		t.Errorf("/drift = %+v", driftDoc)
 	}
 
+	status, body, _ = get(t, base+"/critpath")
+	if status != http.StatusOK {
+		t.Fatalf("/critpath status %d", status)
+	}
+	var critDoc critpath.Report
+	if err := json.Unmarshal([]byte(body), &critDoc); err != nil {
+		t.Fatalf("/critpath invalid JSON: %v\n%s", err, body)
+	}
+	if critDoc.Schema != critpath.SchemaV1 || len(critDoc.Steps) != 1 {
+		t.Errorf("/critpath = %+v", critDoc)
+	}
+	if got := critDoc.Steps[0]; got.Step != 3 || got.Blame != 1 {
+		t.Errorf("/critpath step = %+v, want recorded attribution", got)
+	}
+	// And the recorded step is live on the metrics endpoint too.
+	if _, body, _ := get(t, base+"/metrics"); !strings.Contains(body, "convmeter_critpath_blame_worker 1") {
+		t.Errorf("/metrics misses critpath gauges:\n%s", body)
+	}
+
 	if status, body, _ := get(t, base+"/debug/pprof/"); status != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ = %d %q", status, body)
 	}
-	if status, body, _ := get(t, base+"/"); status != http.StatusOK || !strings.Contains(body, "/drift") {
+	if status, body, _ := get(t, base+"/"); status != http.StatusOK || !strings.Contains(body, "/drift") || !strings.Contains(body, "/critpath") {
 		t.Errorf("index = %d %q", status, body)
 	}
 	if status, _, _ := get(t, base+"/nope"); status != http.StatusNotFound {
@@ -164,6 +190,17 @@ func TestNilHandlesServeValidPayloads(t *testing.T) {
 	if status != http.StatusOK || !strings.Contains(body, "traceEvents") {
 		t.Errorf("/trace on nil obs = %d %q", status, body)
 	}
+	status, body, _ = get(t, base+"/critpath")
+	if status != http.StatusOK {
+		t.Fatalf("/critpath status %d", status)
+	}
+	var critDoc critpath.Report
+	if err := json.Unmarshal([]byte(body), &critDoc); err != nil {
+		t.Fatalf("/critpath on nil tracker invalid: %v\n%s", err, body)
+	}
+	if critDoc.Schema != critpath.SchemaV1 || len(critDoc.Steps) != 0 {
+		t.Errorf("/critpath on nil tracker = %+v, want empty schema-stamped report", critDoc)
+	}
 }
 
 func TestStartFailsFastOnBadAddr(t *testing.T) {
@@ -187,7 +224,8 @@ func TestStartFailsFastOnBadAddr(t *testing.T) {
 func TestConcurrentScrapes(t *testing.T) {
 	o := obs.New()
 	mon := driftwatch.New(driftwatch.Config{Obs: o})
-	srv := startTestServer(t, Config{Obs: o, Drift: mon})
+	crit := critpath.NewTracker(o)
+	srv := startTestServer(t, Config{Obs: o, Drift: mon, Crit: crit})
 	base := "http://" + srv.Addr()
 
 	stop := make(chan struct{})
@@ -205,6 +243,9 @@ func TestConcurrentScrapes(t *testing.T) {
 			}
 			c.Inc()
 			st.Observe(0.01, 0.0105)
+			crit.Record(critpath.StepAttribution{
+				Step: i, Dominant: "none", Blame: -1,
+			})
 			// Counter and stream mutation are O(1) state, but every span is
 			// retained and /trace marshals all of them per scrape — an
 			// unbounded span loop outruns the scrapers and makes each
@@ -224,7 +265,7 @@ func TestConcurrentScrapes(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < 10; i++ {
-				for _, path := range []string{"/metrics", "/drift", "/trace", "/healthz"} {
+				for _, path := range []string{"/metrics", "/drift", "/trace", "/critpath", "/healthz"} {
 					resp, err := http.Get(base + path)
 					if err != nil {
 						errc <- err
@@ -244,6 +285,13 @@ func TestConcurrentScrapes(t *testing.T) {
 					}
 					if path == "/drift" {
 						var doc driftwatch.Snapshot
+						if err := json.Unmarshal(body, &doc); err != nil {
+							errc <- err
+							return
+						}
+					}
+					if path == "/critpath" {
+						var doc critpath.Report
 						if err := json.Unmarshal(body, &doc); err != nil {
 							errc <- err
 							return

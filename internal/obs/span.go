@@ -18,6 +18,11 @@ type Tracer struct {
 	clock Clock
 	ids   atomic.Int64
 
+	// offsets holds per-worker clock offsets measured by a transport
+	// clock-alignment handshake; exporters and the critical-path engine
+	// subtract them to place all workers on one timeline.
+	offsets OffsetTable
+
 	mu    sync.Mutex
 	spans []SpanRecord
 }
@@ -45,6 +50,8 @@ type SpanRecord struct {
 	Track  int64
 	Start  time.Duration
 	Dur    time.Duration
+	Worker int         // owning worker id, -1 when unattributed
+	Link   SpanContext // causal cross-worker link, zero when none
 }
 
 // Span is an in-flight span handle. A nil *Span is a no-op: Child
@@ -56,6 +63,9 @@ type Span struct {
 	parent int64
 	track  int64
 	start  time.Duration
+	worker int // owning worker id + 1, 0 when unattributed
+	skew   time.Duration
+	link   SpanContext
 }
 
 // Start begins a root span. Nil-safe.
@@ -67,17 +77,22 @@ func (t *Tracer) Start(name string) *Span {
 	return &Span{t: t, name: name, id: id, track: id, start: t.clock()}
 }
 
-// Child begins a span nested under s, on s's track. Nil-safe.
+// Child begins a span nested under s, on s's track, inheriting s's
+// worker attribution and clock skew. Nil-safe.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
 	id := s.t.ids.Add(1)
-	return &Span{t: s.t, name: name, id: id, parent: s.id, track: s.track, start: s.t.clock()}
+	return &Span{t: s.t, name: name, id: id, parent: s.id, track: s.track,
+		start: s.t.clock(), worker: s.worker, skew: s.skew}
 }
 
 // End finishes the span and records it. Nil-safe; ending a span twice
-// records it twice, so don't.
+// records it twice, so don't. A simulated clock skew (WithClockSkew)
+// shifts the recorded start — the span's timestamps read as the owning
+// worker's own clock would have produced them, which is what the
+// alignment handshake then measures away.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -85,7 +100,8 @@ func (s *Span) End() {
 	end := s.t.clock()
 	rec := SpanRecord{
 		Name: s.name, ID: s.id, Parent: s.parent, Track: s.track,
-		Start: s.start, Dur: end - s.start,
+		Start: s.start + s.skew, Dur: end - s.start,
+		Worker: s.worker - 1, Link: s.link,
 	}
 	s.t.mu.Lock()
 	s.t.spans = append(s.t.spans, rec)
@@ -100,4 +116,50 @@ func (t *Tracer) Spans() []SpanRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Now returns the tracer's clock reading. Nil-safe (returns 0).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock()
+}
+
+// Len returns the number of finished spans, a cursor for SpansFrom.
+// Nil-safe (returns 0).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// SpansFrom returns a copy of the finished spans recorded at index i and
+// later — the spans finished since a Len() checkpoint. Nil-safe.
+func (t *Tracer) SpansFrom(i int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.spans) {
+		return nil
+	}
+	return append([]SpanRecord(nil), t.spans[i:]...)
+}
+
+// Offsets returns the tracer's clock-offset table, populated by a
+// transport alignment handshake. Nil-safe (returns nil, which reads as
+// all-zero offsets).
+func (t *Tracer) Offsets() *OffsetTable {
+	if t == nil {
+		return nil
+	}
+	return &t.offsets
 }

@@ -22,39 +22,74 @@ import (
 // trackNames labels the two tracks of a training-step timeline.
 var trackNames = map[int]string{0: "compute", 1: "network"}
 
-// WriteChromeTrace writes the events as a Chrome trace-event JSON
-// document (object form with a traceEvents array plus thread-name
+// WriteChromeTrace writes one worker's events as a Chrome trace-event
+// JSON document (object form with a traceEvents array plus thread-name
 // metadata). An empty timeline — a zero-layer or otherwise degenerate
 // model — yields a valid empty document, not an error, so every
 // timeline pipes cleanly into Perfetto.
 func WriteChromeTrace(w io.Writer, events []trainsim.TimelineEvent) error {
+	return WriteChromeTraceWorkers(w, [][]trainsim.TimelineEvent{events})
+}
+
+// WriteChromeTraceWorkers renders a data-parallel step: one timeline per
+// worker, each on its own trace process so the viewer shows per-worker
+// compute/network track pairs side by side. Worker i maps to pid i+1
+// (pid 0 renders as "idle process" in some viewers), named "worker i";
+// a single-worker document keeps the bare track names with no process
+// metadata, so the pre-data-parallel output format is unchanged.
+//
+// Every (pid, tid) pairing is registered in sorted order: trace
+// documents are serialized output and must be bit-identical across
+// runs, and Perfetto sorts same-sort-index threads by insertion, not
+// name — unsorted metadata scrambles the worker tracks.
+func WriteChromeTraceWorkers(w io.Writer, perWorker [][]trainsim.TimelineEvent) error {
 	var out []obs.TraceEvent
-	seenTracks := map[int]bool{}
-	for _, e := range events {
-		if e.Dur < 0 || e.Start < 0 {
-			return fmt.Errorf("tracefmt: event %q has negative time", e.Name)
+	type key struct{ pid, tid int }
+	seen := map[key]bool{}
+	multi := len(perWorker) > 1
+	for wk, events := range perWorker {
+		pid := 1
+		if multi {
+			pid = wk + 1
 		}
-		seenTracks[e.Track] = true
-		out = append(out, obs.TraceEvent{
-			Name: e.Name, Phase: "X",
-			TsUS: e.Start * 1e6, DurUS: e.Dur * 1e6,
-			Pid: 1, Tid: e.Track,
-		})
+		for _, e := range events {
+			if e.Dur < 0 || e.Start < 0 {
+				return fmt.Errorf("tracefmt: worker %d event %q has negative time", wk, e.Name)
+			}
+			seen[key{pid, e.Track}] = true
+			out = append(out, obs.TraceEvent{
+				Name: e.Name, Phase: "X",
+				TsUS: e.Start * 1e6, DurUS: e.Dur * 1e6,
+				Pid: pid, Tid: e.Track,
+			})
+		}
 	}
-	// Emit the metadata in sorted track order: the trace document is
-	// serialized output and must be bit-identical across runs.
-	tracks := make([]int, 0, len(seenTracks))
-	for track := range seenTracks {
-		tracks = append(tracks, track)
+	// Emit the metadata in sorted (pid, track) order.
+	keys := make([]key, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
 	}
-	sort.Ints(tracks)
-	for _, track := range tracks {
-		name := trackNames[track]
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].pid != keys[j].pid {
+			return keys[i].pid < keys[j].pid
+		}
+		return keys[i].tid < keys[j].tid
+	})
+	lastPid := 0
+	for _, k := range keys {
+		if multi && k.pid != lastPid {
+			out = append(out, obs.TraceEvent{
+				Name: "process_name", Phase: "M", Pid: k.pid, Tid: 0,
+				Args: map[string]any{"name": fmt.Sprintf("worker %d", k.pid-1)},
+			})
+			lastPid = k.pid
+		}
+		name := trackNames[k.tid]
 		if name == "" {
-			name = fmt.Sprintf("track %d", track)
+			name = fmt.Sprintf("track %d", k.tid)
 		}
 		out = append(out, obs.TraceEvent{
-			Name: "thread_name", Phase: "M", Pid: 1, Tid: track,
+			Name: "thread_name", Phase: "M", Pid: k.pid, Tid: k.tid,
 			Args: map[string]any{"name": name},
 		})
 	}

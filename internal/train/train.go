@@ -31,6 +31,7 @@ import (
 	"convmeter/internal/faults"
 	"convmeter/internal/graph"
 	"convmeter/internal/obs"
+	"convmeter/internal/obs/critpath"
 )
 
 // Batch is one worker's training micro-batch.
@@ -105,6 +106,32 @@ type Config struct {
 	// PredictStep returns the predicted step time in seconds for a given
 	// live-worker count (the paper's T_iter at b = B/N).
 	PredictStep func(liveWorkers int) float64
+
+	// Crit, when non-nil together with a tracing Obs, receives one
+	// critical-path attribution per completed step, reconstructed from
+	// the step's worker-tagged span DAG. When Drift is also set, each
+	// attribution is forwarded via NoteCause so drift events carry the
+	// dominant phase and blamed worker.
+	Crit *critpath.Tracker
+	// AlignClocks runs the transports' clock-offset handshake when the
+	// resilient all-reduce forms a ring, so cross-worker span timestamps
+	// are mapped onto worker 0's timeline before attribution. Requires
+	// Obs with a tracer; a no-op otherwise.
+	AlignClocks bool
+	// ClockSkews simulates per-worker clock skew (indexed by original
+	// worker id; missing entries are zero): each worker's spans are
+	// recorded shifted by its skew, and the alignment handshake must
+	// measure the shifts back out. Test/chaos plumbing — production
+	// clocks share the process monotonic clock and need no skew.
+	ClockSkews []time.Duration
+}
+
+// skewOf returns worker w's simulated clock skew (zero when unset).
+func (c Config) skewOf(w int) time.Duration {
+	if w >= 0 && w < len(c.ClockSkews) {
+		return c.ClockSkews[w]
+	}
+	return 0
 }
 
 // resilient reports whether the run needs the fault-tolerant paths.
@@ -297,13 +324,15 @@ func (t *Trainer) Step(data DataSource) (float64, error) {
 	}
 
 	var stepT0 time.Time
+	// The attribution engine analyzes only this step's spans: remember
+	// where the tracer's record stream stands before any step span ends.
+	feedCrit := t.cfg.Crit != nil && t.cfg.Obs != nil && t.cfg.Obs.Trc != nil
+	var critMark int
+	if feedCrit {
+		critMark = t.cfg.Obs.Trc.Len()
+	}
 	stepSp := t.cfg.Obs.Start("step " + strconv.Itoa(step))
 	stepObs := t.cfg.Obs.WithSpan(stepSp)
-	if t.cfg.Obs != nil {
-		for _, w := range live {
-			t.replicas[w].SetObs(stepObs)
-		}
-	}
 	feedDrift := t.cfg.Drift != nil && t.cfg.PredictStep != nil
 	if t.tel != nil || feedDrift {
 		stepT0 = time.Now()
@@ -320,6 +349,17 @@ func (t *Trainer) Step(data DataSource) (float64, error) {
 	vectors := make([][]float32, n)
 	if err := join(n, func(i int) error {
 		w := live[i]
+		// Per-worker "compute" span, tagged with the worker's original id
+		// (and simulated skew) so the tracer can attribute it — and the
+		// fwd/bwd kernel spans nested under it — when reconstructing the
+		// step's cross-worker DAG. It opens before the straggler sleep:
+		// injected compute latency must be charged to compute.
+		perObs := stepObs.WithWorker(w).WithClockSkew(t.cfg.skewOf(w))
+		csp := perObs.Start("compute")
+		defer csp.End()
+		if t.cfg.Obs != nil {
+			t.replicas[w].SetObs(perObs.WithSpan(csp))
+		}
 		// Persistent-straggler injection: a slowed worker pays its extra
 		// compute latency here, before the ring, stretching the measured
 		// step time the drift monitor compares against the prediction.
@@ -398,6 +438,14 @@ func (t *Trainer) Step(data DataSource) (float64, error) {
 		t.tel.stepH.Observe(time.Since(stepT0).Seconds())
 		t.tel.steps.Inc()
 	}
+	if feedCrit {
+		trc := t.cfg.Obs.Trc
+		att := critpath.AnalyzeStep(step, trc.SpansFrom(critMark), trc.Offsets().Snapshot())
+		t.cfg.Crit.Record(att)
+		// Stamp the cause before the drift feed below so an event fired
+		// by this step's pair already names the phase and blamed worker.
+		t.cfg.Drift.NoteCause(att.Dominant, att.Blame)
+	}
 	if feedDrift {
 		t.cfg.Drift.Observe(t.cfg.PredictStep(nCompute), time.Since(stepT0).Seconds())
 	}
@@ -412,15 +460,17 @@ func (t *Trainer) Step(data DataSource) (float64, error) {
 func (t *Trainer) syncGradients(stepObs *obs.Obs, step int, live []int, vectors [][]float32) ([][]float32, error) {
 	gradSp := stepObs.Start("grad")
 	defer gradSp.End()
+	// Per-op transport spans (ar.send/ar.wait/ar.recv) nest under grad.
+	gradObs := stepObs.WithSpan(gradSp)
 
 	// Fast path — the pre-elastic behaviour, including hierarchical
 	// reduction, when no resilience features are requested.
 	if !t.cfg.resilient() {
 		var err error
 		if t.cfg.GroupSize > 0 && len(vectors)%t.cfg.GroupSize == 0 {
-			err = allreduce.HierarchicalObs(vectors, t.cfg.GroupSize, t.cfg.Obs)
+			err = allreduce.HierarchicalObs(vectors, t.cfg.GroupSize, gradObs)
 		} else {
-			err = allreduce.RingObs(vectors, t.cfg.Obs)
+			err = allreduce.RingObs(vectors, gradObs)
 		}
 		return vectors, err
 	}
@@ -437,15 +487,27 @@ func (t *Trainer) syncGradients(stepObs *obs.Obs, step int, live []int, vectors 
 		for i, w := range ids {
 			snaps[i] = append([]float32(nil), vectors[index[w]]...)
 		}
+		// ClockSkews are indexed by ring position; re-map from original
+		// worker ids each attempt, since elastic degradation reshapes the
+		// ring.
+		var skews []time.Duration
+		if len(t.cfg.ClockSkews) > 0 {
+			skews = make([]time.Duration, len(ids))
+			for i, w := range ids {
+				skews[i] = t.cfg.skewOf(w)
+			}
+		}
 		opts := allreduce.Options{
 			OpTimeout: t.cfg.OpTimeout,
 			Retry:     t.cfg.Retry,
 			Faults:    t.cfg.Faults,
-			Obs:       t.cfg.Obs,
+			Obs:       gradObs,
 			WorkerIDs: ids,
 			// Distinct fault-decision space per (training step, attempt):
 			// a retried all-reduce draws fresh faults, deterministically.
-			SeqBase: uint64(step)<<24 | attempt<<12,
+			SeqBase:     uint64(step)<<24 | attempt<<12,
+			AlignClocks: t.cfg.AlignClocks,
+			ClockSkews:  skews,
 		}
 		var err error
 		if t.cfg.Transport == TransportTCP {
