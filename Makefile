@@ -4,7 +4,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build vet lint test race fuzz obs-smoke obs-bench bench-snapshot bench-check chaos critpath-smoke ci
+.PHONY: build vet lint test race fuzz obs-smoke obs-bench bench-snapshot bench-check chaos critpath-smoke dag-smoke ci
 
 build:
 	$(GO) build ./...
@@ -28,7 +28,7 @@ test:
 # the lint package itself — its fixture suites drive the loader and
 # analyzers concurrently enough to be worth the coverage.
 race:
-	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/... ./internal/obs/... ./internal/driftwatch/... ./internal/lint/...
+	$(GO) test -race ./internal/allreduce/... ./internal/bench/... ./internal/train/... ./internal/obs/... ./internal/driftwatch/... ./internal/lint/... ./internal/dagrun/...
 
 # obs-smoke: run real experiments with the observability flags and
 # validate the artefacts with cmd/obscheck — catches exposition/trace/
@@ -98,6 +98,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/bench
 	$(GO) test -run '^$$' -fuzz FuzzGraphJSON -fuzztime $(FUZZTIME) ./internal/graph
 	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZTIME) ./internal/lint
+	$(GO) test -run '^$$' -fuzz FuzzParseManifest -fuzztime $(FUZZTIME) ./internal/dagrun
 
 # chaos: the fault-injection suites under the race detector, then a
 # fixed seed matrix of real end-to-end chaos runs (resilient training
@@ -114,4 +115,28 @@ chaos:
 	done
 	rm -rf .chaos-smoke
 
-ci: build vet lint test race obs-smoke chaos critpath-smoke bench-check
+# dag-smoke: the crash-resume acceptance path. First the resume
+# matrices under the race detector (every node boundary and mid-node
+# point, clean seed and chaos profile, resumed stats bit-identical),
+# then end-to-end through the real binary: an uninterrupted chaos run,
+# a -dag-crash run that must die with exit code 3 after committing its
+# upstream manifests, a resume over the same -dag-dir whose report must
+# be byte-identical to the uninterrupted run's, and obscheck -manifest
+# validating the surviving manifest chain.
+dag-smoke:
+	$(GO) test -race -count=1 -run 'TestCrashResumeMatrix|TestDagResumeMatrix|TestRunDagCrashResume' ./internal/dagrun ./internal/experiments ./cmd/experiments
+	rm -rf .dag-smoke && mkdir -p .dag-smoke
+	$(GO) build -o .dag-smoke/experiments ./cmd/experiments
+	.dag-smoke/experiments -run exttrainfaults -quick -seed 5 -faults-seed 11 \
+		-dag-dir .dag-smoke/clean > .dag-smoke/report-clean.txt
+	.dag-smoke/experiments -run exttrainfaults -quick -seed 5 -faults-seed 11 \
+		-dag-dir .dag-smoke/run -dag-crash report@boundary \
+		-dag-out .dag-smoke/crashed.json > /dev/null 2> .dag-smoke/crashed.txt; \
+		test $$? -eq 3 || { echo "dag-smoke: crash run must exit 3"; exit 1; }
+	.dag-smoke/experiments -run exttrainfaults -quick -seed 5 -faults-seed 11 \
+		-dag-dir .dag-smoke/run -dag-out .dag-smoke/resumed.json > .dag-smoke/report-resumed.txt
+	cmp .dag-smoke/report-clean.txt .dag-smoke/report-resumed.txt
+	$(GO) run ./cmd/obscheck -manifest .dag-smoke/run
+	rm -rf .dag-smoke
+
+ci: build vet lint test race obs-smoke chaos critpath-smoke dag-smoke bench-check

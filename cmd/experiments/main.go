@@ -8,9 +8,17 @@
 //	experiments -run all
 //	experiments -run table1 -seed 7
 //	experiments -run fig8 -quick
+//
+// Runs execute as a dependency DAG (independent experiments in
+// parallel); with -dag-dir every completed node commits a fail-close
+// manifest, so a killed run resumes from its last committed node:
+//
+//	experiments -run table1 -dag-dir run1           # killed midway…
+//	experiments -run table1 -dag-dir run1           # …resumes here
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +29,7 @@ import (
 	"convmeter"
 	"convmeter/internal/checkpoint"
 	"convmeter/internal/driftwatch"
+	"convmeter/internal/faults"
 	"convmeter/internal/obs"
 	"convmeter/internal/obs/critpath"
 	"convmeter/internal/obs/ops"
@@ -43,9 +52,18 @@ func main() {
 	flag.StringVar(&opts.driftOut, "drift-out", "", "write the final drift-monitor state as JSON to this file")
 	flag.BoolVar(&opts.driftRefit, "drift-refit", false, "on a drift event, recalibrate the affected stream onto the new regime instead of staying latched")
 	flag.StringVar(&opts.critpathOut, "critpath-out", "", "write the chaos trainer's per-step critical-path attribution report as JSON to this file (also enables clock alignment and /critpath)")
+	flag.StringVar(&opts.dagDir, "dag-dir", "", "durable run directory: every completed DAG node commits a content-addressed manifest here, and a re-run over the same directory resumes fail-close from fingerprint-matching manifests")
+	flag.IntVar(&opts.dagWorkers, "dag-workers", 2, "worker pool size for independent DAG nodes")
+	flag.StringVar(&opts.dagCrash, "dag-crash", "", "inject a process crash at node@point (point: boundary or mid) for crash-resume testing; the run dies with exit code 3 and resumes via -dag-dir")
+	flag.StringVar(&opts.dagOut, "dag-out", "", "write the DAG audit trail (per-node state, manifest hash, attempt, blame) as JSON to this file")
 	flag.Parse()
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, convmeter.ErrDagCrashed) {
+			// Distinguish an injected kill (resumable) from a real failure:
+			// dag-smoke asserts on this exit code.
+			os.Exit(3)
+		}
 		os.Exit(1)
 	}
 }
@@ -64,6 +82,27 @@ type options struct {
 	driftOut             string
 	driftRefit           bool
 	critpathOut          string
+	dagDir               string
+	dagWorkers           int
+	dagCrash             string
+	dagOut               string
+}
+
+// dagFaults builds the orchestrator-level crash injector for -dag-crash.
+func dagFaults(opts options, bundle *obs.Obs) (*faults.Injector, error) {
+	if opts.dagCrash == "" {
+		return nil, nil
+	}
+	node, point, ok := strings.Cut(opts.dagCrash, "@")
+	if !ok || node == "" {
+		return nil, fmt.Errorf("bad -dag-crash %q, want node@point (e.g. lomo@boundary)", opts.dagCrash)
+	}
+	seed := opts.faultsSeed
+	if seed == 0 {
+		seed = opts.seed
+	}
+	prof := faults.Profile{NodeCrashes: map[string]string{node: point}}
+	return faults.New(seed, prof, bundle)
 }
 
 func run(opts options) (err error) {
@@ -106,8 +145,25 @@ func run(opts options) (err error) {
 		crit = critpath.NewTracker(bundle)
 		cfg.Crit = crit
 	}
+	// The run itself is a DAG: independent experiments execute in
+	// parallel on a bounded pool, and with -dag-dir every completed node
+	// commits a fail-close manifest, making the run crash-resumable.
+	ids := []string{opts.id}
+	if opts.id == "all" {
+		ids = convmeter.ExperimentIDs()
+	}
+	inj, err := dagFaults(opts, bundle)
+	if err != nil {
+		return err
+	}
+	runner, err := convmeter.NewExperimentsDAG(ids, cfg, convmeter.ExperimentsDagConfig{
+		Dir: opts.dagDir, Workers: opts.dagWorkers, Faults: inj,
+	})
+	if err != nil {
+		return err
+	}
 	if opts.opsAddr != "" {
-		srv, err := ops.Start(ops.Config{Addr: opts.opsAddr, Obs: bundle, Drift: mon, Crit: crit})
+		srv, err := ops.Start(ops.Config{Addr: opts.opsAddr, Obs: bundle, Drift: mon, Crit: crit, Dag: runner})
 		if err != nil {
 			return err
 		}
@@ -123,18 +179,34 @@ func run(opts options) (err error) {
 			}
 		}
 	}
-	var results []*convmeter.ExperimentResult
-	if opts.id == "all" {
-		results, err = convmeter.RunAllExperiments(cfg)
+	rep, execErr := runner.Execute()
+	if opts.dagOut != "" {
+		// The audit trail is written even — especially — when the run
+		// died: it records which node was killed and what survived.
+		f, err := os.Create(opts.dagOut)
 		if err != nil {
 			return err
 		}
-	} else {
-		res, err := convmeter.RunExperiment(opts.id, cfg)
-		if err != nil {
+		if err := runner.WriteJSON(f); err != nil {
+			_ = f.Close()
 			return err
 		}
-		results = append(results, res)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if execErr != nil {
+		if rep != nil && rep.Crashed != "" {
+			fmt.Fprintf(os.Stderr, "experiments: run killed at %s; re-run with the same -dag-dir to resume\n", rep.Crashed)
+		}
+		return execErr
+	}
+	if rep.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "experiments: resumed %d node(s) from manifests in %s\n", rep.Resumed, opts.dagDir)
+	}
+	results, err := convmeter.CollectExperimentsDAG(runner)
+	if err != nil {
+		return err
 	}
 	if err := bundle.Export(opts.metricsOut, opts.traceOut); err != nil {
 		return err

@@ -3,11 +3,14 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+
+	"convmeter"
 )
 
 // TestRunWithTelemetry is the acceptance test for the telemetry flags: a
@@ -182,6 +185,90 @@ func TestRunWithoutTelemetry(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("%d files in out dir, want only the report", len(entries))
+	}
+}
+
+// TestRunDagCrashResume is the CLI-level leg of the crash-resume proof:
+// a -dag-crash run dies with ErrDagCrashed after committing its
+// upstream manifests, and a plain re-run over the same -dag-dir resumes
+// and produces a report byte-identical to an uninterrupted run.
+func TestRunDagCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	base := options{
+		id: "table1", seed: 5, quick: true, faultsSeed: 7,
+		dagWorkers: 2,
+	}
+
+	clean := base
+	clean.dagDir = filepath.Join(dir, "clean")
+	clean.outPath = filepath.Join(dir, "clean.txt")
+	if err := run(clean); err != nil {
+		t.Fatal(err)
+	}
+
+	crashed := base
+	crashed.dagDir = filepath.Join(dir, "resume")
+	crashed.dagCrash = "lomo@boundary"
+	crashed.dagOut = filepath.Join(dir, "crashed-dag.json")
+	err := run(crashed)
+	if !errors.Is(err, convmeter.ErrDagCrashed) {
+		t.Fatalf("crash run err = %v, want ErrDagCrashed", err)
+	}
+	audit, err := os.ReadFile(crashed.dagOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dagDoc struct {
+		Crashed string `json:"crashed"`
+		Nodes   []struct {
+			ID       string `json:"id"`
+			State    string `json:"state"`
+			Manifest string `json:"manifest"`
+		} `json:"nodes"`
+	}
+	if err := json.Unmarshal(audit, &dagDoc); err != nil {
+		t.Fatalf("-dag-out invalid JSON: %v\n%s", err, audit)
+	}
+	if dagDoc.Crashed != "lomo@boundary" {
+		t.Fatalf("audit blames %q, want lomo@boundary", dagDoc.Crashed)
+	}
+	for _, n := range dagDoc.Nodes {
+		if n.ID == "fit" && (n.State != "done" || n.Manifest == "") {
+			t.Fatalf("fit should have committed before the kill: %+v", n)
+		}
+	}
+
+	resume := base
+	resume.dagDir = crashed.dagDir
+	resume.outPath = filepath.Join(dir, "resumed.txt")
+	resume.dagOut = filepath.Join(dir, "resumed-dag.json")
+	if err := run(resume); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	cleanReport, err := os.ReadFile(clean.outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedReport, err := os.ReadFile(resume.outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cleanReport) != string(resumedReport) {
+		t.Fatalf("resumed report differs from uninterrupted run:\n--- clean ---\n%s\n--- resumed ---\n%s",
+			cleanReport, resumedReport)
+	}
+	audit2, err := os.ReadFile(resume.dagOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resumedDoc struct {
+		Resumed int `json:"resumed"`
+	}
+	if err := json.Unmarshal(audit2, &resumedDoc); err != nil {
+		t.Fatal(err)
+	}
+	if resumedDoc.Resumed != 1 {
+		t.Fatalf("resume reused %d node(s), want 1 (fit)", resumedDoc.Resumed)
 	}
 }
 

@@ -9,7 +9,11 @@
 // sorted unique names, >= 1 iteration, finite values) and critical-path
 // attribution reports (-critpath: schema, finite non-negative
 // durations, legal dominant phases, blame consistency — optionally
-// asserting that a specific worker was, or no worker was, blamed).
+// asserting that a specific worker was, or no worker was, blamed) and
+// durable DAG run directories written by experiments -dag-dir
+// (-manifest: every manifest parses, fingerprints and hashes are
+// well-formed, input hashes resolve to committed manifests, and the
+// input graph is acyclic).
 // Trace validation additionally checks span-graph well-formedness when
 // events carry span args: unique ids, resolvable parents, non-negative
 // durations, and no cross-worker time-travel through causal links
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -36,14 +41,15 @@ func main() {
 	drift := flag.String("drift", "", "drift-monitor JSON snapshot to validate (from -drift-out or GET /drift)")
 	bench := flag.String("bench", "", "benchmark snapshot JSON to validate (from benchsnap -out, e.g. BENCH_1.json)")
 	critpath := flag.String("critpath", "", "critical-path attribution report JSON to validate (from -critpath-out or GET /critpath)")
+	manifest := flag.String("manifest", "", "DAG run directory to validate (from experiments -dag-dir): every manifest parses, fingerprints/hashes are well-formed, input hashes resolve to committed manifests, and the input graph is acyclic")
 	requireFaults := flag.Bool("require-faults", false, "additionally require a convmeter_faults_injected_total sample with value > 0 (chaos-run validation)")
 	requireDrift := flag.Bool("require-drift", false, "additionally require at least one drift event and a drifting stream in the -drift snapshot (slowdown-run validation)")
 	forbidDrift := flag.Bool("forbid-drift", false, "additionally require zero drift events in the -drift snapshot (clean-run validation)")
 	requireBlame := flag.Int("require-blame", -1, "additionally require at least one -critpath step blaming this worker (straggler-run validation); -1 disables")
 	forbidBlame := flag.Bool("forbid-blame", false, "additionally require zero blamed steps in the -critpath report (clean-run validation)")
 	flag.Parse()
-	if *metrics == "" && *trace == "" && *drift == "" && *bench == "" && *critpath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics, -trace, -drift, -bench and/or -critpath)")
+	if *metrics == "" && *trace == "" && *drift == "" && *bench == "" && *critpath == "" && *manifest == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (pass -metrics, -trace, -drift, -bench, -critpath and/or -manifest)")
 		os.Exit(2)
 	}
 	if *requireFaults && *metrics == "" {
@@ -101,6 +107,154 @@ func main() {
 		}
 		fmt.Printf("obscheck: %s ok\n", *critpath)
 	}
+	if *manifest != "" {
+		if err := checkManifests(*manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "obscheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("obscheck: %s ok\n", *manifest)
+	}
+}
+
+// manifestSchema is the run-manifest format internal/dagrun/manifest
+// writes; keep in sync with manifest.SchemaV1.
+const manifestSchema = "convmeter/dag-manifest/v1"
+
+// hex64 reports whether s is a 64-digit lowercase hex string — the shape
+// of every fingerprint and content hash the manifest package produces.
+func hex64(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// checkManifests validates a DAG run directory: every *.json file is a
+// well-formed manifest (schema tag, node id matching the file name,
+// 64-hex fingerprint and hash, attempt >= 1, valid JSON output), every
+// input hash resolves to a committed manifest in the same directory
+// whose stored hash matches (the content-address chain is unbroken),
+// and the input graph is acyclic. An empty directory fails: a run that
+// committed nothing has no resume to audit.
+func checkManifests(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	type man struct {
+		Schema      string            `json:"schema"`
+		Node        string            `json:"node"`
+		Fingerprint string            `json:"fingerprint"`
+		Inputs      map[string]string `json:"inputs"`
+		Attempt     int               `json:"attempt"`
+		Output      json.RawMessage   `json:"output"`
+		Hash        string            `json:"hash"`
+	}
+	mans := map[string]*man{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			return err
+		}
+		var m man
+		if err := json.Unmarshal(data, &m); err != nil {
+			return fmt.Errorf("%s/%s: invalid manifest JSON: %v", dir, name, err)
+		}
+		if m.Schema != manifestSchema {
+			return fmt.Errorf("%s/%s: schema %q, want %q", dir, name, m.Schema, manifestSchema)
+		}
+		if m.Node == "" || m.Node+".json" != name {
+			return fmt.Errorf("%s/%s: names node %q, want the file's own stem", dir, name, m.Node)
+		}
+		if !hex64(m.Fingerprint) {
+			return fmt.Errorf("%s/%s: malformed fingerprint %q", dir, name, m.Fingerprint)
+		}
+		if !hex64(m.Hash) {
+			return fmt.Errorf("%s/%s: malformed hash %q", dir, name, m.Hash)
+		}
+		if m.Attempt < 1 {
+			return fmt.Errorf("%s/%s: attempt %d, want >= 1", dir, name, m.Attempt)
+		}
+		if len(m.Output) == 0 || !json.Valid(m.Output) {
+			return fmt.Errorf("%s/%s: output is not valid JSON", dir, name)
+		}
+		mans[m.Node] = &m
+	}
+	if len(mans) == 0 {
+		return fmt.Errorf("%s: no manifests (*.json) found", dir)
+	}
+	nodes := make([]string, 0, len(mans))
+	for n := range mans {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		deps := make([]string, 0, len(mans[n].Inputs))
+		for d := range mans[n].Inputs {
+			deps = append(deps, d)
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if d == "" {
+				return fmt.Errorf("%s: manifest %s has an input with an empty node id", dir, n)
+			}
+			h := mans[n].Inputs[d]
+			if !hex64(h) {
+				return fmt.Errorf("%s: manifest %s: malformed input hash %q for %s", dir, n, h, d)
+			}
+			dep, ok := mans[d]
+			if !ok {
+				return fmt.Errorf("%s: manifest %s consumes input %s, but no manifest for it exists — the chain is broken", dir, n, d)
+			}
+			if dep.Hash != h {
+				return fmt.Errorf("%s: manifest %s recorded input hash %s for %s, but its manifest's hash is %s — stale or tampered", dir, n, h, d, dep.Hash)
+			}
+		}
+	}
+	// Acyclicity: depth-first over sorted ids; a back edge is a cycle.
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := map[string]int{}
+	var visit func(n string, path []string) error
+	visit = func(n string, path []string) error {
+		switch state[n] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("%s: input cycle through %s (path %s)", dir, n, strings.Join(append(path, n), " -> "))
+		}
+		state[n] = visiting
+		deps := make([]string, 0, len(mans[n].Inputs))
+		for d := range mans[n].Inputs {
+			deps = append(deps, d)
+		}
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d, append(path, n)); err != nil {
+				return err
+			}
+		}
+		state[n] = done
+		return nil
+	}
+	for _, n := range nodes {
+		if err := visit(n, nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // critpathSchema is the report format internal/obs/critpath writes;

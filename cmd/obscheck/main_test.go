@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"convmeter/internal/dagrun"
 )
 
 // writeDrift drops a drift snapshot fixture and returns its path.
@@ -49,6 +53,139 @@ func TestCheckDrift(t *testing.T) {
 			}
 		})
 	}
+}
+
+// realManifestDir runs a small DAG with a durable directory so the
+// fixture is exactly what experiments -dag-dir commits, not a
+// hand-rolled imitation that could drift from the writer.
+func realManifestDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	r, err := dagrun.New(dagrun.Config{Dir: dir, Code: "obscheck-test@v1", Workers: 2}, []dagrun.Node{
+		{ID: "fit", Run: func(dagrun.Inputs) (any, error) { return map[string]float64{"coef": 1.5}, nil }},
+		{ID: "report", Deps: []string{"fit"}, Run: func(in dagrun.Inputs) (any, error) {
+			var fit map[string]float64
+			if err := in.Decode("fit", &fit); err != nil {
+				return nil, err
+			}
+			return "coef " + "ok", nil
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// mutateManifest rewrites one top-level field of dir/node.json.
+func mutateManifest(t *testing.T, dir, node string, mutate func(map[string]json.RawMessage)) {
+	t.Helper()
+	path := filepath.Join(dir, node+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := map[string]json.RawMessage{}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	mutate(doc)
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckManifests(t *testing.T) {
+	t.Run("real-run-passes", func(t *testing.T) {
+		if err := checkManifests(realManifestDir(t)); err != nil {
+			t.Fatalf("real dag run rejected: %v", err)
+		}
+	})
+	t.Run("empty-dir", func(t *testing.T) {
+		if err := checkManifests(t.TempDir()); err == nil {
+			t.Fatal("empty directory accepted; a run that committed nothing has nothing to audit")
+		}
+	})
+	t.Run("missing-dir", func(t *testing.T) {
+		if err := checkManifests(filepath.Join(t.TempDir(), "nope")); err == nil {
+			t.Fatal("nonexistent directory accepted")
+		}
+	})
+	t.Run("not-json", func(t *testing.T) {
+		dir := realManifestDir(t)
+		if err := os.WriteFile(filepath.Join(dir, "fit.json"), []byte("{"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := checkManifests(dir); err == nil {
+			t.Fatal("truncated manifest accepted")
+		}
+	})
+	mutations := []struct {
+		name   string
+		node   string
+		mutate func(map[string]json.RawMessage)
+		want   string
+	}{
+		{"wrong-schema", "fit", func(d map[string]json.RawMessage) { d["schema"] = json.RawMessage(`"v0"`) }, "schema"},
+		{"node-mismatch", "fit", func(d map[string]json.RawMessage) { d["node"] = json.RawMessage(`"other"`) }, "stem"},
+		{"short-fingerprint", "fit", func(d map[string]json.RawMessage) { d["fingerprint"] = json.RawMessage(`"abc"`) }, "fingerprint"},
+		{"upper-hash", "fit", func(d map[string]json.RawMessage) {
+			d["hash"] = json.RawMessage(`"` + strings.Repeat("A", 64) + `"`)
+		}, "hash"},
+		{"zero-attempt", "fit", func(d map[string]json.RawMessage) { d["attempt"] = json.RawMessage(`0`) }, "attempt"},
+		{"no-output", "fit", func(d map[string]json.RawMessage) { delete(d, "output") }, "output"},
+		{"stale-input-hash", "report", func(d map[string]json.RawMessage) {
+			d["inputs"] = json.RawMessage(`{"fit":"` + strings.Repeat("0", 64) + `"}`)
+		}, "stale or tampered"},
+		{"dangling-input", "report", func(d map[string]json.RawMessage) {
+			d["inputs"] = json.RawMessage(`{"ghost":"` + strings.Repeat("0", 64) + `"}`)
+		}, "chain is broken"},
+		{"malformed-input-hash", "report", func(d map[string]json.RawMessage) {
+			d["inputs"] = json.RawMessage(`{"fit":"xyz"}`)
+		}, "input hash"},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := realManifestDir(t)
+			mutateManifest(t, dir, tc.node, tc.mutate)
+			err := checkManifests(dir)
+			if err == nil {
+				t.Fatal("mutated manifest accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	t.Run("cycle", func(t *testing.T) {
+		dir := realManifestDir(t)
+		// Point fit's inputs back at report, matching report's committed
+		// hash so only the cycle check can catch it.
+		var rep struct {
+			Hash string `json:"hash"`
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "report.json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			t.Fatal(err)
+		}
+		mutateManifest(t, dir, "fit", func(d map[string]json.RawMessage) {
+			d["inputs"] = json.RawMessage(`{"report":"` + rep.Hash + `"}`)
+		})
+		err = checkManifests(dir)
+		if err == nil || !strings.Contains(err.Error(), "cycle") {
+			t.Fatalf("cycle not detected: %v", err)
+		}
+	})
 }
 
 func TestCheckBench(t *testing.T) {

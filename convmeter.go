@@ -39,6 +39,7 @@ import (
 	"convmeter/internal/baselines"
 	"convmeter/internal/bench"
 	"convmeter/internal/core"
+	"convmeter/internal/dagrun"
 	"convmeter/internal/experiments"
 	"convmeter/internal/graph"
 	"convmeter/internal/hwreal"
@@ -227,6 +228,40 @@ func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 // RunAllExperiments reproduces every table and figure in order.
 func RunAllExperiments(cfg ExperimentConfig) ([]*ExperimentResult, error) {
 	return experiments.All(cfg)
+}
+
+// ExperimentIDs lists every experiment id in the paper's order.
+func ExperimentIDs() []string {
+	return experiments.IDs()
+}
+
+// ExperimentsDagConfig parameterises a durable (crash-resumable,
+// manifest-backed) experiment run.
+type ExperimentsDagConfig = experiments.DagConfig
+
+// DagRunner is the dependency-aware executor behind durable experiment
+// runs; its live audit trail serves the ops server's /dag endpoint.
+type DagRunner = dagrun.Runner
+
+// DagReport is the executor's audit trail: per-node state, manifest
+// hash, attempt count and blame.
+type DagReport = dagrun.Report
+
+// ErrDagCrashed marks a run killed by an injected process crash; resume
+// by re-running over the same manifest directory.
+var ErrDagCrashed = dagrun.ErrCrashed
+
+// NewExperimentsDAG builds the fit→LOMO→figures/report executor for the
+// given experiment ids (Execute it to run; register it on the ops
+// server first for a live /dag).
+func NewExperimentsDAG(ids []string, cfg ExperimentConfig, dcfg ExperimentsDagConfig) (*DagRunner, error) {
+	return experiments.NewDAGRunner(ids, cfg, dcfg)
+}
+
+// CollectExperimentsDAG decodes the ordered experiment results from a
+// completed DAG run.
+func CollectExperimentsDAG(r *DagRunner) ([]*ExperimentResult, error) {
+	return experiments.CollectDAGResults(r)
 }
 
 // MetricMask selects metric subsets for the Figure 2 ablation baselines.

@@ -105,8 +105,8 @@ func (s *Store) Get(key string, v any) bool {
 }
 
 // Put records a completed unit under key and persists the whole store
-// atomically: marshal, write to a temp file in the same directory, then
-// rename over the target — a crash mid-write never corrupts the file.
+// durably via WriteFileAtomic — a crash mid-write never corrupts the
+// file, and a committed write survives power loss.
 func (s *Store) Put(key string, v any) error {
 	if s == nil {
 		return nil
@@ -122,22 +122,52 @@ func (s *Store) Put(key string, v any) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: marshal store: %w", err)
 	}
-	tmp, err := os.CreateTemp(filepath.Dir(s.path), ".checkpoint-*")
-	if err != nil {
+	if err := WriteFileAtomic(s.path, data); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// WriteFileAtomic commits data to path with crash *and* power-loss
+// durability: write to a temp file in the same directory, fsync the file
+// so its contents reach stable storage before the rename, rename over
+// the target (atomic on POSIX), then fsync the parent directory so the
+// rename itself is durable. Rename-without-fsync only survives process
+// death — after a power cut the filesystem may replay the rename against
+// an unwritten inode and leave an empty or truncated "committed" file,
+// which is exactly the torn state a fail-close manifest must never
+// present. Shared by the checkpoint store and the dagrun manifest store.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".atomic-*")
+	if err != nil {
+		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
 		_ = tmp.Close()
 		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
+		return err
 	}
-	if err := os.Rename(tmp.Name(), s.path); err != nil {
+	if err := os.Rename(tmp.Name(), path); err != nil {
 		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
+		return err
 	}
-	return nil
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
 }

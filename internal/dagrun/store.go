@@ -1,0 +1,51 @@
+package dagrun
+
+import (
+	"os"
+	"path/filepath"
+
+	"convmeter/internal/dagrun/manifest"
+)
+
+// Load-failure classifications for loadManifest. Only reasonCorrupt
+// counts against the fail-close counter: an absent manifest is the
+// normal first-run case, not a rejection.
+const (
+	reasonAbsent  = "absent"
+	reasonCorrupt = "corrupt"
+)
+
+// manifestPath places node id's manifest inside the run directory. New
+// rejects ids with path separators, so the id is safe as a file name.
+func manifestPath(dir, id string) string {
+	return filepath.Join(dir, id+".json")
+}
+
+// ensureDir creates the run directory.
+func ensureDir(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+// loadManifest reads and verifies node id's manifest, failing closed: a
+// manifest that is unreadable, unparsable, hash-mismatched, or filed
+// under the wrong node id returns (nil, reasonCorrupt) and the node
+// re-runs. Only a manifest that survives every check is returned — and
+// even then the executor still compares its fingerprint against the
+// current run before trusting it.
+func loadManifest(dir, id string) (*manifest.Manifest, string) {
+	data, err := os.ReadFile(manifestPath(dir, id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, reasonAbsent
+		}
+		return nil, reasonCorrupt
+	}
+	m, err := manifest.Parse(data)
+	if err != nil {
+		return nil, reasonCorrupt
+	}
+	if m.Node != id {
+		return nil, reasonCorrupt
+	}
+	return m, ""
+}

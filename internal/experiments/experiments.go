@@ -133,6 +133,16 @@ func Runners() []Runner {
 	}
 }
 
+// IDs lists every experiment id in the paper's order.
+func IDs() []string {
+	rs := Runners()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}
+
 // Run executes the experiment with the given id.
 func Run(id string, cfg Config) (*Result, error) {
 	for _, r := range Runners() {

@@ -91,19 +91,41 @@ func perModelTable(ev *core.Evaluation, rmseUnit string, rmseScale float64) stri
 	return table([]string{"ConvNet", "R²", "RMSE", "NRMSE", "MAPE"}, rows)
 }
 
-// Table1 reproduces Table 1 / Figure 3: per-ConvNet inference prediction
-// accuracy on the Xeon CPU and the A100 GPU under leave-one-model-out.
-func Table1(cfg Config) (*Result, error) {
+// table1Devices lists Table 1's hardware in the paper's column order.
+func table1Devices() []hwsim.Device {
+	return []hwsim.Device{hwsim.XeonCore(), hwsim.A100()}
+}
+
+// table1Samples is Table 1's fit stage: collect the benchmark dataset
+// for every device. Split out so the DAG runs collection and evaluation
+// as separate, individually resumable nodes.
+func table1Samples(cfg Config) (map[string][]core.Sample, error) {
+	out := make(map[string][]core.Sample, 2)
+	for _, dev := range table1Devices() {
+		samples, err := bench.CollectInference(inferenceScenario(dev, cfg))
+		if err != nil {
+			return nil, err
+		}
+		out[dev.Name] = samples
+	}
+	return out, nil
+}
+
+// table1FromSamples is Table 1's LOMO stage: evaluate the collected
+// dataset and render the table. Composing it after table1Samples is
+// exactly Table1 — the DAG's staged path and the flat path must agree
+// bit for bit.
+func table1FromSamples(cfg Config, byDev map[string][]core.Sample) (*Result, error) {
 	res := &Result{
 		ID:    "table1",
 		Title: "Table 1: per-ConvNet inference accuracy (LOMO)",
 		Stats: map[string]float64{},
 	}
 	text := ""
-	for _, dev := range []hwsim.Device{hwsim.XeonCore(), hwsim.A100()} {
-		samples, err := bench.CollectInference(inferenceScenario(dev, cfg))
-		if err != nil {
-			return nil, err
+	for _, dev := range table1Devices() {
+		samples, ok := byDev[dev.Name]
+		if !ok {
+			return nil, fmt.Errorf("experiments: table1 samples missing device %s", dev.Name)
 		}
 		ev, err := lomoEval(cfg, "table1/"+dev.Name, func() (*core.Evaluation, error) {
 			return core.EvaluateInferenceLOMO(samples)
@@ -124,6 +146,16 @@ func Table1(cfg Config) (*Result, error) {
 	}
 	res.Text = text
 	return res, nil
+}
+
+// Table1 reproduces Table 1 / Figure 3: per-ConvNet inference prediction
+// accuracy on the Xeon CPU and the A100 GPU under leave-one-model-out.
+func Table1(cfg Config) (*Result, error) {
+	samples, err := table1Samples(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return table1FromSamples(cfg, samples)
 }
 
 // Table2 reproduces Table 2 / Figure 4: block-wise inference prediction

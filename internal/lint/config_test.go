@@ -163,7 +163,7 @@ func TestRepoConfig(t *testing.T) {
 			t.Errorf("lint.config classifies %s as %q, want analytical", p, got)
 		}
 	}
-	for _, p := range []string{"exec", "hwsim", "hwreal", "netsim", "trainsim", "pipesim", "allreduce", "obs", "obs/ops", "driftwatch", "tracefmt"} {
+	for _, p := range []string{"exec", "hwsim", "hwreal", "netsim", "trainsim", "pipesim", "allreduce", "obs", "obs/ops", "driftwatch", "tracefmt", "dagrun"} {
 		if got := cfg.classify("convmeter/internal/" + p); got != "measured" {
 			t.Errorf("lint.config classifies %s as %q, want measured", p, got)
 		}
@@ -173,7 +173,7 @@ func TestRepoConfig(t *testing.T) {
 	}
 	// The replayability contract (DESIGN.md §6): the analytical side plus
 	// the measured packages whose output is replayed or diffed.
-	for _, p := range []string{"core", "metrics", "graph", "regress", "linalg", "faults", "checkpoint", "tracefmt", "driftwatch/streamstat"} {
+	for _, p := range []string{"core", "metrics", "graph", "regress", "linalg", "faults", "checkpoint", "tracefmt", "driftwatch/streamstat", "dagrun/manifest"} {
 		if !cfg.deterministicScope("convmeter/internal/" + p) {
 			t.Errorf("lint.config drops %s from the deterministic scope; the replayability contract must stay enforced", p)
 		}
@@ -200,10 +200,10 @@ func TestRepoConfig(t *testing.T) {
 	// observe paths must stay declared, or the hotpath analyzer stops
 	// guarding the numbers the paper's predictions are fitted to.
 	for pkg, roots := range map[string][]string{
-		"convmeter/internal/exec":                 {"conv2d", "linear", "attentionCore", "conv2dBackward"},
-		"convmeter/internal/allreduce":            {"chanRing.step"},
-		"convmeter/internal/obs":                  {"Counter.Add", "Gauge.Set", "Histogram.Observe", "Span.Context", "Span.LinkTo"},
-		"convmeter/internal/driftwatch":           {"Stream.Observe"},
+		"convmeter/internal/exec":                  {"conv2d", "linear", "attentionCore", "conv2dBackward"},
+		"convmeter/internal/allreduce":             {"chanRing.step"},
+		"convmeter/internal/obs":                   {"Counter.Add", "Gauge.Set", "Histogram.Observe", "Span.Context", "Span.LinkTo"},
+		"convmeter/internal/driftwatch":            {"Stream.Observe"},
 		"convmeter/internal/driftwatch/streamstat": {"Window.Add", "Window.Summary"},
 	} {
 		declared := map[string]bool{}

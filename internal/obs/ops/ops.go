@@ -9,6 +9,8 @@
 //	GET /trace         Chrome trace-event JSON of the spans finished so far
 //	GET /drift         the driftwatch monitor's prediction-quality state
 //	GET /critpath      the critical-path tracker's per-step attributions
+//	GET /dag           the experiment DAG's audit trail: per-node state,
+//	                   manifest hash, attempt count, blame
 //	GET /debug/pprof/  the standard profiling endpoints (obs.PprofHandler)
 //
 // The server instruments itself through the same registry it serves:
@@ -30,6 +32,7 @@ import (
 	"net/http"
 	"time"
 
+	"convmeter/internal/dagrun"
 	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
 	"convmeter/internal/obs/critpath"
@@ -50,6 +53,9 @@ type Config struct {
 	Drift *driftwatch.Monitor
 	// Crit supplies /critpath. May be nil (empty, schema-stamped report).
 	Crit *critpath.Tracker
+	// Dag supplies /dag — the experiment executor's live audit trail.
+	// May be nil (empty, schema-stamped report).
+	Dag *dagrun.Runner
 	// Ready gates /readyz; nil means ready as soon as the server is up.
 	Ready func() bool
 }
@@ -171,6 +177,10 @@ func Handler(cfg Config) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = cfg.Crit.WriteJSON(w)
 	})
+	handle("/dag", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Dag.WriteJSON(w)
+	})
 	// The pprof mux carries its own sub-routing; instrument it as one
 	// logical path.
 	pprofReqs := cfg.Obs.Counter(obs.Label("convmeter_ops_requests_total", "path", "/debug/pprof/"), "ops requests served")
@@ -194,6 +204,7 @@ func Handler(cfg Config) http.Handler {
 			"GET /trace         Chrome trace-event JSON\n"+
 			"GET /drift         prediction-drift monitor state\n"+
 			"GET /critpath      per-step critical-path attribution\n"+
+			"GET /dag           experiment DAG audit trail\n"+
 			"GET /debug/pprof/  profiling\n")
 	})
 	return mux

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"convmeter/internal/dagrun"
 	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
 	"convmeter/internal/obs/critpath"
@@ -72,8 +73,18 @@ func TestEndpoints(t *testing.T) {
 		Dominant: critpath.ClassWait, Blame: 1, BlameWait: 0.025,
 		Workers: []critpath.WorkerAttribution{{Worker: 1, CausedWait: 0.025}},
 	})
+	dag, err := dagrun.New(dagrun.Config{Workers: 2, Obs: o}, []dagrun.Node{
+		{ID: "fit", Run: func(in dagrun.Inputs) (any, error) { return 1, nil }},
+		{ID: "report", Deps: []string{"fit"}, Run: func(in dagrun.Inputs) (any, error) { return 2, nil }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dag.Execute(); err != nil {
+		t.Fatal(err)
+	}
 	var ready atomic.Bool
-	srv := startTestServer(t, Config{Obs: o, Drift: mon, Ready: ready.Load, Crit: crit})
+	srv := startTestServer(t, Config{Obs: o, Drift: mon, Ready: ready.Load, Crit: crit, Dag: dag})
 	base := "http://" + srv.Addr()
 
 	status, body, hdr := get(t, base+"/metrics")
@@ -158,6 +169,27 @@ func TestEndpoints(t *testing.T) {
 		t.Errorf("/metrics misses critpath gauges:\n%s", body)
 	}
 
+	status, body, _ = get(t, base+"/dag")
+	if status != http.StatusOK {
+		t.Fatalf("/dag status %d", status)
+	}
+	var dagDoc dagrun.Report
+	if err := json.Unmarshal([]byte(body), &dagDoc); err != nil {
+		t.Fatalf("/dag invalid JSON: %v\n%s", err, body)
+	}
+	if dagDoc.Schema != dagrun.SchemaV1 || len(dagDoc.Nodes) != 2 {
+		t.Errorf("/dag = %+v", dagDoc)
+	}
+	for _, n := range dagDoc.Nodes {
+		if n.State != dagrun.StateDone {
+			t.Errorf("/dag node %s state %s, want done", n.ID, n.State)
+		}
+	}
+	// The executor's gauges are live on the metrics endpoint too.
+	if _, body, _ := get(t, base+"/metrics"); !strings.Contains(body, `convmeter_dag_nodes{state="done"} 2`) {
+		t.Errorf("/metrics misses dag gauges:\n%s", body)
+	}
+
 	if status, body, _ := get(t, base+"/debug/pprof/"); status != http.StatusOK || !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ = %d %q", status, body)
 	}
@@ -200,6 +232,17 @@ func TestNilHandlesServeValidPayloads(t *testing.T) {
 	}
 	if critDoc.Schema != critpath.SchemaV1 || len(critDoc.Steps) != 0 {
 		t.Errorf("/critpath on nil tracker = %+v, want empty schema-stamped report", critDoc)
+	}
+	status, body, _ = get(t, base+"/dag")
+	if status != http.StatusOK {
+		t.Fatalf("/dag status %d", status)
+	}
+	var dagDoc dagrun.Report
+	if err := json.Unmarshal([]byte(body), &dagDoc); err != nil {
+		t.Fatalf("/dag on nil runner invalid: %v\n%s", err, body)
+	}
+	if dagDoc.Schema != dagrun.SchemaV1 || len(dagDoc.Nodes) != 0 {
+		t.Errorf("/dag on nil runner = %+v, want empty schema-stamped report", dagDoc)
 	}
 }
 
