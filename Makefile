@@ -57,19 +57,20 @@ obs-smoke:
 obs-bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/obs
 
-# bench-snapshot: capture the perf baseline — run the benchmark suites,
-# write the benchstat-comparable BENCH_1.json snapshot and validate it
-# with obscheck. The snapshot is committed so every later PR has a
-# trajectory to diff against.
+# bench-snapshot: advance the perf baseline — run the benchmark suites,
+# write the next snapshot in the committed BENCH_<n>.json trajectory
+# and validate it with obscheck. The same run is also checked against
+# the previous baseline, so a regressed build cannot silently become
+# the new normal: fix the regression first, then re-snapshot.
 bench-snapshot:
-	$(GO) run ./cmd/benchsnap -out BENCH_1.json
-	$(GO) run ./cmd/obscheck -bench BENCH_1.json
+	$(GO) run ./cmd/benchsnap -out BENCH_2.json -check BENCH_1.json
+	$(GO) run ./cmd/obscheck -bench BENCH_2.json
 
 # bench-check: re-run the suites and fail on a >15% ns/op regression
 # against the committed baseline, or on any 0-allocs/op benchmark that
 # started allocating (the dynamic half of the hotpath contract).
 bench-check:
-	$(GO) run ./cmd/benchsnap -check BENCH_1.json
+	$(GO) run ./cmd/benchsnap -check BENCH_2.json
 
 # critpath-smoke: the distributed-tracing acceptance path. First the
 # blame chaos suite under the race detector (seeded straggler must be

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"convmeter/internal/lint"
+)
+
+// TestSarifReportShape pins the SARIF subset GitHub code scanning
+// needs: schema/version header, one run whose driver lists every suite
+// analyzer as a rule, and per-finding results with repo-relative
+// %SRCROOT% locations. A silent run still declares its rules.
+func TestSarifReportShape(t *testing.T) {
+	suite := lint.Suite(&lint.Config{})
+	findings := []lint.Finding{
+		{
+			Analyzer: "lifetime",
+			Pos:      token.Position{Filename: "internal/allreduce/tcp.go", Line: 42, Column: 7},
+			Message:  "connection is not released on every path",
+			Why:      "acquired by net.Dial",
+		},
+		{
+			Analyzer: "lint",
+			Pos:      token.Position{Filename: "internal/obs/obs.go", Line: 3, Column: 1},
+			Message:  "stale //lint:ignore directive",
+		},
+	}
+	log := sarifReport(suite, findings)
+
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Fatalf("not a SARIF 2.1.0 log: version=%q schema=%q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "convlint" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ruleIDs := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		if ruleIDs[r.ID] {
+			t.Errorf("duplicate rule id %q", r.ID)
+		}
+		ruleIDs[r.ID] = true
+		if r.ShortDescription.Text == "" {
+			t.Errorf("rule %q has no description", r.ID)
+		}
+	}
+	for _, want := range []string{"boundary", "hotpath", "lifetime", "ctxflow", "chanproto", "lint"} {
+		if !ruleIDs[want] {
+			t.Errorf("driver rules missing %q (got %v)", want, ruleIDs)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(run.Results))
+	}
+	r0 := run.Results[0]
+	if r0.RuleID != "lifetime" || r0.Level != "error" {
+		t.Errorf("result 0 = %+v", r0)
+	}
+	if !strings.Contains(r0.Message.Text, "why: acquired by net.Dial") {
+		t.Errorf("why chain dropped from message: %q", r0.Message.Text)
+	}
+	loc := r0.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/allreduce/tcp.go" || loc.ArtifactLocation.URIBaseID != "%SRCROOT%" {
+		t.Errorf("artifact location = %+v", loc.ArtifactLocation)
+	}
+	if loc.Region.StartLine != 42 || loc.Region.StartColumn != 7 {
+		t.Errorf("region = %+v", loc.Region)
+	}
+	if !ruleIDs[run.Results[1].RuleID] {
+		t.Errorf("result rule %q not declared by the driver", run.Results[1].RuleID)
+	}
+
+	// The log must serialise to valid JSON with the fields GitHub keys
+	// on spelled exactly.
+	raw, err := json.Marshal(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"$schema"`, `"ruleId"`, `"uriBaseId"`, `"startLine"`, `"physicalLocation"`} {
+		if !strings.Contains(string(raw), key) {
+			t.Errorf("serialised SARIF missing key %s", key)
+		}
+	}
+}
+
+// TestSarifEmptyRun: a clean repo still produces a structurally valid
+// log (runs[0].results == [] — never null, which upload-sarif rejects).
+func TestSarifEmptyRun(t *testing.T) {
+	raw, err := json.Marshal(sarifReport(lint.Suite(&lint.Config{}), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"results":[]`) {
+		t.Errorf("empty run must serialise results as [], got:\n%s", raw)
+	}
+}

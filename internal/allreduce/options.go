@@ -66,6 +66,10 @@ func (r RetryPolicy) StepBackoff(attempt int, salt uint64) time.Duration {
 // plain fast path: no deadlines, no retries, no fault injection.
 type Options struct {
 	// Ctx cancels the run early; nil means context.Background().
+	// The options-struct idiom: Options is consumed once at the top of a
+	// run and never outlives it, so the stored-context hazard (a context
+	// outliving its request) cannot arise.
+	//lint:ignore ctxflow options struct consumed at run start, does not outlive the request
 	Ctx context.Context
 	// OpTimeout is the deadline for one chunk send or receive; 0 means
 	// defaultOpTimeout when any resilience feature is active.

@@ -95,20 +95,28 @@ func RingTCPOpts(vectors [][]float32, opts Options) error {
 		}(i)
 	}
 	wg.Wait()
+	// The teardown must be registered before the wiring-error check:
+	// when one dial or accept fails, its peers may already hold live
+	// sockets, and returning above a later-registered defer would leak
+	// them. Partial wiring leaves nil entries, hence the guards.
+	closeAll := func() {
+		for _, c := range inConns {
+			if c != nil {
+				_ = c.Close() // teardown of loopback conns; nothing to report to
+			}
+		}
+		for _, c := range outConns {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}
+	defer closeAll()
 	for _, err := range errs {
 		if err != nil {
 			return fmt.Errorf("allreduce: ring wiring: %w", err)
 		}
 	}
-	closeAll := func() {
-		for _, c := range inConns {
-			_ = c.Close() // teardown of loopback conns; nothing to report to
-		}
-		for _, c := range outConns {
-			_ = c.Close()
-		}
-	}
-	defer closeAll()
 	if opts.Ctx != nil {
 		// External cancellation tears the sockets down, unblocking any
 		// worker mid-read; per-op deadlines bound everything else.
@@ -315,7 +323,18 @@ func dialRetry(addr string, opts Options, rt *ringTelemetry, salt uint64) (net.C
 			return nil, err
 		}
 		rt.retry()
-		time.Sleep(opts.Retry.backoff(attempt, salt))
+		// The backoff pause must honour cancellation: a plain Sleep keeps
+		// a cancelled run wired up for the full backoff schedule.
+		t := time.NewTimer(opts.Retry.backoff(attempt, salt))
+		select {
+		case <-opts.ctx().Done():
+			t.Stop()
+			return nil, fmt.Errorf("allreduce: dial %s: %w", addr, opts.ctx().Err())
+		case <-t.C:
+			// Stop on a fired timer is a no-op; keeps the release
+			// unconditional on every path out of the loop.
+			t.Stop()
+		}
 	}
 }
 

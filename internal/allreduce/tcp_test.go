@@ -2,7 +2,12 @@ package allreduce
 
 import (
 	"bytes"
+	"context"
+	"net"
+	"os"
+	"strings"
 	"testing"
+	"time"
 
 	"convmeter/internal/obs"
 )
@@ -111,5 +116,83 @@ func TestChunkFraming(t *testing.T) {
 	frame[frameHeaderLen+2] ^= 0x10 // flip a payload bit
 	if _, err := readChunk(bytes.NewReader(frame), len(orig), nil); err == nil {
 		t.Fatal("expected CRC rejection")
+	}
+}
+
+// countFDs reports the number of open file descriptors, or -1 where
+// /proc is unavailable.
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// TestRingTCPWiringFailureClosesConns reproduces the partial-wiring
+// leak: when the accept side of the ring times out while the dials
+// succeed (a peer that wires half its sockets, then stalls), the
+// wiring-error return must tear down the connections that *were*
+// established. The pre-fix code registered the teardown defer below the
+// error check, so every dialled conn outlived the call.
+//
+// The scenario is forced deterministically: OpTimeout is chosen so the
+// accept-deadline product overflows to zero (deadline = now, accepts
+// fail immediately) while the dialer timeout stays effectively
+// unbounded (dials succeed against the listener backlog).
+func TestRingTCPWiringFailureClosesConns(t *testing.T) {
+	before := countFDs(t)
+	if before < 0 {
+		t.Skip("/proc/self/fd unavailable; fd accounting needs Linux")
+	}
+	vectors, _ := makeVectors(3, 16, 7)
+	err := RingTCPOpts(vectors, Options{
+		OpTimeout: 1 << 62, // ×(attempts+1)=4 wraps to 0: accept deadline = now
+		Retry:     RetryPolicy{Attempts: 3, Backoff: time.Millisecond, Max: time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("expected a ring wiring error from the expired accept deadline")
+	}
+	if !strings.Contains(err.Error(), "ring wiring") {
+		t.Fatalf("error %v is not a wiring failure; the scenario no longer exercises the teardown path", err)
+	}
+	if after := countFDs(t); after > before {
+		t.Fatalf("wiring failure leaked %d file descriptor(s): %d before, %d after", after-before, before, after)
+	}
+}
+
+// TestDialRetryBackoffHonoursCancellation guards the backoff pause in
+// dialRetry: once the run's context is cancelled, the retry loop must
+// return promptly instead of sleeping out the remaining backoff
+// schedule. The pre-fix time.Sleep kept a cancelled run pinned for the
+// full pause (10s here; the test allows 2s of scheduler slack).
+func TestDialRetryBackoffHonoursCancellation(t *testing.T) {
+	// Bind then close a port so dials fail instantly with refused.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	c, err := dialRetry(addr, Options{
+		Ctx:       ctx,
+		OpTimeout: time.Second,
+		Retry:     RetryPolicy{Attempts: 100, Backoff: 10 * time.Second, Max: 10 * time.Second},
+	}, nil, 1)
+	if err == nil {
+		_ = c.Close()
+		t.Fatal("expected a dial error against a closed port")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dialRetry returned after %v; the backoff pause must honour cancellation", elapsed)
 	}
 }

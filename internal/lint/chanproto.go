@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewChanproto constructs the channel-protocol analyzer for packages
+// declared `chanproto` in lint.config. It reasons about the channel
+// operations of one function *set* — the function body plus every
+// goroutine it launches — because that is the unit inside which Go's
+// channel-closing contract ("the sender closes, nobody else") can be
+// checked statically. Four rules:
+//
+//	A. close-by-sender-only: a region (the main body or one launched
+//	   goroutine) that closes a local channel it never sends on, while
+//	   a sibling region does send, is closing from the receiver side —
+//	   the classic recipe for "send on closed channel" panics. A region
+//	   that joins the senders first (a Wait() call before the close) is
+//	   exempt: that is the coordinator-close idiom.
+//
+//	B. send-after-close: a send lexically below a close of the same
+//	   channel in the same region panics on every execution that
+//	   reaches it.
+//
+//	C. unbounded channels where boundedness is the contract: an
+//	   unbuffered `make(chan T)` inside a loop, or anywhere in a
+//	   function reachable from the `hotpath` roots declared in
+//	   lint.config, introduces a synchronous handoff (and an
+//	   allocation) on a path the paper's measurements assume is
+//	   allocation-free and non-blocking. The `-why` chain shows the
+//	   call path from the declared root.
+//
+//	D. unterminable goroutine loops: `go func() { for { select {…} } }`
+//	   (directly, or one call deep into a same-package function — the
+//	   gap v1's syntactic goleak deliberately left) where no select
+//	   case returns is a goroutine that outlives its spawner with no
+//	   cancellation path. Every such loop needs a `<-ctx.Done()` or
+//	   done-channel case that returns.
+//
+// Channels reached through struct fields are out of scope (their
+// protocol spans functions and is the lockcheck/goleak analyzers'
+// territory); only channels held in locals and parameters are tracked.
+func NewChanproto(cfg *Config) *Analyzer {
+	return &Analyzer{
+		Name: "chanproto",
+		Doc:  "channel protocol safety: close-by-sender-only, no send-after-close, no unbounded channels in loops or hot paths, no unterminable goroutine select-loops",
+		Run: func(pass *Pass) {
+			if pass.Pkg.TypesInfo == nil || !cfg.chanprotoScope(pass.Pkg.ImportPath) {
+				return
+			}
+			hot := hotReach(pass, cfg)
+			for _, file := range pass.Pkg.Files {
+				if isTestFile(pass.Pkg.Fset, file.Pos()) {
+					continue
+				}
+				for _, decl := range file.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					checkChanFunc(pass, fd, hot)
+				}
+			}
+		},
+	}
+}
+
+// chanOp is one channel operation attributed to a region.
+type chanOp struct {
+	kind   string // "send", "recv", "close"
+	region int
+	pos    token.Pos
+}
+
+// chanRegions collects per-channel-object operations across the
+// function set: region 0 is the main body, each launched goroutine
+// literal gets its own region. Closures not launched via `go` run on
+// the caller's goroutine and stay in the enclosing region.
+type chanRegions struct {
+	pass    *Pass
+	ops     map[types.Object][]chanOp
+	waits   map[int][]token.Pos // positions of Wait() calls per region
+	regions int
+}
+
+// checkChanFunc runs all four rules on one declaration.
+func checkChanFunc(pass *Pass, fd *ast.FuncDecl, hot map[*types.Func]string) {
+	cr := &chanRegions{pass: pass, ops: map[types.Object][]chanOp{}, waits: map[int][]token.Pos{}}
+	cr.collect(fd.Body, 0, false)
+	cr.reportCloseRules()
+
+	info := pass.Pkg.TypesInfo
+
+	// Rule C: unbuffered make(chan T) in loops or hot-reachable code.
+	var chain string
+	if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+		chain = hot[obj]
+	}
+	var inLoop func(n ast.Node, depth int)
+	inLoop = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			switch x := c.(type) {
+			case *ast.ForStmt:
+				inLoop(x.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				inLoop(x.Body, depth+1)
+				return false
+			case *ast.CallExpr:
+				if isUnbufferedMakeChan(info, x) {
+					switch {
+					case depth > 0:
+						pass.Reportf("chanproto", x.Pos(),
+							"unbuffered make(chan) inside a loop: every iteration allocates and every send blocks until a receiver arrives; hoist it or give it capacity")
+					case chain != "":
+						pass.ReportWhyf("chanproto", x.Pos(), chain,
+							"unbuffered make(chan) on a hot path: the synchronous handoff blocks the measured kernel; give it capacity or move it off the hot path")
+					}
+				}
+			}
+			return true
+		})
+	}
+	inLoop(fd.Body, 0)
+
+	// Rule D: unterminable select-loops in launched goroutines, looking
+	// one call deep into same-package named functions — the gap goleak's
+	// named-function exemption leaves open.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		switch fun := gs.Call.Fun.(type) {
+		case *ast.FuncLit:
+			if pos, ok := unterminableSelectLoop(fun.Body); ok {
+				pass.Reportf("chanproto", pos,
+					"select loop in a spawned goroutine has no terminating case; add a <-ctx.Done() or done-channel case that returns, or the goroutine outlives its spawner")
+			}
+		case *ast.Ident, *ast.SelectorExpr:
+			callee := calleeFunc(info, gs.Call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != pass.Pkg.ImportPath {
+				return true
+			}
+			if body := funcBody(pass, callee); body != nil {
+				if pos, ok := unterminableSelectLoop(body); ok {
+					line := pass.Pkg.Fset.Position(gs.Pos()).Line
+					pass.ReportWhyf("chanproto", pos,
+						fmtGoChain(line, callee.Name()),
+						"select loop has no terminating case and runs on a goroutine spawned at line %d; add a <-ctx.Done() or done-channel case that returns",
+						line)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func fmtGoChain(line int, name string) string {
+	return "go statement at line " + itoa(line) + " → " + name
+}
+
+// itoa avoids pulling strconv into the hot import set for one call.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// collect walks a body attributing channel ops to regions.
+func (cr *chanRegions) collect(n ast.Node, region int, skipGo bool) {
+	info := cr.pass.Pkg.TypesInfo
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch x := c.(type) {
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				cr.regions++
+				cr.collect(lit.Body, cr.regions, false)
+				for _, arg := range x.Call.Args {
+					cr.collect(arg, region, false)
+				}
+				return false
+			}
+		case *ast.SendStmt:
+			if obj := cr.chanObj(x.Chan); obj != nil {
+				cr.ops[obj] = append(cr.ops[obj], chanOp{"send", region, x.Pos()})
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if obj := cr.chanObj(x.X); obj != nil {
+					cr.ops[obj] = append(cr.ops[obj], chanOp{"recv", region, x.Pos()})
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := cr.chanObj(x.X); obj != nil {
+				cr.ops[obj] = append(cr.ops[obj], chanOp{"recv", region, x.Pos()})
+			}
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && len(x.Args) == 1 {
+					if obj := cr.chanObj(x.Args[0]); obj != nil {
+						cr.ops[obj] = append(cr.ops[obj], chanOp{"close", region, x.Pos()})
+					}
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				cr.waits[region] = append(cr.waits[region], x.Pos())
+			}
+		}
+		return true
+	})
+}
+
+// chanObj resolves a channel expression to a local identifier's object;
+// nil for fields, globals and anything else out of scope.
+func (cr *chanRegions) chanObj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := cr.pass.Pkg.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = cr.pass.Pkg.TypesInfo.Defs[id]
+	}
+	if obj == nil || obj.Parent() == nil {
+		return nil
+	}
+	if _, ok := obj.Type().Underlying().(*types.Chan); !ok {
+		return nil
+	}
+	// Package-scope channels span function sets; skip them.
+	if obj.Parent() == cr.pass.Pkg.TypesPkg.Scope() {
+		return nil
+	}
+	return obj
+}
+
+// reportCloseRules applies rules A and B to the collected ops.
+func (cr *chanRegions) reportCloseRules() {
+	for _, ops := range cr.ops {
+		sendsIn := map[int]bool{}
+		for _, op := range ops {
+			if op.kind == "send" {
+				sendsIn[op.region] = true
+			}
+		}
+		for _, op := range ops {
+			if op.kind != "close" {
+				continue
+			}
+			// Rule B: a send in the same region lexically after the close.
+			for _, other := range ops {
+				if other.kind == "send" && other.region == op.region && other.pos > op.pos {
+					cr.pass.Reportf("chanproto", other.pos,
+						"send on a channel closed at line %d; this panics on every execution that reaches it",
+						cr.pass.Pkg.Fset.Position(op.pos).Line)
+				}
+			}
+			// Rule A: closing a channel this region never sends on while
+			// another region does, without joining the senders first.
+			if sendsIn[op.region] {
+				continue
+			}
+			otherSends := false
+			for r := range sendsIn {
+				if r != op.region {
+					otherSends = true
+				}
+			}
+			if !otherSends {
+				continue
+			}
+			joined := false
+			for _, wp := range cr.waits[op.region] {
+				if wp < op.pos {
+					joined = true
+				}
+			}
+			if joined {
+				continue
+			}
+			cr.pass.Reportf("chanproto", op.pos,
+				"close on a channel this goroutine only receives from while another goroutine sends; close from the sender side, or join the senders (Wait) before closing")
+		}
+	}
+}
+
+// unterminableSelectLoop finds a `for { select {…} }` with no case that
+// returns, reporting the for-statement's position.
+func unterminableSelectLoop(body *ast.BlockStmt) (token.Pos, bool) {
+	var found token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != token.NoPos {
+			return false
+		}
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil || fs.Init != nil || fs.Post != nil {
+			return true
+		}
+		var sel *ast.SelectStmt
+		for _, s := range fs.Body.List {
+			if ss, ok := s.(*ast.SelectStmt); ok {
+				sel = ss
+			}
+		}
+		if sel == nil {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			terminates := false
+			for _, s := range cc.Body {
+				ast.Inspect(s, func(b ast.Node) bool {
+					switch br := b.(type) {
+					case *ast.ReturnStmt:
+						terminates = true
+					case *ast.BranchStmt:
+						// A labeled break/goto escapes the loop; a bare
+						// break only leaves the select.
+						if br.Label != nil {
+							terminates = true
+						}
+					case *ast.FuncLit:
+						return false
+					}
+					return true
+				})
+			}
+			if terminates {
+				return true // exempt: some case exits the loop
+			}
+		}
+		found = fs.Pos()
+		return false
+	})
+	return found, found != token.NoPos
+}
+
+// funcBody returns the body of a same-package function's declaration.
+func funcBody(pass *Pass, f *types.Func) *ast.BlockStmt {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pass.Pkg.TypesInfo.Defs[fd.Name] == f {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// isUnbufferedMakeChan matches `make(chan T)` with no capacity argument.
+func isUnbufferedMakeChan(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "make" || len(call.Args) != 1 {
+		return false
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	_, isChan := t.(*types.Chan)
+	return isChan
+}
+
+// hotReach computes, for every function reachable from the lint.config
+// hotpath roots of this package, the call chain from its root — the
+// same reachability hotpath itself uses, rebuilt here so rule C can
+// attach a -why chain without coupling the two analyzers' reporting.
+func hotReach(pass *Pass, cfg *Config) map[*types.Func]string {
+	roots := cfg.hotpathRoots(pass.Pkg.ImportPath)
+	if len(roots) == 0 {
+		return nil
+	}
+	g := buildHotGraph(pass)
+	chains := map[*types.Func]string{}
+	var queue []*types.Func
+	for _, r := range roots {
+		if fn, ok := g.byName[r]; ok {
+			chains[fn] = "declared root " + r
+			queue = append(queue, fn)
+		}
+		// Unknown roots are hotpath's finding to make, not ours.
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		fi := g.funcs[fn]
+		if fi == nil {
+			continue
+		}
+		for _, callee := range fi.calls {
+			if _, seen := chains[callee]; seen {
+				continue
+			}
+			ci := g.funcs[callee]
+			if ci == nil {
+				continue
+			}
+			chains[callee] = chains[fn] + " → " + ci.localName
+			queue = append(queue, callee)
+		}
+	}
+	return chains
+}

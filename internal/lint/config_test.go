@@ -91,6 +91,52 @@ hotpath       convmeter/internal/obs.Counter.Add
 	}
 }
 
+// TestParseConfigV4Scopes covers the convlint v4 stanzas: the three
+// analyzer scopes match on path segments, acquire pairs map function to
+// release method, and transfer/ctxroot form qualified-name sets.
+func TestParseConfigV4Scopes(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(`
+lifetime  convmeter/internal/allreduce
+ctxflow   convmeter/internal/obs
+chanproto convmeter/internal/exec
+acquire   convmeter/internal/obs.Tracer.Start End
+acquire   convmeter/internal/checkpoint.Open Close
+transfer  convmeter/internal/faults.WrapConn
+ctxroot   convmeter/internal/obs/ops.Server.Close
+`), "v4.config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.lifetimeScope("convmeter/internal/allreduce") || !cfg.lifetimeScope("convmeter/internal/allreduce/sub") {
+		t.Error("lifetime scope misses a declared package or its path-segment children")
+	}
+	if cfg.lifetimeScope("convmeter/internal/allreducer") {
+		t.Error("lifetime scope matched a non-segment prefix")
+	}
+	if cfg.lifetimeScope("convmeter/internal/obs") {
+		t.Error("ctxflow declaration leaked into the lifetime scope")
+	}
+	if !cfg.ctxflowScope("convmeter/internal/obs") {
+		t.Error("ctxflow scope misses a declared package")
+	}
+	if !cfg.chanprotoScope("convmeter/internal/exec") {
+		t.Error("chanproto scope misses a declared package")
+	}
+	acq := cfg.acquireSet()
+	if acq["convmeter/internal/obs.Tracer.Start"] != "End" || acq["convmeter/internal/checkpoint.Open"] != "Close" {
+		t.Errorf("acquire set %v misses declared pairs", acq)
+	}
+	if len(acq) != 2 {
+		t.Errorf("acquire set %v has stray entries", acq)
+	}
+	if !cfg.transferSet()["convmeter/internal/faults.WrapConn"] {
+		t.Errorf("transfer set %v misses the declared sink", cfg.transferSet())
+	}
+	if !cfg.ctxrootSet()["convmeter/internal/obs/ops.Server.Close"] {
+		t.Errorf("ctxroot set %v misses the declared entry point", cfg.ctxrootSet())
+	}
+}
+
 // TestParseConfigDuplicatesAndConflicts: the same entry twice in one
 // stanza and a package classified on both sides of the boundary are
 // configuration bugs, not preferences.
@@ -103,6 +149,10 @@ measured convmeter/internal/core
 unit convmeter/internal/metrics.Seconds
 unit convmeter/internal/metrics.Seconds
 unit NoDotHere
+lifetime convmeter/internal/allreduce
+lifetime convmeter/internal/allreduce
+acquire convmeter/internal/obs.Tracer.Start End
+acquire convmeter/internal/obs.Tracer.Start Stop
 `), "dup.config")
 	if err == nil {
 		t.Fatal("duplicate and contradictory config parsed without error")
@@ -114,6 +164,10 @@ unit NoDotHere
 		`dup.config:7: duplicate unit entry`,
 		`"NoDotHere" is not a qualified type`,
 		`classified both analytical and measured`,
+		`dup.config:10: duplicate lifetime entry`,
+		// Two release methods for one acquire func is a contradiction,
+		// so the dup check keys on the function alone.
+		`dup.config:12: duplicate acquire entry`,
 	} {
 		if !strings.Contains(msg, want) {
 			t.Errorf("error does not report %q:\n%s", want, msg)
@@ -136,18 +190,34 @@ analytycal convmeter/internal/metrics
 measured
 allow convmeter/internal/core
 analytical a b c
+acquire convmeter/internal/obs.Tracer.Start
+acquire NoDot End
+acquire convmeter/internal/obs.Tracer.Start pkg.End
+transfer NoDot
+ctxroot NoDot
 `), "bad.config")
 	if err == nil {
 		t.Fatal("malformed config parsed without error")
 	}
 	msg := err.Error()
-	for _, wantLine := range []string{"bad.config:2", "bad.config:3", "bad.config:4", "bad.config:5"} {
+	for _, wantLine := range []string{"bad.config:2", "bad.config:3", "bad.config:4", "bad.config:5", "bad.config:6", "bad.config:7", "bad.config:8", "bad.config:9", "bad.config:10"} {
 		if !strings.Contains(msg, wantLine) {
 			t.Errorf("error does not report %s:\n%s", wantLine, msg)
 		}
 	}
 	if !strings.Contains(msg, "unknown directive") {
 		t.Errorf("error does not name the unknown directive:\n%s", msg)
+	}
+	for _, want := range []string{
+		`"acquire" takes a qualified function and a release method name`,
+		`acquire entry "NoDot" is not a qualified acquire`,
+		`acquire release "pkg.End" must be a bare method name`,
+		`transfer entry "NoDot" is not a qualified transfer`,
+		`ctxroot entry "NoDot" is not a qualified ctxroot`,
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error does not report %q:\n%s", want, msg)
+		}
 	}
 }
 
@@ -194,6 +264,34 @@ func TestRepoConfig(t *testing.T) {
 		if !units["convmeter/internal/metrics."+u] {
 			t.Errorf("lint.config drops unit metrics.%s; unitcheck would stop guarding it", u)
 		}
+	}
+	// The daemon-readiness contract (DESIGN.md §6c): resource lifetimes,
+	// context discipline and channel protocol are enforced module-wide —
+	// analytical packages simply have nothing to report.
+	for _, scope := range []struct {
+		name string
+		in   func(string) bool
+	}{
+		{"lifetime", cfg.lifetimeScope},
+		{"ctxflow", cfg.ctxflowScope},
+		{"chanproto", cfg.chanprotoScope},
+	} {
+		for _, p := range []string{"convmeter/internal/allreduce", "convmeter/internal/obs/ops", "convmeter/internal/dagrun", "convmeter/cmd/convmeter"} {
+			if !scope.in(p) {
+				t.Errorf("lint.config drops %s from the %s scope; the daemon-readiness contract must stay module-wide", p, scope.name)
+			}
+		}
+	}
+	// Every ctxroot entry is a hole in the cancellation-propagation
+	// contract: growing this set needs a test update with justification.
+	ctxroots := cfg.ctxrootSet()
+	for _, q := range []string{"convmeter/internal/obs/ops.Server.Close", "convmeter/internal/allreduce.Options.ctx"} {
+		if !ctxroots[q] {
+			t.Errorf("lint.config drops ctxroot %s; ctxflow would flag its deliberate root context", q)
+		}
+	}
+	if len(ctxroots) != 2 {
+		t.Errorf("lint.config has %d ctxroot entries; each one detaches work from caller deadlines and needs a test update with justification", len(ctxroots))
 	}
 	// The hot-path allocation contract: the kernels the runtime model
 	// measures, the collective inner step, and the always-on telemetry

@@ -26,6 +26,12 @@ func FuzzParseConfig(f *testing.F) {
 	f.Add("hotpath convmeter/internal/exec.conv2d\nhotpath convmeter/internal/obs.Counter.Add\n")
 	f.Add("hotpath NoDotHere\n")
 	f.Add("hotpath a.b\nhotpath a.b\n")
+	f.Add("lifetime convmeter/internal/allreduce\nctxflow convmeter/internal/obs\nchanproto convmeter/internal/exec\n")
+	f.Add("acquire convmeter/internal/obs.Tracer.Start End\nacquire a.b Close\n")
+	f.Add("acquire a.b End\nacquire a.b Stop\n") // contradictory release methods
+	f.Add("acquire a.b\nacquire NoDot End\nacquire a.b x.End\n")
+	f.Add("transfer a.b\ntransfer NoDot\nctxroot a.b\nctxroot NoDot\n")
+	f.Add("lifetime p\nlifetime p\nchanproto q\nchanproto q\n")
 
 	f.Fuzz(func(t *testing.T, input string) {
 		cfg, err := ParseConfig(strings.NewReader(input), "fuzz.config")
@@ -48,6 +54,11 @@ func FuzzParseConfig(f *testing.F) {
 			"lockcheck":     cfg.Lockcheck,
 			"unit":          cfg.Units,
 			"hotpath":       cfg.Hotpath,
+			"lifetime":      cfg.Lifetime,
+			"ctxflow":       cfg.Ctxflow,
+			"chanproto":     cfg.Chanproto,
+			"transfer":      cfg.Transfer,
+			"ctxroot":       cfg.Ctxroot,
 		} {
 			seen := map[string]bool{}
 			for _, e := range entries {
@@ -77,6 +88,29 @@ func FuzzParseConfig(f *testing.F) {
 				t.Fatalf("accepted unqualified hotpath entry %q", h)
 			}
 		}
+		for _, e := range cfg.Transfer {
+			if !strings.Contains(e, ".") {
+				t.Fatalf("accepted unqualified transfer entry %q", e)
+			}
+		}
+		for _, e := range cfg.Ctxroot {
+			if !strings.Contains(e, ".") {
+				t.Fatalf("accepted unqualified ctxroot entry %q", e)
+			}
+		}
+		acqSeen := map[string]bool{}
+		for _, a := range cfg.Acquire {
+			if !strings.Contains(a[0], ".") {
+				t.Fatalf("accepted unqualified acquire entry %q", a[0])
+			}
+			if strings.Contains(a[1], ".") || strings.Contains(a[1], "/") || a[1] == "" {
+				t.Fatalf("accepted acquire release %q that is not a bare method name", a[1])
+			}
+			if acqSeen[a[0]] {
+				t.Fatalf("accepted two release methods for acquire func %q", a[0])
+			}
+			acqSeen[a[0]] = true
+		}
 		// An accepted config must round-trip: re-serialising its entries
 		// as config lines and re-parsing yields the identical Config.
 		var sb strings.Builder
@@ -100,6 +134,24 @@ func FuzzParseConfig(f *testing.F) {
 		}
 		for _, e := range cfg.Hotpath {
 			fmt.Fprintf(&sb, "hotpath %s\n", e)
+		}
+		for _, e := range cfg.Lifetime {
+			fmt.Fprintf(&sb, "lifetime %s\n", e)
+		}
+		for _, e := range cfg.Ctxflow {
+			fmt.Fprintf(&sb, "ctxflow %s\n", e)
+		}
+		for _, e := range cfg.Chanproto {
+			fmt.Fprintf(&sb, "chanproto %s\n", e)
+		}
+		for _, a := range cfg.Acquire {
+			fmt.Fprintf(&sb, "acquire %s %s\n", a[0], a[1])
+		}
+		for _, e := range cfg.Transfer {
+			fmt.Fprintf(&sb, "transfer %s\n", e)
+		}
+		for _, e := range cfg.Ctxroot {
+			fmt.Fprintf(&sb, "ctxroot %s\n", e)
 		}
 		back, err := ParseConfig(strings.NewReader(sb.String()), "roundtrip.config")
 		if err != nil {
@@ -126,11 +178,19 @@ func equalConfig(a, b *Config) bool {
 	if !eq(a.Analytical, b.Analytical) || !eq(a.Measured, b.Measured) ||
 		!eq(a.Deterministic, b.Deterministic) || !eq(a.Lockcheck, b.Lockcheck) ||
 		!eq(a.Units, b.Units) || !eq(a.Hotpath, b.Hotpath) ||
-		len(a.Allow) != len(b.Allow) {
+		!eq(a.Lifetime, b.Lifetime) || !eq(a.Ctxflow, b.Ctxflow) ||
+		!eq(a.Chanproto, b.Chanproto) || !eq(a.Transfer, b.Transfer) ||
+		!eq(a.Ctxroot, b.Ctxroot) ||
+		len(a.Allow) != len(b.Allow) || len(a.Acquire) != len(b.Acquire) {
 		return false
 	}
 	for i := range a.Allow {
 		if a.Allow[i] != b.Allow[i] {
+			return false
+		}
+	}
+	for i := range a.Acquire {
+		if a.Acquire[i] != b.Acquire[i] {
 			return false
 		}
 	}

@@ -427,8 +427,8 @@ type hotScanner struct {
 	why    string
 	isRoot bool
 
-	fn       ast.Node             // enclosing FuncDecl body owner or FuncLit, for capture checks
-	returned map[types.Object]bool // objects returned by the current function
+	fn       ast.Node                // enclosing FuncDecl body owner or FuncLit, for capture checks
+	returned map[types.Object]bool   // objects returned by the current function
 	sliceVar map[types.Object]string // local slice vars: "nocap" or "cap"
 }
 

@@ -80,6 +80,14 @@ func fixtureConfig() *Config {
 			"convmeter/internal/lint/testdata/hotpath.ring.step",
 			"convmeter/internal/lint/testdata/hotdefer.Root",
 		},
+		Lifetime:  []string{"convmeter/internal/lint/testdata/lifetime"},
+		Ctxflow:   []string{"convmeter/internal/lint/testdata/ctxflow"},
+		Chanproto: []string{"convmeter/internal/lint/testdata/chanproto"},
+		Acquire: [][2]string{
+			{"convmeter/internal/lint/testdata/lifetime.newHandle", "Release"},
+		},
+		Transfer: []string{"convmeter/internal/lint/testdata/lifetime.register"},
+		Ctxroot:  []string{"convmeter/internal/lint/testdata/ctxflow.Main"},
 	}
 }
 
@@ -90,7 +98,7 @@ func fixtureConfig() *Config {
 func TestAnalyzerFixtures(t *testing.T) {
 	root := repoRoot(t)
 	loader := NewLoader(root)
-	for _, name := range []string{"boundary", "floatcmp", "droppederr", "synccopy", "goleak", "determinism", "unitcheck", "lockcheck", "hotpath", "hotdefer"} {
+	for _, name := range []string{"boundary", "floatcmp", "droppederr", "synccopy", "goleak", "determinism", "unitcheck", "lockcheck", "hotpath", "hotdefer", "lifetime", "ctxflow", "chanproto"} {
 		t.Run(name, func(t *testing.T) {
 			dir := filepath.Join(root, "internal", "lint", "testdata", name)
 			pkg, err := loader.LoadDir(dir, "convmeter/internal/lint/testdata/"+name)
@@ -169,6 +177,34 @@ func TestHotpathWhyChain(t *testing.T) {
 	}
 	if !found {
 		t.Error("no finding for the method-root chain (ring.note)")
+	}
+}
+
+// TestChanprotoHotChain drives chanproto's hot-reachability rule in
+// isolation: with HotRoot declared a hotpath root, the unbuffered
+// channel two frames down is a finding carrying the root→callee chain.
+// (The full-suite fixture run leaves the root undeclared so the hotpath
+// analyzer's own allocation findings stay out of the marker set.)
+func TestChanprotoHotChain(t *testing.T) {
+	root := repoRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "chanproto")
+	pkg, err := NewLoader(root).LoadDir(dir, "convmeter/internal/lint/testdata/chanproto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fixtureConfig()
+	cfg.Hotpath = []string{"convmeter/internal/lint/testdata/chanproto.HotRoot"}
+	var hot []Finding
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{NewChanproto(cfg)}) {
+		if strings.Contains(f.Message, "hot path") {
+			hot = append(hot, f)
+		}
+	}
+	if len(hot) != 1 {
+		t.Fatalf("got %d hot-path chanproto findings, want 1: %v", len(hot), hot)
+	}
+	if want := "declared root HotRoot → hotInner"; !strings.Contains(hot[0].Why, want) {
+		t.Errorf("finding why = %q, want it to contain %q", hot[0].Why, want)
 	}
 }
 

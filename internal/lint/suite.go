@@ -1,8 +1,9 @@
 package lint
 
 // Suite returns the full convlint analyzer set in reporting order.
-// The boundary, determinism, unitcheck, lockcheck, hotpath and
-// hotdefer analyzers read their scope from the repo's lint.config.
+// The boundary, determinism, unitcheck, lockcheck, hotpath, hotdefer,
+// lifetime, ctxflow and chanproto analyzers read their scope from the
+// repo's lint.config.
 func Suite(cfg *Config) []*Analyzer {
 	return []*Analyzer{
 		NewBoundary(cfg),
@@ -11,6 +12,9 @@ func Suite(cfg *Config) []*Analyzer {
 		NewLockCheck(cfg),
 		NewHotPath(cfg),
 		NewHotDefer(cfg),
+		NewLifetime(cfg),
+		NewCtxflow(cfg),
+		NewChanproto(cfg),
 		FloatCmp,
 		DroppedErr,
 		SyncCopy,

@@ -1,0 +1,151 @@
+// Package chanproto seeds the channel-protocol analyzer's fixture
+// findings: receiver-side closes, send-after-close, unbounded channels
+// in loops and hot-reachable code, and unterminable goroutine
+// select-loops (directly and one call deep, the gap goleak's
+// named-function exemption leaves) — plus the exempt idioms
+// (coordinator close after join, sender-side close, cancellable loops)
+// and a named suppression.
+package chanproto
+
+import (
+	"context"
+	"sync"
+)
+
+// --- true positives ---------------------------------------------------
+
+// closeByReceiver closes a channel it only receives from while the
+// spawned goroutine is still sending: a send-on-closed panic waiting
+// for the right interleaving.
+func closeByReceiver() int {
+	ch := make(chan int, 4)
+	go func() {
+		for i := 0; i < 4; i++ {
+			ch <- i
+		}
+	}()
+	total := <-ch
+	close(ch) // want chanproto
+	return total
+}
+
+// sendAfterClose panics on every execution that reaches the send.
+func sendAfterClose() {
+	done := make(chan struct{}, 1)
+	close(done)
+	done <- struct{}{} // want chanproto
+}
+
+// perIterationChan allocates an unbuffered channel every iteration and
+// blocks on the synchronous handoff.
+func perIterationChan(n int) {
+	for i := 0; i < n; i++ {
+		ack := make(chan struct{}) // want chanproto
+		go func() { ack <- struct{}{} }()
+		<-ack
+	}
+}
+
+// spawnUnstoppable launches a select loop with no terminating case:
+// the goroutine outlives its spawner with no cancellation path.
+func spawnUnstoppable(in chan int, out chan int) {
+	go func() {
+		for { // want chanproto
+			select {
+			case v := <-in:
+				out <- v
+			}
+		}
+	}()
+}
+
+// pump.loop is the same defect one call deep — the named-function shape
+// goleak deliberately exempts and the call-graph-aware rule catches.
+type pump struct {
+	in  chan int
+	sum int
+}
+
+func (p *pump) loop() {
+	for { // want chanproto
+		select {
+		case v := <-p.in:
+			p.sum += v
+		}
+	}
+}
+
+func startPump(p *pump) {
+	go p.loop()
+}
+
+// --- exempt idioms ----------------------------------------------------
+
+// coordinatorClose joins the senders before closing: the Wait makes
+// the receiver-side close safe.
+func coordinatorClose(parts int) <-chan int {
+	var wg sync.WaitGroup
+	ch := make(chan int, parts)
+	for i := 0; i < parts; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			ch <- v
+		}(i)
+	}
+	wg.Wait()
+	close(ch)
+	return ch
+}
+
+// senderClose is the canonical contract: the goroutine that sends is
+// the one that closes.
+func senderClose(vals []int) <-chan int {
+	out := make(chan int, len(vals))
+	go func() {
+		for _, v := range vals {
+			out <- v
+		}
+		close(out)
+	}()
+	return out
+}
+
+// spawnStoppable has the cancellation case every long-lived select
+// loop needs.
+func spawnStoppable(ctx context.Context, in chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-in:
+				_ = v
+			}
+		}
+	}()
+}
+
+// HotRoot/hotInner carry the hot-reachability case: the unbuffered
+// channel below is only a finding when HotRoot is declared a hotpath
+// root (TestChanprotoHotChain drives that config); under the plain
+// fixture config this is cold code and stays silent.
+func HotRoot(n int) int { return hotInner(n) }
+
+func hotInner(n int) int {
+	ready := make(chan int)
+	go func() { ready <- n }()
+	return <-ready
+}
+
+// --- suppression ------------------------------------------------------
+
+// rendezvous wants the synchronous handoff; the directive records it.
+func rendezvous(n int) {
+	for i := 0; i < n; i++ {
+		//lint:ignore chanproto deliberate synchronous handoff per step
+		step := make(chan struct{})
+		go func() { close(step) }()
+		<-step
+	}
+}

@@ -1,0 +1,75 @@
+// Package ctxflow seeds the context-discipline analyzer's fixture
+// findings: misplaced ctx parameters, stored contexts, root contexts
+// below the declared entry points, and context-blind net/http calls —
+// plus the exempt idioms (ctxroot entry points, DialContext) and a
+// named suppression for the options-struct idiom.
+package ctxflow
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// --- true positives ---------------------------------------------------
+
+// ctxLast buries the context at the end of the signature.
+func ctxLast(addr string, ctx context.Context) error { // want ctxflow
+	<-ctx.Done()
+	_ = addr
+	return nil
+}
+
+// worker stores a context: it will outlive the request it belonged to.
+type worker struct {
+	ctx context.Context // want ctxflow
+}
+
+// orphanRoot mints a root context in library code, detaching the work
+// from every caller deadline.
+func orphanRoot() context.Context {
+	return context.Background() // want ctxflow
+}
+
+// dialBlind has a context and throws its deadline away at the socket.
+func dialBlind(ctx context.Context, addr string) (net.Conn, error) {
+	_ = ctx
+	return net.Dial("tcp", addr) // want ctxflow
+}
+
+// fetchBlind builds a request without the context it already has.
+func fetchBlind(ctx context.Context, url string) (*http.Request, error) {
+	_ = ctx
+	return http.NewRequest("GET", url, nil) // want ctxflow
+}
+
+// --- exempt idioms ----------------------------------------------------
+
+// Main is declared `ctxroot` in the fixture config: entry points own
+// the right to mint root contexts with their own budgets.
+func Main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	work(ctx)
+}
+
+// dialAware is the clean shape: ctx first, deadline propagated through
+// DialContext all the way into the socket.
+func dialAware(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", addr)
+}
+
+func work(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// --- suppression ------------------------------------------------------
+
+// options carries a context the sanctioned way: consumed once at call
+// start, never outliving the run — the directive records the idiom.
+type options struct {
+	//lint:ignore ctxflow options struct consumed at run start, does not outlive the request
+	Ctx context.Context
+}

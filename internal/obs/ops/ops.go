@@ -131,10 +131,16 @@ func Handler(cfg Config) http.Handler {
 		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
 			inflight.Add(1)
 			t0 := time.Now()
+			// Deferred, not sequential: a panicking handler (including
+			// http.ErrAbortHandler, which net/http re-raises per request)
+			// must still decrement the gauge and record the request, or
+			// inflight drifts upward until the daemon looks saturated.
+			defer func() {
+				durH.Observe(time.Since(t0).Seconds())
+				inflight.Add(-1)
+				reqs.Inc()
+			}()
 			h(w, r)
-			durH.Observe(time.Since(t0).Seconds())
-			inflight.Add(-1)
-			reqs.Inc()
 		})
 	}
 
@@ -187,9 +193,11 @@ func Handler(cfg Config) http.Handler {
 	pprofH := obs.PprofHandler()
 	mux.Handle("/debug/pprof/", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		inflight.Add(1)
+		defer func() {
+			inflight.Add(-1)
+			pprofReqs.Inc()
+		}()
 		pprofH.ServeHTTP(w, r)
-		inflight.Add(-1)
-		pprofReqs.Inc()
 	}))
 	handle("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {

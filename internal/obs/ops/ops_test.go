@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"strings"
 	"sync"
@@ -385,5 +386,35 @@ func TestCloseLeavesNoGoroutines(t *testing.T) {
 				runtime.NumGoroutine(), baseline, buf[:n])
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestInstrumentationSurvivesHandlerPanic guards the deferred
+// instrumentation in Handler: a panicking handler (net/http re-raises
+// http.ErrAbortHandler per request, and probe callbacks can blow up)
+// must still decrement the inflight gauge and count the request. The
+// pre-fix sequential form left the gauge permanently elevated until the
+// daemon looked saturated.
+func TestInstrumentationSurvivesHandlerPanic(t *testing.T) {
+	o := obs.New()
+	h := Handler(Config{Obs: o, Ready: func() bool { panic("probe exploded") }})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("handler panic did not propagate")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/readyz", nil))
+	}()
+	var sb strings.Builder
+	if err := o.Reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "convmeter_ops_inflight_requests 0") {
+		t.Errorf("inflight gauge leaked after a handler panic:\n%s", out)
+	}
+	if !strings.Contains(out, `convmeter_ops_requests_total{path="/readyz"} 1`) {
+		t.Errorf("panicking request was not counted:\n%s", out)
 	}
 }
