@@ -4,7 +4,7 @@
 GO       ?= go
 FUZZTIME ?= 15s
 
-.PHONY: build vet lint test race fuzz obs-smoke obs-bench bench-snapshot bench-check chaos critpath-smoke dag-smoke ci
+.PHONY: build vet lint test race fuzz obs-smoke obs-bench bench-snapshot bench-check chaos critpath-smoke dag-smoke alerts-smoke ci
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,28 @@ critpath-smoke:
 	$(GO) run ./cmd/obscheck -critpath .critpath-smoke/critpath-clean.json -forbid-blame
 	rm -rf .critpath-smoke
 
+# alerts-smoke: the SLO-alerting acceptance path. First the live e2e
+# matrix under the race detector (slowdown chaos run must fire the
+# critical drift-burn-rate rule, gate /readyz to 503 and report the
+# incident on /alerts and /api/query; the clean run must stay silent),
+# then end-to-end through the real binary: the slowdown run's exported
+# alert report must pass obscheck -alerts with drift-burn-rate required
+# to have fired, and the clean run's report with it forbidden. The
+# compressed -alerts-scale turns the 5m/1h SLO windows into a smoke-
+# sized timebase; -sample-interval matches the run's few-second span.
+alerts-smoke:
+	$(GO) test -race -count=1 -run 'TestRunAlerts' ./cmd/experiments
+	rm -rf .alerts-smoke && mkdir -p .alerts-smoke
+	$(GO) run ./cmd/experiments -run exttrainfaults -quick -faults-seed 7 -faults-profile slowdown \
+		-alerts-out .alerts-smoke/alerts-slow.json -alerts-scale 0.005 -sample-interval 25ms \
+		> .alerts-smoke/report-slow.txt
+	$(GO) run ./cmd/obscheck -alerts .alerts-smoke/alerts-slow.json -require-firing drift-burn-rate
+	$(GO) run ./cmd/experiments -run exttrainfaults -quick -faults-seed 7 -faults-profile none \
+		-alerts-out .alerts-smoke/alerts-clean.json -alerts-scale 0.005 -sample-interval 25ms \
+		> .alerts-smoke/report-clean.txt
+	$(GO) run ./cmd/obscheck -alerts .alerts-smoke/alerts-clean.json -forbid-firing drift-burn-rate
+	rm -rf .alerts-smoke
+
 # Short fuzz smoke of every fuzz target; seed corpora live under the
 # packages' testdata/fuzz/ directories and always run as part of `test`.
 fuzz:
@@ -140,4 +162,4 @@ dag-smoke:
 	$(GO) run ./cmd/obscheck -manifest .dag-smoke/run
 	rm -rf .dag-smoke
 
-ci: build vet lint test race obs-smoke chaos critpath-smoke dag-smoke bench-check
+ci: build vet lint test race obs-smoke chaos critpath-smoke dag-smoke alerts-smoke bench-check

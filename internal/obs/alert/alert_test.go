@@ -1,0 +1,329 @@
+package alert
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"convmeter/internal/obs"
+	"convmeter/internal/obs/tsdb"
+)
+
+// rig is a manual-clock obs+tsdb+engine stack for deterministic
+// lifecycle tests.
+type rig struct {
+	o   *obs.Obs
+	db  *tsdb.DB
+	e   *Engine
+	now time.Duration
+}
+
+func newRig(t *testing.T, rules []Rule) *rig {
+	t.Helper()
+	r := &rig{o: obs.New()}
+	r.db = tsdb.New(tsdb.Config{Obs: r.o, Clock: func() time.Duration { return r.now }, Capacity: 256})
+	r.e = New(Config{Obs: r.o, DB: r.db, Rules: rules})
+	if r.e == nil {
+		t.Fatal("New returned nil for an enabled config")
+	}
+	return r
+}
+
+// tick advances simulated time one second, samples, and evaluates.
+func (r *rig) tick() {
+	r.now += time.Second
+	r.db.Sync()
+	r.db.Sample(r.now)
+	r.e.Eval(r.now)
+}
+
+func (r *rig) state(name string) State {
+	for _, st := range r.e.Snapshot() {
+		if st.Rule == name {
+			return st.State
+		}
+	}
+	return ""
+}
+
+func TestNilEngineIsDisabled(t *testing.T) {
+	var e *Engine
+	e.Eval(0)
+	e.Start()
+	e.Stop()
+	if e.FiringCritical() != 0 {
+		t.Error("nil FiringCritical != 0")
+	}
+	if e.Snapshot() != nil || e.History() != nil {
+		t.Error("nil Snapshot/History not nil")
+	}
+	var buf bytes.Buffer
+	if err := e.WriteJSON(&buf, 0); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	if New(Config{}) != nil {
+		t.Error("New without Obs+DB must return nil")
+	}
+}
+
+func TestThresholdLifecycleAndLatch(t *testing.T) {
+	r := newRig(t, []Rule{{
+		Name: "hot", Severity: SevCritical, Kind: KindThreshold,
+		Series: "convmeter_hot_total", Mode: ModeRate,
+		Op: OpAbove, Value: 2, Window: 10 * time.Second,
+		Latch: 5 * time.Second,
+	}})
+	c := r.o.Counter("convmeter_hot_total", "t")
+	r.tick()
+	if got := r.state("hot"); got != StateInactive {
+		t.Fatalf("state before any data = %s, want inactive", got)
+	}
+	for i := 0; i < 5; i++ {
+		c.Add(10)
+		r.tick()
+	}
+	if got := r.state("hot"); got != StateFiring {
+		t.Fatalf("state under load = %s, want firing", got)
+	}
+	if r.e.FiringCritical() != 1 {
+		t.Fatalf("FiringCritical = %d, want 1", r.e.FiringCritical())
+	}
+	// Load stops; the rule must stay latched until 5s after it fired.
+	r.tick()
+	r.tick()
+	// The 10s rate window still sees the old increase for a while, so
+	// advance until the condition is genuinely false, then check the
+	// latch held and release happens.
+	for i := 0; i < 20 && r.state("hot") == StateFiring; i++ {
+		r.tick()
+	}
+	if got := r.state("hot"); got != StateResolved {
+		t.Fatalf("state after recovery = %s, want resolved", got)
+	}
+	if r.e.FiringCritical() != 0 {
+		t.Fatalf("FiringCritical after resolve = %d, want 0", r.e.FiringCritical())
+	}
+	hist := r.e.History()
+	if len(hist) != 2 {
+		t.Fatalf("history = %+v, want fire+resolve", hist)
+	}
+	if hist[0].To != StateFiring || hist[1].To != StateResolved || hist[1].T <= hist[0].T {
+		t.Errorf("malformed lifecycle history: %+v", hist)
+	}
+	// Latch: the resolve must come no earlier than Latch after the fire.
+	if hist[1].T-hist[0].T < 5 {
+		t.Errorf("latch violated: fired %.0fs, resolved %.0fs", hist[0].T, hist[1].T)
+	}
+}
+
+func TestLatchSuppressesFlap(t *testing.T) {
+	r := newRig(t, []Rule{{
+		Name: "flap", Severity: SevWarning, Kind: KindThreshold,
+		Series: "convmeter_flap_gauge", Mode: ModeValue,
+		Op: OpAbove, Value: 0.5, Window: 2 * time.Second,
+		Latch: time.Minute,
+	}})
+	g := r.o.Gauge("convmeter_flap_gauge", "t")
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			g.Set(1)
+		} else {
+			g.Set(0)
+		}
+		r.tick()
+	}
+	if got := r.state("flap"); got != StateFiring {
+		t.Fatalf("flapping rule state = %s, want firing (latched)", got)
+	}
+	fires := 0
+	for _, tr := range r.e.History() {
+		if tr.To == StateFiring {
+			fires++
+		}
+	}
+	if fires != 1 {
+		t.Errorf("latched rule fired %d times across a flap, want 1", fires)
+	}
+}
+
+func TestAbsenceRule(t *testing.T) {
+	r := newRig(t, []Rule{Absence("gone", SevWarning, "convmeter_feed_total", 5*time.Second)})
+	// Startup grace: no firing while the store is younger than the
+	// window, even though the series is absent.
+	for i := 0; i < 4; i++ {
+		r.tick()
+		if got := r.state("gone"); got != StateInactive {
+			t.Fatalf("absence fired during startup grace at t=%v: %s", r.now, got)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		r.tick()
+	}
+	if got := r.state("gone"); got != StateFiring {
+		t.Fatalf("absence state = %s, want firing once grace elapsed", got)
+	}
+	// The series appears; samples flow; the rule resolves.
+	r.o.Counter("convmeter_feed_total", "t").Inc()
+	for i := 0; i < 3; i++ {
+		r.tick()
+	}
+	if got := r.state("gone"); got != StateResolved {
+		t.Fatalf("absence state after feed appears = %s, want resolved", got)
+	}
+}
+
+// TestBurnRateMatrix drives the drift burn-rate rule through the same
+// shape the end-to-end smoke asserts: a clean run stays silent, a
+// degraded run fires via the fast window pair.
+func TestBurnRateMatrix(t *testing.T) {
+	run := func(errEvery int) (State, []Transition) {
+		scale := 1.0 / 60 // 5m->5s, 1h->60s
+		r := newRig(t, []Rule{BurnRate("burn", SevCritical,
+			"convmeter_err_total", "convmeter_ops_total", 0.001, scale)})
+		errs := r.o.Counter("convmeter_err_total", "t")
+		ops := r.o.Counter("convmeter_ops_total", "t")
+		for i := 1; i <= 90; i++ {
+			ops.Add(100)
+			if errEvery > 0 && i%errEvery == 0 {
+				errs.Inc()
+			}
+			r.tick()
+		}
+		return r.state("burn"), r.e.History()
+	}
+	st, hist := run(0)
+	if st != StateInactive || len(hist) != 0 {
+		t.Errorf("clean run: state=%s history=%+v, want inactive and empty", st, hist)
+	}
+	// 1 error per 100 ops = 1% burn >> 14.4 x 0.1% budget.
+	st, hist = run(1)
+	if st != StateFiring {
+		t.Errorf("degraded run: state=%s, want firing", st)
+	}
+	if len(hist) == 0 || hist[0].To != StateFiring {
+		t.Errorf("degraded run history = %+v, want a fire edge", hist)
+	}
+}
+
+// TestEvalDeterministic pins that two independently built stacks fed
+// the identical load produce identical transition histories.
+func TestEvalDeterministic(t *testing.T) {
+	run := func() []Transition {
+		r := newRig(t, BuiltinRules(1.0/60))
+		ev := r.o.Counter(obs.Label("convmeter_drift_events_total", "model", "m", "phase", "p"), "t")
+		pairs := r.o.Counter("convmeter_drift_pairs_total", "t")
+		for i := 1; i <= 60; i++ {
+			pairs.Add(50)
+			if i > 20 && i <= 40 {
+				ev.Add(3)
+			}
+			r.tick()
+		}
+		return r.e.History()
+	}
+	a, b := run(), run()
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Errorf("alert lifecycle not deterministic:\n%s\nvs\n%s", aj, bj)
+	}
+	if len(a) == 0 {
+		t.Error("builtin drift burn-rate never fired under sustained drift load")
+	}
+}
+
+func TestReportSchemaAndMetricsMirror(t *testing.T) {
+	r := newRig(t, []Rule{ThresholdRate("r1", SevCritical, "convmeter_x_total", OpAbove, 0, 5*time.Second)})
+	c := r.o.Counter("convmeter_x_total", "t")
+	for i := 0; i < 3; i++ {
+		c.Add(5)
+		r.tick()
+	}
+	var buf bytes.Buffer
+	if err := r.e.WriteJSON(&buf, r.now); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != ReportSchema {
+		t.Errorf("schema = %q, want %q", rep.Schema, ReportSchema)
+	}
+	if len(rep.Alerts) != 1 || rep.Alerts[0].State != StateFiring {
+		t.Errorf("report alerts = %+v", rep.Alerts)
+	}
+	// The metrics mirror: the per-rule firing gauge flips to 1 and the
+	// transition counter counts the edge.
+	var prom bytes.Buffer
+	r.o.Reg.WritePrometheus(&prom)
+	for _, want := range []string{
+		`convmeter_alert_firing{rule="r1",severity="critical"} 1`,
+		`convmeter_alert_transitions_total{rule="r1"} 1`,
+		`convmeter_alert_firing_critical 1`,
+	} {
+		if !bytes.Contains(prom.Bytes(), []byte(want)) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// The span mirror: the fire edge left an annotation span.
+	found := false
+	for _, sp := range r.o.Trc.Spans() {
+		if sp.Name == "alert/fire:r1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no alert/fire:r1 annotation span recorded")
+	}
+}
+
+func TestHistoryRingBound(t *testing.T) {
+	r := &rig{o: obs.New()}
+	r.db = tsdb.New(tsdb.Config{Obs: r.o, Clock: func() time.Duration { return r.now }, Capacity: 16})
+	r.e = New(Config{Obs: r.o, DB: r.db, History: 4, Rules: []Rule{{
+		Name: "tight", Severity: SevWarning, Kind: KindThreshold,
+		Series: "convmeter_t_gauge", Mode: ModeValue,
+		Op: OpAbove, Value: 0.5, Window: time.Second,
+	}}})
+	g := r.o.Gauge("convmeter_t_gauge", "t")
+	for i := 0; i < 20; i++ {
+		g.Set(float64(i % 2))
+		r.tick()
+	}
+	hist := r.e.History()
+	if len(hist) != 4 {
+		t.Fatalf("history holds %d transitions, ring capacity is 4", len(hist))
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].T <= hist[i-1].T {
+			t.Fatalf("wrapped history out of order: %+v", hist)
+		}
+	}
+}
+
+func TestStartStopLoop(t *testing.T) {
+	o := obs.New()
+	db := tsdb.New(tsdb.Config{Obs: o, Interval: time.Millisecond})
+	e := New(Config{Obs: o, DB: db, Interval: time.Millisecond,
+		Rules: []Rule{ThresholdValue("up", SevWarning, "convmeter_up_gauge", OpAbove, 0.5, time.Minute)}})
+	o.Gauge("convmeter_up_gauge", "t").Set(1)
+	db.Start()
+	e.Start()
+	e.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for e.FiringCritical() == 0 {
+		st := e.Snapshot()
+		if len(st) == 1 && st[0].State == StateFiring {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("evaluation loop never fired the rule")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	e.Stop()
+	e.Stop() // idempotent
+	db.Stop()
+}

@@ -1,0 +1,26 @@
+package alert
+
+import (
+	"testing"
+	"time"
+
+	"convmeter/internal/testrace"
+)
+
+// A disabled (nil) engine must cost zero allocations — the same bar
+// the rest of the obs surface pins.
+func TestNilEngineZeroAllocs(t *testing.T) {
+	testrace.SkipIfRace(t)
+	var e *Engine
+	cases := map[string]func(){
+		"Eval":           func() { e.Eval(time.Second) },
+		"FiringCritical": func() { _ = e.FiringCritical() },
+		"Snapshot":       func() { _ = e.Snapshot() },
+		"History":        func() { _ = e.History() },
+	}
+	for name, fn := range cases {
+		if got := testing.AllocsPerRun(200, fn); got != 0 {
+			t.Errorf("nil Engine %s allocates %.0f/op, want 0", name, got)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package alert
+
+import "time"
+
+// Severity ranks a rule's impact. Critical alerts gate readiness: the
+// ops server answers /readyz with 503 while any critical rule fires.
+type Severity string
+
+const (
+	SevCritical Severity = "critical"
+	SevWarning  Severity = "warning"
+)
+
+// Kind selects a rule's evaluation strategy.
+type Kind string
+
+const (
+	// KindThreshold compares a windowed query — a counter rate or a
+	// gauge's last value — against a bound.
+	KindThreshold Kind = "threshold"
+	// KindAbsence fires when a series has recorded no sample in the
+	// window (after a one-window startup grace, so a store that has not
+	// lived long enough to contain the series cannot page).
+	KindAbsence Kind = "absence"
+	// KindBurnRate is the multi-window SLO burn-rate strategy: a fast
+	// short/long window pair catches sharp error budget burn, a slow
+	// pair catches sustained slow burn, and either pair firing — both of
+	// its windows above its factor x budget — fires the rule.
+	KindBurnRate Kind = "burnrate"
+)
+
+// Mode selects what a threshold rule measures on its series.
+type Mode string
+
+const (
+	ModeRate  Mode = "rate"  // windowed per-second counter increase
+	ModeValue Mode = "value" // last in-window gauge value
+)
+
+// Op is a threshold comparison direction.
+type Op string
+
+const (
+	OpAbove Op = ">"
+	OpBelow Op = "<"
+)
+
+// Rule is one declarative alert over the retention store. Build rules
+// with the constructors below; zero fields of the unused strategy are
+// ignored.
+type Rule struct {
+	Name     string
+	Severity Severity
+	Kind     Kind
+	Summary  string
+
+	// Threshold and absence strategy.
+	Series string
+	Mode   Mode
+	Op     Op
+	Value  float64
+	Window time.Duration
+
+	// Burn-rate strategy: burn = rate(Num)/rate(Den) must exceed
+	// Factor x Budget on both windows of a pair.
+	Num, Den               string
+	Budget                 float64
+	FastShort, FastLong    time.Duration
+	SlowShort, SlowLong    time.Duration
+	FastFactor, SlowFactor float64
+
+	// Latch is the minimum time the rule stays firing once fired, so a
+	// condition flickering at the eval cadence cannot flap the alert.
+	Latch time.Duration
+}
+
+// ThresholdRate builds a threshold rule over a counter's windowed
+// per-second rate.
+func ThresholdRate(name string, sev Severity, series string, op Op, value float64, window time.Duration) Rule {
+	return Rule{
+		Name: name, Severity: sev, Kind: KindThreshold,
+		Series: series, Mode: ModeRate, Op: op, Value: value, Window: window,
+	}
+}
+
+// ThresholdValue builds a threshold rule over a gauge's last in-window
+// value.
+func ThresholdValue(name string, sev Severity, series string, op Op, value float64, window time.Duration) Rule {
+	return Rule{
+		Name: name, Severity: sev, Kind: KindThreshold,
+		Series: series, Mode: ModeValue, Op: op, Value: value, Window: window,
+	}
+}
+
+// Absence builds a rule that fires when series records no sample for a
+// full window.
+func Absence(name string, sev Severity, series string, window time.Duration) Rule {
+	return Rule{
+		Name: name, Severity: sev, Kind: KindAbsence,
+		Series: series, Window: window,
+	}
+}
+
+// The canonical multi-window burn-rate pairs (Google SRE workbook):
+// 14.4x burn on 5m and 1h exhausts ~2% of a 30-day budget in an hour;
+// 6x on 30m and 6h catches the sustained slow burn the fast pair
+// misses. scale compresses the windows for simulated time — scale 1 is
+// the production SLO, scale 0.005 turns 5m into 1.5s for smoke runs.
+const (
+	fastShortSLO = 5 * time.Minute
+	fastLongSLO  = time.Hour
+	slowShortSLO = 30 * time.Minute
+	slowLongSLO  = 6 * time.Hour
+	fastFactor   = 14.4
+	slowFactor   = 6.0
+)
+
+// BurnRate builds a multi-window burn-rate rule: the error ratio
+// rate(num)/rate(den) is compared against factor x budget on the
+// canonical fast (5m/1h) and slow (30m/6h) window pairs, scaled by
+// scale for compressed simulated time.
+func BurnRate(name string, sev Severity, num, den string, budget, scale float64) Rule {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Rule{
+		Name: name, Severity: sev, Kind: KindBurnRate,
+		Num: num, Den: den, Budget: budget,
+		FastShort: scaleWindow(fastShortSLO, scale), FastLong: scaleWindow(fastLongSLO, scale),
+		SlowShort: scaleWindow(slowShortSLO, scale), SlowLong: scaleWindow(slowLongSLO, scale),
+		FastFactor: fastFactor, SlowFactor: slowFactor,
+	}
+}
+
+func scaleWindow(w time.Duration, scale float64) time.Duration {
+	return time.Duration(float64(w) * scale)
+}
+
+// BuiltinRules is ConvMeter's standing alert set over its own
+// telemetry, with every window (and the flap latch) scaled for the
+// caller's timebase: scale 1 for production cadence, much smaller for
+// compressed smoke runs.
+func BuiltinRules(scale float64) []Rule {
+	if scale <= 0 {
+		scale = 1
+	}
+	w := scaleWindow(5*time.Minute, scale)
+	latch := scaleWindow(time.Minute, scale)
+	rules := []Rule{
+		// Straggler drift is the paper's headline failure mode: burning
+		// more than 0.1% of per-pair comparisons as drift events means
+		// the runtime predictions are degrading faster than the error
+		// budget allows.
+		BurnRate("drift-burn-rate", SevCritical,
+			"convmeter_drift_events_total", "convmeter_drift_pairs_total",
+			0.001, scale),
+		// Allreduce retries burning more than 5% of steps signals a
+		// transport on the edge of its retry budget.
+		BurnRate("allreduce-retry-budget", SevWarning,
+			"convmeter_allreduce_retries_total", "convmeter_allreduce_steps_total",
+			0.05, scale),
+		// Any step blamed on a straggler by critical-path attribution.
+		ThresholdRate("critpath-blame", SevWarning,
+			"convmeter_critpath_blamed_steps_total", OpAbove, 0, w),
+		// DAG nodes failing closed drop experiment results on the floor.
+		ThresholdRate("dag-failclose", SevCritical,
+			"convmeter_dag_failclose_total", OpAbove, 0, w),
+		// The drift monitor comparing zero pairs for a full window means
+		// the feed wiring is broken, not that the fleet is healthy.
+		Absence("drift-feed-stalled", SevWarning,
+			"convmeter_drift_pairs_total", scaleWindow(10*time.Minute, scale)),
+	}
+	summaries := []string{
+		"drift events are burning the prediction error budget",
+		"allreduce retries are burning the transport retry budget",
+		"critical-path attribution is blaming straggler workers",
+		"DAG nodes are failing closed and dropping results",
+		"the drift monitor has compared no pairs for a full window",
+	}
+	for i := range rules {
+		rules[i].Latch = latch
+		rules[i].Summary = summaries[i]
+	}
+	return rules
+}

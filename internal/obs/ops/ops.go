@@ -5,12 +5,21 @@
 //
 //	GET /metrics       live Prometheus text from the running registry
 //	GET /healthz       liveness (200 once the listener is up)
-//	GET /readyz        readiness (503 until the configured probe passes)
+//	GET /readyz        readiness (503 until the configured probe passes,
+//	                   or while any critical alert fires)
 //	GET /trace         Chrome trace-event JSON of the spans finished so far
 //	GET /drift         the driftwatch monitor's prediction-quality state
 //	GET /critpath      the critical-path tracker's per-step attributions
 //	GET /dag           the experiment DAG's audit trail: per-node state,
 //	                   manifest hash, attempt count, blame
+//	GET /api/query     windowed queries over the tsdb retention store:
+//	                   op=series|range|rate|stats|quantile
+//	GET /alerts        the alert engine's statuses and transition history
+//	                   (schema convmeter/alerts/v1)
+//	GET /profiles      the runtimeprof pprof capture ring; /profiles/{id}
+//	                   downloads one profile
+//	GET /dashboard     a self-contained live HTML dashboard over
+//	                   /api/query and /alerts
 //	GET /debug/pprof/  the standard profiling endpoints (obs.PprofHandler)
 //
 // The server instruments itself through the same registry it serves:
@@ -25,18 +34,28 @@ package ops
 
 import (
 	"context"
+	_ "embed"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"convmeter/internal/dagrun"
 	"convmeter/internal/driftwatch"
 	"convmeter/internal/obs"
+	"convmeter/internal/obs/alert"
 	"convmeter/internal/obs/critpath"
+	"convmeter/internal/obs/runtimeprof"
+	"convmeter/internal/obs/tsdb"
 )
+
+//go:embed dashboard.html
+var dashboardHTML []byte
 
 // contentTypePrometheus is the Prometheus text exposition content type
 // matching the 0.0.4 format obs.WritePrometheus emits.
@@ -56,7 +75,16 @@ type Config struct {
 	// Dag supplies /dag — the experiment executor's live audit trail.
 	// May be nil (empty, schema-stamped report).
 	Dag *dagrun.Runner
+	// TSDB supplies /api/query and the dashboard's history. May be nil
+	// (queries answer with empty results).
+	TSDB *tsdb.DB
+	// Alerts supplies /alerts and gates /readyz: the server answers 503
+	// while any critical alert fires. May be nil (no alert gating).
+	Alerts *alert.Engine
+	// Prof supplies /profiles. May be nil (empty listing).
+	Prof *runtimeprof.Sampler
 	// Ready gates /readyz; nil means ready as soon as the server is up.
+	// Composed with the alert gate: both must pass.
 	Ready func() bool
 }
 
@@ -164,6 +192,14 @@ func Handler(cfg Config) http.Handler {
 			_, _ = io.WriteString(w, "not ready\n")
 			return
 		}
+		// A firing critical alert means the workload is violating an SLO
+		// right now: report unready so orchestrators stop routing to it.
+		// The gate releases the moment the alert resolves.
+		if n := cfg.Alerts.FiringCritical(); n > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = fmt.Fprintf(w, "not ready: %d critical alert(s) firing\n", n)
+			return
+		}
 		_, _ = io.WriteString(w, "ok\n")
 	})
 	handle("/trace", func(w http.ResponseWriter, r *http.Request) {
@@ -186,6 +222,43 @@ func Handler(cfg Config) http.Handler {
 	handle("/dag", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = cfg.Dag.WriteJSON(w)
+	})
+	handle("/api/query", func(w http.ResponseWriter, r *http.Request) {
+		serveQuery(cfg.TSDB, w, r)
+	})
+	handle("/alerts", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = cfg.Alerts.WriteJSON(w, cfg.TSDB.Now())
+	})
+	handle("/profiles", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		list := cfg.Prof.Profiles()
+		if list == nil {
+			list = []runtimeprof.Profile{}
+		}
+		_ = json.NewEncoder(w).Encode(struct {
+			Profiles []runtimeprof.Profile `json:"profiles"`
+		}{list})
+	})
+	handle("/profiles/", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.Atoi(strings.TrimPrefix(r.URL.Path, "/profiles/"))
+		if err != nil {
+			http.Error(w, "profile id must be an integer", http.StatusBadRequest)
+			return
+		}
+		p, ok := cfg.Prof.Profile(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=%q", fmt.Sprintf("%s-%d.pprof", p.Kind, p.ID)))
+		_, _ = w.Write(p.Data())
+	})
+	handle("/dashboard", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(dashboardHTML)
 	})
 	// The pprof mux carries its own sub-routing; instrument it as one
 	// logical path.
@@ -213,6 +286,10 @@ func Handler(cfg Config) http.Handler {
 			"GET /drift         prediction-drift monitor state\n"+
 			"GET /critpath      per-step critical-path attribution\n"+
 			"GET /dag           experiment DAG audit trail\n"+
+			"GET /api/query     windowed queries over retained series\n"+
+			"GET /alerts        alert statuses and transition history\n"+
+			"GET /profiles      pprof capture ring\n"+
+			"GET /dashboard     live HTML dashboard\n"+
 			"GET /debug/pprof/  profiling\n")
 	})
 	return mux

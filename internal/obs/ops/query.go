@@ -1,0 +1,93 @@
+package ops
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"convmeter/internal/obs/tsdb"
+)
+
+// serveQuery answers GET /api/query: windowed reads over the retention
+// store. Parameters:
+//
+//	op      series | range | rate | stats | quantile   (default series)
+//	series  series or family name (required except op=series)
+//	window  lookback, Go duration syntax                (default 5m)
+//	q       quantile in [0,1], op=quantile only         (default 0.95)
+//
+// Malformed parameters answer 400; a series with no in-window data is
+// not an error — the response carries ok=false (queries race workload
+// startup, and pollers should not treat "not yet" as failure).
+func serveQuery(db *tsdb.DB, w http.ResponseWriter, r *http.Request) {
+	qp := r.URL.Query()
+	op := qp.Get("op")
+	if op == "" {
+		op = "series"
+	}
+	window := 5 * time.Minute
+	if ws := qp.Get("window"); ws != "" {
+		d, err := time.ParseDuration(ws)
+		if err != nil || d <= 0 {
+			http.Error(w, "window must be a positive Go duration", http.StatusBadRequest)
+			return
+		}
+		window = d
+	}
+	name := qp.Get("series")
+	if name == "" && op != "series" {
+		http.Error(w, "series parameter is required", http.StatusBadRequest)
+		return
+	}
+	now := db.Now()
+	resp := map[string]any{
+		"op": op, "now_seconds": now.Seconds(), "window_seconds": window.Seconds(),
+	}
+	if name != "" {
+		resp["series"] = name
+	}
+	switch op {
+	case "series":
+		list := db.Series()
+		if list == nil {
+			list = []tsdb.SeriesInfo{}
+		}
+		resp["list"] = list
+		resp["usage"] = db.Usage()
+	case "range":
+		pts := db.Range(name, now, window)
+		if pts == nil {
+			pts = []tsdb.Point{}
+		}
+		resp["points"] = pts
+		resp["ok"] = len(pts) > 0
+	case "rate":
+		v, ok := db.Rate(name, now, window)
+		resp["rate_per_second"] = v
+		resp["ok"] = ok
+	case "stats":
+		st, ok := db.Stats(name, now, window)
+		resp["stats"] = st
+		resp["ok"] = ok
+	case "quantile":
+		q := 0.95
+		if qs := qp.Get("q"); qs != "" {
+			v, err := strconv.ParseFloat(qs, 64)
+			if err != nil || v < 0 || v > 1 {
+				http.Error(w, "q must be a number in [0,1]", http.StatusBadRequest)
+				return
+			}
+			q = v
+		}
+		v, ok := db.Quantile(name, q, now, window)
+		resp["q"] = q
+		resp["value"] = v
+		resp["ok"] = ok
+	default:
+		http.Error(w, "op must be series, range, rate, stats or quantile", http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// conformanceRegistry builds a registry exercising every exposition
+// feature the text format defines: all three family types, labelled
+// and unlabelled series, label-value escaping (backslash, quote,
+// newline), HELP escaping, multi-series families, and special float
+// values.
+func conformanceRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("convmeter_conf_total", "plain counter").Add(3)
+	r.Counter(Label("convmeter_conf_labeled_total", "model", "vgg16", "phase", "train"),
+		"labelled counter").Add(7)
+	r.Counter(Label("convmeter_conf_labeled_total", "model", "res\\net\"50\nv2", "phase", "eval"),
+		"labelled counter").Add(1)
+	r.Gauge("convmeter_conf_gauge", "help with \\ backslash and\nnewline").Set(2.5)
+	r.Gauge("convmeter_conf_inf_gauge", "special values").Set(4e9)
+	h := r.Histogram(Label("convmeter_conf_seconds", "op", "fwd"),
+		"labelled histogram", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // beyond the last finite bound: +Inf bucket only
+	r.Histogram("convmeter_conf_plain_seconds", "bare histogram", []float64{1, 2}).Observe(1.5)
+	return r
+}
+
+// TestPrometheusExpositionGolden locks the exact exposition byte-for-
+// byte. Regenerate with UPDATE_GOLDEN=1 go test ./internal/obs -run
+// ExpositionGolden after a deliberate format change.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := conformanceRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestPrometheusConformance checks the structural rules of the text
+// exposition format on the rendered output, independent of the golden
+// bytes: comment ordering, metadata coverage, bucket invariants and
+// escaping.
+func TestPrometheusConformance(t *testing.T) {
+	var buf bytes.Buffer
+	if err := conformanceRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	families := map[string]*confFamily{}
+	var order []string
+	current := ""
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if f, ok := families[name]; ok && f.sampleSeen {
+				t.Errorf("# HELP %s appears after its samples", name)
+			}
+			fam := familyFor(families, &order, name)
+			fam.help = help
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			if f, ok := families[fields[0]]; ok && f.sampleSeen {
+				t.Errorf("# TYPE %s appears after its samples", fields[0])
+			}
+			fam := familyFor(families, &order, fields[0])
+			fam.typ = fields[1]
+		case line == "":
+			t.Error("blank line in exposition")
+		default:
+			series, _, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("malformed sample line %q", line)
+			}
+			base := series
+			if i := strings.IndexByte(base, '{'); i >= 0 {
+				base = base[:i]
+			}
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if fam := strings.TrimSuffix(base, suffix); fam != base {
+					if f, ok := families[fam]; ok && f.typ == "histogram" {
+						base = fam
+					}
+				}
+			}
+			f, ok := families[base]
+			if !ok {
+				t.Errorf("sample %q precedes its # TYPE metadata", series)
+				continue
+			}
+			f.sampleSeen = true
+			if strings.Contains(series, "_bucket{") {
+				f.bucketLines = append(f.bucketLines, line)
+			}
+			current = base
+		}
+	}
+	_ = current
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(families) == 0 {
+		t.Fatal("no families parsed")
+	}
+	for name, f := range families {
+		if f.typ == "" {
+			t.Errorf("family %s has no # TYPE", name)
+		}
+		if f.typ != "counter" && f.typ != "gauge" && f.typ != "histogram" {
+			t.Errorf("family %s has invalid type %q", name, f.typ)
+		}
+		if f.typ == "histogram" {
+			// Every labelled histogram series must end in a +Inf bucket,
+			// and bucket counts must be cumulative (non-decreasing).
+			bySeries := map[string][]string{}
+			for _, line := range f.bucketLines {
+				key := line[:strings.Index(line, `le="`)]
+				bySeries[key] = append(bySeries[key], line)
+			}
+			for key, lines := range bySeries {
+				lastLine := lines[len(lines)-1]
+				if !strings.Contains(lastLine, `le="+Inf"`) {
+					t.Errorf("histogram series %s… does not end in a +Inf bucket: %q", key, lastLine)
+				}
+				prev := -1.0
+				for _, line := range lines {
+					var c float64
+					if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &c); err != nil {
+						t.Fatalf("bucket line %q: %v", line, err)
+					}
+					if c < prev {
+						t.Errorf("histogram series %s… buckets not cumulative: %q", key, line)
+					}
+					prev = c
+				}
+			}
+		}
+	}
+	// Escaping: the raw label value with backslash, quote and newline
+	// must appear escaped, never raw.
+	out := buf.String()
+	if !strings.Contains(out, `model="res\\net\"50\nv2"`) {
+		t.Errorf("label escaping missing, output:\n%s", out)
+	}
+	if strings.Contains(out, "res\\net\"50\nv2") {
+		t.Error("raw (unescaped) label value leaked into the exposition")
+	}
+	if !strings.Contains(out, `# HELP convmeter_conf_gauge help with \\ backslash and\nnewline`) {
+		t.Error("HELP escaping drifted")
+	}
+}
+
+// confFamily accumulates one family's parsed exposition state.
+type confFamily struct {
+	help, typ   string
+	bucketLines []string
+	sampleSeen  bool
+}
+
+func familyFor(m map[string]*confFamily, order *[]string, name string) *confFamily {
+	if f, ok := m[name]; ok {
+		return f
+	}
+	f := &confFamily{}
+	m[name] = f
+	*order = append(*order, name)
+	return f
+}

@@ -1,0 +1,407 @@
+// Package runtimeprof is ConvMeter's runtime self-telemetry: a sampler
+// that projects the Go runtime's own metrics — GC pauses, heap size,
+// goroutine count, scheduler latency — into the obs registry as
+// convmeter_runtime_* series (so the tsdb retention layer, the alert
+// engine and the dashboard see the process the same way they see the
+// workload), plus a bounded ring of pprof profiles captured
+// periodically and downloadable over the ops server.
+//
+// Like tsdb, sampling splits into a cold Sync (which sizes the
+// histogram conversion buffers to the runtime's current bucket shapes)
+// and a hot Sample (pure reads and ring-buffer writes; a histogram
+// whose bucket count changed since the last Sync is skipped until the
+// next one). Quantiles over the runtime's cumulative pause and latency
+// histograms reuse the deterministic seriesq estimator. A nil *Sampler
+// is a zero-cost no-op.
+package runtimeprof
+
+import (
+	"bytes"
+	"fmt"
+	"runtime/metrics"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"convmeter/internal/obs"
+	"convmeter/internal/obs/tsdb/seriesq"
+)
+
+// The runtime/metrics keys the sampler projects. Keys a runtime does
+// not provide read as KindBad and are skipped.
+const (
+	keyGoroutines = "/sched/goroutines:goroutines"
+	keyHeapBytes  = "/memory/classes/heap/objects:bytes"
+	keyGCCycles   = "/gc/cycles/total:gc-cycles"
+	keyGCPauses   = "/sched/pauses/total/gc:seconds"
+	keySchedLat   = "/sched/latencies:seconds"
+)
+
+// Config parameterises a Sampler.
+type Config struct {
+	// Obs receives the convmeter_runtime_* series. Required: New
+	// returns a nil (disabled) sampler without it.
+	Obs *obs.Obs
+	// Clock stamps captured profiles; defaults to a monotonic clock
+	// with its epoch at New.
+	Clock obs.Clock
+	// Interval is Start's sampling cadence. Default 10s.
+	Interval time.Duration
+	// Profiles caps the profile ring. Default 8.
+	Profiles int
+	// CaptureEvery captures a heap and a goroutine profile every N
+	// samples from the Start loop; 0 disables periodic capture.
+	// Default 6 (once a minute at the default interval).
+	CaptureEvery int
+}
+
+// histProj is one runtime histogram projected to two quantile gauges,
+// with conversion buffers sized by Sync.
+type histProj struct {
+	key      string
+	p50, p99 *obs.Gauge
+	upper    []float64 // finite bucket bounds
+	cum      []uint64  // len(upper)+1 scratch
+}
+
+// Profile is one captured pprof snapshot in the ring.
+type Profile struct {
+	ID           int     `json:"id"`
+	Kind         string  `json:"kind"`
+	TakenSeconds float64 `json:"taken_seconds"`
+	SizeBytes    int     `json:"size_bytes"`
+	data         []byte
+}
+
+// Sampler projects runtime self-telemetry into a registry and retains
+// a ring of pprof profiles.
+type Sampler struct {
+	clock    obs.Clock
+	interval time.Duration
+	every    int
+
+	goroutinesG *obs.Gauge
+	heapG       *obs.Gauge
+	gcCyclesG   *obs.Gauge
+	profilesG   *obs.Gauge
+	capturesC   *obs.Counter
+	samplesC    *obs.Counter
+
+	samples []metrics.Sample
+	hists   []*histProj
+
+	mu       sync.Mutex
+	ring     []Profile
+	ringNext int
+	ringFull bool
+	nextID   int
+
+	loopMu  sync.Mutex
+	quit    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// New returns an enabled sampler, or nil (a valid disabled sampler)
+// when cfg.Obs is nil.
+func New(cfg Config) *Sampler {
+	if cfg.Obs == nil {
+		return nil
+	}
+	s := &Sampler{
+		clock:    cfg.Clock,
+		interval: cfg.Interval,
+		every:    cfg.CaptureEvery,
+		goroutinesG: cfg.Obs.Gauge("convmeter_runtime_goroutines",
+			"live goroutines"),
+		heapG: cfg.Obs.Gauge("convmeter_runtime_heap_bytes",
+			"bytes of live heap objects"),
+		gcCyclesG: cfg.Obs.Gauge("convmeter_runtime_gc_cycles",
+			"completed GC cycles since process start"),
+		profilesG: cfg.Obs.Gauge("convmeter_runtime_profiles",
+			"pprof profiles retained in the ring"),
+		capturesC: cfg.Obs.Counter("convmeter_runtime_profile_captures_total",
+			"pprof profile captures"),
+		samplesC: cfg.Obs.Counter("convmeter_runtime_samples_total",
+			"runtime/metrics sampling sweeps"),
+		samples: []metrics.Sample{
+			{Name: keyGoroutines}, {Name: keyHeapBytes}, {Name: keyGCCycles},
+			{Name: keyGCPauses}, {Name: keySchedLat},
+		},
+		hists: []*histProj{
+			{key: keyGCPauses,
+				p50: cfg.Obs.Gauge("convmeter_runtime_gc_pause_p50_seconds",
+					"median GC pause since process start"),
+				p99: cfg.Obs.Gauge("convmeter_runtime_gc_pause_p99_seconds",
+					"99th-percentile GC pause since process start")},
+			{key: keySchedLat,
+				p50: cfg.Obs.Gauge("convmeter_runtime_sched_latency_p50_seconds",
+					"median goroutine scheduling latency since process start"),
+				p99: cfg.Obs.Gauge("convmeter_runtime_sched_latency_p99_seconds",
+					"99th-percentile goroutine scheduling latency since process start")},
+		},
+	}
+	if s.clock == nil {
+		base := time.Now()
+		s.clock = func() time.Duration { return time.Since(base) }
+	}
+	if s.interval <= 0 {
+		s.interval = 10 * time.Second
+	}
+	if cfg.Profiles <= 0 {
+		cfg.Profiles = 8
+	}
+	if cfg.CaptureEvery == 0 {
+		s.every = 6
+	}
+	s.ring = make([]Profile, cfg.Profiles)
+	s.Sync()
+	return s
+}
+
+// Sync reads the runtime metrics once and (re)sizes the histogram
+// conversion buffers to the current bucket shapes — the cold half of a
+// sampling tick. Nil-safe.
+func (s *Sampler) Sync() {
+	if s == nil {
+		return
+	}
+	metrics.Read(s.samples)
+	for _, hp := range s.hists {
+		sm := s.sample(hp.key)
+		if sm == nil || sm.Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		upper, _ := finiteBounds(sm.Value.Float64Histogram())
+		if len(hp.upper) != len(upper) {
+			hp.upper = append([]float64(nil), upper...)
+			hp.cum = make([]uint64, len(upper)+1)
+		} else {
+			copy(hp.upper, upper)
+		}
+	}
+}
+
+// sample returns the read slot for key, or nil.
+func (s *Sampler) sample(key string) *metrics.Sample {
+	for i := range s.samples {
+		if s.samples[i].Name == key {
+			return &s.samples[i]
+		}
+	}
+	return nil
+}
+
+// finiteBounds splits a runtime histogram into its finite upper bounds
+// and the per-bucket counts covering them; counts beyond the last
+// finite bound belong in the +Inf slot.
+func finiteBounds(h *metrics.Float64Histogram) (upper []float64, counts []uint64) {
+	upper = h.Buckets[1:]
+	counts = h.Counts
+	if len(upper) > 0 && upper[len(upper)-1] > 1e308 { // +Inf terminal bound
+		upper = upper[:len(upper)-1]
+	}
+	return upper, counts
+}
+
+// Sample reads the runtime metrics and projects them onto the gauges —
+// the hot half of a tick, pure reads and writes against the buffers
+// the last Sync sized. A histogram whose bucket count changed since
+// that Sync is skipped until the next one. Nil-safe.
+func (s *Sampler) Sample() {
+	if s == nil {
+		return
+	}
+	metrics.Read(s.samples)
+	for i := range s.samples {
+		sm := &s.samples[i]
+		if sm.Value.Kind() != metrics.KindUint64 {
+			continue
+		}
+		switch sm.Name {
+		case keyGoroutines:
+			s.goroutinesG.Set(float64(sm.Value.Uint64()))
+		case keyHeapBytes:
+			s.heapG.Set(float64(sm.Value.Uint64()))
+		case keyGCCycles:
+			s.gcCyclesG.Set(float64(sm.Value.Uint64()))
+		}
+	}
+	for _, hp := range s.hists {
+		sm := s.sample(hp.key)
+		if sm == nil || sm.Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		h := sm.Value.Float64Histogram()
+		upper, counts := finiteBounds(h)
+		if len(upper) != len(hp.upper) || len(hp.cum) != len(hp.upper)+1 {
+			continue // shape drifted; the next Sync resizes
+		}
+		var acc uint64
+		for j := range hp.cum {
+			hp.cum[j] = 0
+		}
+		for j, c := range counts {
+			acc += c
+			k := j
+			if k > len(hp.upper) {
+				k = len(hp.upper)
+			}
+			hp.cum[k] = acc
+		}
+		// Buckets beyond the finite bounds folded into the +Inf slot;
+		// make the prefix cumulative totals consistent.
+		for j := 1; j < len(hp.cum); j++ {
+			if hp.cum[j] < hp.cum[j-1] {
+				hp.cum[j] = hp.cum[j-1]
+			}
+		}
+		if v, ok := seriesq.Quantile(0.5, hp.upper, hp.cum); ok {
+			hp.p50.Set(v)
+		}
+		if v, ok := seriesq.Quantile(0.99, hp.upper, hp.cum); ok {
+			hp.p99.Set(v)
+		}
+	}
+	s.samplesC.Inc()
+}
+
+// Capture records one pprof profile (a runtime/pprof profile name:
+// "heap", "goroutine", "allocs", "block", "mutex", "threadcreate")
+// into the ring, evicting the oldest entry when full. Nil-safe.
+func (s *Sampler) Capture(kind string) (Profile, error) {
+	if s == nil {
+		return Profile{}, nil
+	}
+	p := pprof.Lookup(kind)
+	if p == nil {
+		return Profile{}, fmt.Errorf("runtimeprof: unknown profile kind %q", kind)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTo(&buf, 0); err != nil {
+		return Profile{}, fmt.Errorf("runtimeprof: capture %s: %w", kind, err)
+	}
+	s.mu.Lock()
+	s.nextID++
+	prof := Profile{
+		ID: s.nextID, Kind: kind,
+		TakenSeconds: s.clock().Seconds(),
+		SizeBytes:    buf.Len(), data: buf.Bytes(),
+	}
+	s.ring[s.ringNext] = prof
+	s.ringNext++
+	if s.ringNext == len(s.ring) {
+		s.ringNext = 0
+		s.ringFull = true
+	}
+	n := s.ringNext
+	if s.ringFull {
+		n = len(s.ring)
+	}
+	s.mu.Unlock()
+	s.capturesC.Inc()
+	s.profilesG.Set(float64(n))
+	return prof, nil
+}
+
+// Profiles lists the retained profiles, oldest first, without their
+// payloads. Nil-safe (nil).
+func (s *Sampler) Profiles() []Profile {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, start := s.ringNext, 0
+	if s.ringFull {
+		n, start = len(s.ring), s.ringNext
+	}
+	out := make([]Profile, 0, n)
+	for i := 0; i < n; i++ {
+		p := s.ring[(start+i)%len(s.ring)]
+		p.data = nil
+		out = append(out, p)
+	}
+	return out
+}
+
+// Profile returns a retained profile's payload by id. Nil-safe
+// (false).
+func (s *Sampler) Profile(id int) (Profile, bool) {
+	if s == nil {
+		return Profile{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.ring {
+		if s.ring[i].ID == id && s.ring[i].ID != 0 {
+			return s.ring[i], true
+		}
+	}
+	return Profile{}, false
+}
+
+// Data returns the profile's raw pprof payload.
+func (p Profile) Data() []byte { return p.data }
+
+// Start launches the background sampling loop: a Sync+Sample per tick,
+// plus a heap and goroutine profile capture every CaptureEvery ticks.
+// Stop terminates it. Nil-safe and idempotent.
+func (s *Sampler) Start() {
+	if s == nil {
+		return
+	}
+	s.loopMu.Lock()
+	defer s.loopMu.Unlock()
+	if s.started {
+		return
+	}
+	s.started = true
+	s.quit = make(chan struct{})
+	s.done = make(chan struct{})
+	go s.loop(s.quit, s.done)
+}
+
+func (s *Sampler) loop(quit, done chan struct{}) {
+	tick := time.NewTicker(s.interval)
+	defer tick.Stop()
+	defer close(done)
+	ticks := 0
+	for {
+		select {
+		case <-tick.C:
+			s.Sync()
+			s.Sample()
+			ticks++
+			if s.every > 0 && ticks%s.every == 0 {
+				// A capture failing (profile kind unavailable) is not worth
+				// killing the loop over; the captures counter stops moving,
+				// which is what an operator would notice.
+				_, _ = s.Capture("heap")
+				_, _ = s.Capture("goroutine")
+			}
+		case <-quit:
+			return
+		}
+	}
+}
+
+// Stop terminates the background loop and waits for it to exit.
+// Nil-safe; a no-op unless Start ran.
+func (s *Sampler) Stop() {
+	if s == nil {
+		return
+	}
+	s.loopMu.Lock()
+	if !s.started {
+		s.loopMu.Unlock()
+		return
+	}
+	s.started = false
+	quit, done := s.quit, s.done
+	s.loopMu.Unlock()
+	// The receive blocks until the loop exits; holding loopMu across it
+	// would stall a concurrent Start.
+	close(quit)
+	<-done
+}

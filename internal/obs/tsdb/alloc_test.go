@@ -1,0 +1,33 @@
+package tsdb
+
+import (
+	"testing"
+	"time"
+
+	"convmeter/internal/testrace"
+)
+
+// A disabled (nil) retention layer must cost zero allocations anywhere
+// it is touched — the acceptance bar every obs subsystem pins.
+func TestNilDBZeroAllocs(t *testing.T) {
+	testrace.SkipIfRace(t)
+	var db *DB
+	cases := map[string]func(){
+		"Sample": func() { db.Sample(time.Second) },
+		"Sync":   func() { db.Sync() },
+		"Now":    func() { _ = db.Now() },
+		"Rate":   func() { _, _ = db.Rate("x", time.Second, time.Second) },
+		"Stats":  func() { _, _ = db.Stats("x", time.Second, time.Second) },
+		"Quantile": func() {
+			_, _ = db.Quantile("x", 0.5, time.Second, time.Second)
+		},
+		"Range":  func() { _ = db.Range("x", time.Second, time.Second) },
+		"Series": func() { _ = db.Series() },
+		"Usage":  func() { _ = db.Usage() },
+	}
+	for name, fn := range cases {
+		if got := testing.AllocsPerRun(200, fn); got != 0 {
+			t.Errorf("nil DB %s allocates %.0f/op, want 0", name, got)
+		}
+	}
+}

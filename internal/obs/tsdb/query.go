@@ -1,0 +1,260 @@
+package tsdb
+
+import (
+	"time"
+
+	"convmeter/internal/obs/tsdb/seriesq"
+)
+
+// Every query resolves its series argument in two steps: an exact
+// series name (possibly carrying a {label="..."} body) selects that one
+// stream, and otherwise the argument is treated as a family (base)
+// name selecting every labelled series of the family, iterated in
+// sorted-name order so aggregation is deterministic. Windows are
+// half-open lookbacks (now-window, now]: a query sees exactly the
+// samples recorded in its window, and two queries over the same
+// retained samples return bit-identical answers (see seriesq).
+
+// SeriesInfo describes one retained series, for /api/query listings.
+type SeriesInfo struct {
+	Name    string `json:"name"`
+	Base    string `json:"base"`
+	Type    string `json:"type"`
+	Samples int    `json:"samples"`
+}
+
+// Series lists the retained series, sorted by name. Nil-safe (nil).
+func (db *DB) Series() []SeriesInfo {
+	if db == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]SeriesInfo, 0, len(db.names))
+	for _, name := range db.names {
+		s := db.series[name]
+		n := s.next
+		if s.full {
+			n = len(s.t)
+		}
+		out = append(out, SeriesInfo{Name: s.name, Base: s.base, Type: s.typ, Samples: n})
+	}
+	return out
+}
+
+// resolve returns the series matching name (exact first, then family),
+// in sorted-name order. Callers hold db.mu.
+func (db *DB) resolve(name string) []*series {
+	if s, ok := db.series[name]; ok {
+		return []*series{s}
+	}
+	var out []*series
+	for _, n := range db.names {
+		if s := db.series[n]; s.base == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// bounds returns the ring indexes of the first and last sample with
+// from < T <= to, or (-1, -1) when the window is empty.
+func (s *series) bounds(from, to time.Duration) (first, last int) {
+	first, last = -1, -1
+	n, start := s.next, 0
+	if s.full {
+		n, start = len(s.t), s.next
+	}
+	for i := 0; i < n; i++ {
+		idx := (start + i) % len(s.t)
+		ts := s.t[idx]
+		if ts <= from || ts > to {
+			continue
+		}
+		if first < 0 {
+			first = idx
+		}
+		last = idx
+	}
+	return first, last
+}
+
+// window appends s's samples with from < T <= to onto buf in
+// chronological order.
+func (s *series) window(buf []seriesq.Point, from, to time.Duration) []seriesq.Point {
+	n, start := s.next, 0
+	if s.full {
+		n, start = len(s.t), s.next
+	}
+	for i := 0; i < n; i++ {
+		idx := (start + i) % len(s.t)
+		ts := s.t[idx]
+		if ts <= from || ts > to {
+			continue
+		}
+		buf = append(buf, seriesq.Point{T: ts, V: s.v[idx]})
+	}
+	return buf
+}
+
+// Point is one (timestamp, value) entry of a Range result.
+type Point struct {
+	T float64 `json:"t_seconds"`
+	V float64 `json:"v"`
+}
+
+// Range returns the windowed samples of a series — or, for a family,
+// the per-timestamp sum across its series (samples recorded in the
+// same sweep share one timestamp). Histogram series contribute their
+// cumulative observation count, the rate-able part of a histogram.
+// Nil-safe (nil).
+func (db *DB) Range(name string, now, window time.Duration) []Point {
+	if db == nil {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	matched := db.resolve(name)
+	if len(matched) == 0 {
+		return nil
+	}
+	var all []seriesq.Point
+	for _, s := range matched {
+		all = s.appendRange(all, now-window, now)
+	}
+	sortPointsStable(all)
+	out := make([]Point, 0, len(all))
+	var lastT time.Duration
+	for _, p := range all {
+		// Same-timestamp points across a family sum into one point; the
+		// comparison is on the integer duration, not its float projection.
+		if n := len(out); n > 0 && p.T == lastT {
+			out[n-1].V += p.V
+			continue
+		}
+		lastT = p.T
+		out = append(out, Point{T: p.T.Seconds(), V: p.V})
+	}
+	return out
+}
+
+// appendRange is window with histogram-count substitution.
+func (s *series) appendRange(buf []seriesq.Point, from, to time.Duration) []seriesq.Point {
+	if s.typ != "histogram" {
+		return s.window(buf, from, to)
+	}
+	n, start := s.next, 0
+	if s.full {
+		n, start = len(s.t), s.next
+	}
+	for i := 0; i < n; i++ {
+		idx := (start + i) % len(s.t)
+		ts := s.t[idx]
+		if ts <= from || ts > to {
+			continue
+		}
+		buf = append(buf, seriesq.Point{T: ts, V: float64(s.n[idx])})
+	}
+	return buf
+}
+
+// sortPointsStable orders points by timestamp, preserving the
+// sorted-series-name insertion order among equal timestamps so
+// family-aggregation sums fold in a deterministic order. Insertion sort:
+// inputs are concatenations of already-sorted runs, nearly in order.
+func sortPointsStable(pts []seriesq.Point) {
+	for i := 1; i < len(pts); i++ {
+		for j := i; j > 0 && pts[j].T < pts[j-1].T; j-- {
+			pts[j], pts[j-1] = pts[j-1], pts[j]
+		}
+	}
+}
+
+// Rate returns the windowed per-second increase of a counter series —
+// for a family, the sum of its series' rates. Reset detection follows
+// seriesq.Rate. The bool is false when no matched series spans two
+// in-window samples. Nil-safe.
+func (db *DB) Rate(name string, now, window time.Duration) (float64, bool) {
+	if db == nil {
+		return 0, false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var (
+		sum float64
+		any bool
+		buf []seriesq.Point
+	)
+	for _, s := range db.resolve(name) {
+		buf = s.appendRange(buf[:0], now-window, now)
+		if r, ok := seriesq.Rate(buf); ok {
+			sum += r
+			any = true
+		}
+	}
+	return sum, any
+}
+
+// GaugeStats carries a windowed min/max/avg/last summary.
+type GaugeStats = seriesq.Stats
+
+// Stats summarises the windowed samples of a series (for a family, of
+// the per-timestamp sums). Nil-safe (false).
+func (db *DB) Stats(name string, now, window time.Duration) (GaugeStats, bool) {
+	if db == nil {
+		return GaugeStats{}, false
+	}
+	merged := db.Range(name, now, window)
+	pts := make([]seriesq.Point, len(merged))
+	for i, p := range merged {
+		pts[i] = seriesq.Point{T: time.Duration(p.T * float64(time.Second)), V: p.V}
+	}
+	return seriesq.Summarize(pts)
+}
+
+// Quantile estimates the q-quantile of a histogram series over the
+// window: the cumulative-bucket delta between the window's first and
+// last samples, interpolated per seriesq.Quantile. For a family the
+// deltas are summed across series sharing the first-matched bucket
+// layout (a mismatched layout is skipped). Nil-safe (false).
+func (db *DB) Quantile(name string, q float64, now, window time.Duration) (float64, bool) {
+	if db == nil {
+		return 0, false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var (
+		upper []float64
+		acc   []uint64
+		delta []uint64
+		got   bool
+	)
+	for _, s := range db.resolve(name) {
+		if s.typ != "histogram" {
+			continue
+		}
+		if upper == nil {
+			upper = s.upper
+			acc = make([]uint64, len(upper)+1)
+			delta = make([]uint64, len(upper)+1)
+		} else if len(s.upper) != len(upper) {
+			continue
+		}
+		first, last := s.bounds(now-window, now)
+		if first < 0 || first == last {
+			continue
+		}
+		stride := len(s.upper) + 1
+		seriesq.DeltaCounts(delta,
+			s.b[last*stride:(last+1)*stride],
+			s.b[first*stride:(first+1)*stride])
+		for i := range acc {
+			acc[i] += delta[i]
+		}
+		got = true
+	}
+	if !got {
+		return 0, false
+	}
+	return seriesq.Quantile(q, upper, acc)
+}

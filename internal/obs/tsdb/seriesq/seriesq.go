@@ -1,0 +1,153 @@
+// Package seriesq is the tsdb query engine's arithmetic core: windowed
+// rate, summary statistics and histogram-quantile estimation over
+// explicit sample slices. It is deliberately free of clocks, locks and
+// telemetry — the same inputs produce bit-identical outputs on every
+// run, platform and goroutine schedule — so it joins the repository's
+// deterministic lint scope while its parent package tsdb (which reads
+// clocks and samples a live registry) stays on the measured side.
+//
+// The definitions mirror Prometheus's: Rate is the counter increase per
+// second over the window with reset detection, and Quantile is the
+// linear-interpolation estimate over cumulative histogram buckets that
+// promql's histogram_quantile computes.
+package seriesq
+
+import (
+	"math"
+	"time"
+)
+
+// Point is one (timestamp, value) sample. Timestamps are durations on
+// the sampling clock's epoch; only differences matter here.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Rate returns the per-second increase of a counter series across pts,
+// which must be in ascending time order. Counter resets (a sample below
+// its predecessor) contribute the post-reset value, exactly like
+// Prometheus's rate(): the increase is summed segment by segment and
+// divided by the covered time span. The second return is false when
+// fewer than two samples span a positive interval — no rate is
+// computable from a single instant.
+func Rate(pts []Point) (float64, bool) {
+	if len(pts) < 2 {
+		return 0, false
+	}
+	span := (pts[len(pts)-1].T - pts[0].T).Seconds()
+	if span <= 0 {
+		return 0, false
+	}
+	var inc float64
+	for i := 1; i < len(pts); i++ {
+		d := pts[i].V - pts[i-1].V
+		if d < 0 { // counter reset: the new value is all fresh increase
+			d = pts[i].V
+		}
+		inc += d
+	}
+	return inc / span, true
+}
+
+// Stats is the windowed gauge summary Summarize computes.
+type Stats struct {
+	N    int
+	Min  float64
+	Max  float64
+	Avg  float64
+	Last float64
+}
+
+// Summarize folds pts into min/max/avg/last. NaN samples are skipped —
+// one poisoned scrape must not wipe the whole window. The second return
+// is false when no usable sample remains.
+func Summarize(pts []Point) (Stats, bool) {
+	st := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, p := range pts {
+		if math.IsNaN(p.V) {
+			continue
+		}
+		st.N++
+		sum += p.V
+		st.Last = p.V
+		if p.V < st.Min {
+			st.Min = p.V
+		}
+		if p.V > st.Max {
+			st.Max = p.V
+		}
+	}
+	if st.N == 0 {
+		return Stats{}, false
+	}
+	st.Avg = sum / float64(st.N)
+	return st, true
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of a histogram from
+// cumulative bucket counts — the Prometheus representation, and what
+// DeltaCounts produces for a window. upper holds the ascending finite
+// bucket bounds; cum has len(upper)+1 entries, cum[i] counting the
+// observations with value <= upper[i] and the final entry (the +Inf
+// bucket) the total. A non-monotone prefix (possible after a clamped
+// reset delta) is repaired by running maximum. Within a bucket the
+// estimate interpolates linearly from the bucket's lower bound (0 for
+// the first), and a rank landing in the +Inf bucket reports the highest
+// finite bound — the same saturation promql's histogram_quantile
+// applies. The second return is false when the histogram is empty or q
+// is out of range.
+func Quantile(q float64, upper []float64, cum []uint64) (float64, bool) {
+	if q < 0 || q > 1 || math.IsNaN(q) || len(cum) != len(upper)+1 {
+		return 0, false
+	}
+	total := cum[len(cum)-1]
+	if total == 0 {
+		return 0, false
+	}
+	rank := q * float64(total)
+	prev := uint64(0)
+	for i := range cum {
+		c := cum[i]
+		if c < prev { // repair a clamped-reset dent
+			c = prev
+		}
+		if float64(c) >= rank {
+			if i == len(upper) { // +Inf bucket: saturate at the last finite bound
+				return upper[len(upper)-1], true
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = upper[i-1]
+			}
+			in := c - prev
+			if in == 0 {
+				return upper[i], true
+			}
+			return lo + (upper[i]-lo)*((rank-float64(prev))/float64(in)), true
+		}
+		prev = c
+	}
+	return upper[len(upper)-1], true
+}
+
+// DeltaCounts subtracts an earlier cumulative-bucket snapshot from a
+// later one into out, clamping each bucket at zero (a reset between the
+// snapshots must not produce negative observation counts). out must
+// have len(later); the slices must not alias unless identical. It
+// returns out so callers can chain into Quantile without allocating.
+func DeltaCounts(out, later, earlier []uint64) []uint64 {
+	for i := range later {
+		var e uint64
+		if i < len(earlier) {
+			e = earlier[i]
+		}
+		if later[i] >= e {
+			out[i] = later[i] - e
+		} else {
+			out[i] = later[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,137 @@
+package seriesq
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func pts(vals ...float64) []Point {
+	out := make([]Point, len(vals))
+	for i, v := range vals {
+		out[i] = Point{T: time.Duration(i) * time.Second, V: v}
+	}
+	return out
+}
+
+func TestRate(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Point
+		want float64
+		ok   bool
+	}{
+		{"steady", pts(0, 10, 20, 30), 10, true},
+		{"idle", pts(5, 5, 5), 0, true},
+		{"reset", pts(0, 10, 2, 4), 14.0 / 3, true}, // 10 + 2 (post-reset) + 2 over 3s
+		{"single", pts(7), 0, false},
+		{"empty", nil, 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := Rate(tc.in)
+		if ok != tc.ok || math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Rate = (%g, %t), want (%g, %t)", tc.name, got, ok, tc.want, tc.ok)
+		}
+	}
+	if _, ok := Rate([]Point{{T: 5 * time.Second, V: 1}, {T: 5 * time.Second, V: 2}}); ok {
+		t.Error("Rate over a zero-width span must report not-ok")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st, ok := Summarize(pts(3, 1, 4, 1, 5))
+	if !ok || st.N != 5 || st.Min != 1 || st.Max != 5 || st.Last != 5 || math.Abs(st.Avg-2.8) > 1e-12 {
+		t.Errorf("Summarize = %+v ok=%t", st, ok)
+	}
+	st, ok = Summarize([]Point{{V: math.NaN()}, {T: time.Second, V: 2}})
+	if !ok || st.N != 1 || st.Avg != 2 {
+		t.Errorf("NaN sample not skipped: %+v ok=%t", st, ok)
+	}
+	if _, ok := Summarize([]Point{{V: math.NaN()}}); ok {
+		t.Error("all-NaN window must report not-ok")
+	}
+	if _, ok := Summarize(nil); ok {
+		t.Error("empty window must report not-ok")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	upper := []float64{0.1, 0.5, 1}
+	// 10 obs <= 0.1, 30 <= 0.5, 30 <= 1, 10 beyond.
+	cum := []uint64{10, 40, 70, 80}
+	q50, ok := Quantile(0.5, upper, cum)
+	// rank 40 lands exactly at the top of the (0.1, 0.5] bucket.
+	if !ok || math.Abs(q50-0.5) > 1e-12 {
+		t.Errorf("q50 = %g ok=%t, want 0.5", q50, ok)
+	}
+	q25, ok := Quantile(0.25, upper, cum)
+	// rank 20: 10 into the 30-count (0.1, 0.5] bucket.
+	want := 0.1 + 0.4*(10.0/30)
+	if !ok || math.Abs(q25-want) > 1e-12 {
+		t.Errorf("q25 = %g ok=%t, want %g", q25, ok, want)
+	}
+	if q0, _ := Quantile(0, upper, cum); q0 != 0 {
+		t.Errorf("q0 = %g, want 0 (lower bound of first bucket)", q0)
+	}
+	if q1, _ := Quantile(1, upper, cum); q1 != 1 {
+		t.Errorf("q1 = %g, want saturation at the last finite bound", q1)
+	}
+	if v, _ := Quantile(0.99, upper, []uint64{0, 0, 0, 100}); v != 1 {
+		t.Errorf("all-+Inf histogram quantile = %g, want saturation at 1", v)
+	}
+	if _, ok := Quantile(0.5, upper, []uint64{0, 0, 0, 0}); ok {
+		t.Error("empty histogram must report not-ok")
+	}
+	if _, ok := Quantile(1.5, upper, cum); ok {
+		t.Error("out-of-range q must report not-ok")
+	}
+	if _, ok := Quantile(0.5, upper, []uint64{1, 2}); ok {
+		t.Error("mismatched bucket shapes must report not-ok")
+	}
+}
+
+// TestQuantileBitExact pins the determinism contract the lint scope
+// declares: identical inputs produce bit-identical float64 outputs, on
+// every run and regardless of how the window was assembled.
+func TestQuantileBitExact(t *testing.T) {
+	upper := []float64{1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10, 30, 60}
+	cum := make([]uint64, len(upper)+1)
+	acc := uint64(0)
+	for i := range cum {
+		acc += uint64((i*7919 + 13) % 97)
+		cum[i] = acc
+	}
+	for _, q := range []float64{0.001, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		a, okA := Quantile(q, upper, cum)
+		b, okB := Quantile(q, upper, append([]uint64(nil), cum...))
+		if okA != okB || math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("q=%g: %x vs %x — quantile estimation is not bit-stable", q, math.Float64bits(a), math.Float64bits(b))
+		}
+	}
+}
+
+func TestDeltaCounts(t *testing.T) {
+	out := make([]uint64, 4)
+	got := DeltaCounts(out, []uint64{10, 40, 70, 80}, []uint64{5, 20, 30, 35})
+	want := []uint64{5, 20, 40, 45}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DeltaCounts = %v, want %v", got, want)
+		}
+	}
+	// A reset between snapshots: later < earlier clamps to the later
+	// value, never underflows.
+	got = DeltaCounts(out, []uint64{3, 6, 9, 12}, []uint64{10, 40, 70, 80})
+	want = []uint64{3, 6, 9, 12}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reset DeltaCounts = %v, want %v", got, want)
+		}
+	}
+	// Earlier snapshot shorter than later (bucket layout grew): missing
+	// entries read as zero.
+	got = DeltaCounts(out[:2], []uint64{7, 9}, nil)
+	if got[0] != 7 || got[1] != 9 {
+		t.Fatalf("nil-earlier DeltaCounts = %v, want [7 9]", got)
+	}
+}

@@ -1,0 +1,312 @@
+// Package tsdb is ConvMeter's in-process metrics retention layer: a
+// bounded ring-buffer time-series store that samples the live obs
+// registry at a configurable cadence and answers windowed queries —
+// counter rates, gauge min/max/avg, histogram quantiles — over the
+// retained history. It is the substrate the alert engine evaluates and
+// the ops dashboard renders; nothing here leaves the process.
+//
+// Memory is hard-bounded by construction: every retained series owns
+// fixed-capacity rings sized at admission (Config.Capacity samples),
+// the series population is capped at Config.MaxSeries (excess series
+// are counted as dropped and never stored), and query scratch is
+// reused. Sampling splits into a cold admission path (Sync, which
+// allocates rings for newly appeared series) and a hot record path
+// (Sample, a pure ring write declared as a hotpath root in lint.config)
+// so the steady-state per-tick cost allocates nothing in-package.
+//
+// Counters are stored delta-aware — the raw cumulative value is
+// retained and rates apply Prometheus-style reset detection at query
+// time — gauges as point-in-time snapshots, and histograms with their
+// full cumulative bucket vectors, so windowed quantile estimation is
+// exact with respect to the bucket layout. The arithmetic lives in the
+// deterministic sub-package seriesq: the same retained samples produce
+// bit-identical query answers on every run.
+//
+// Everything is nil-safe: a nil *DB ignores Sync/Sample/Start/Stop and
+// answers every query negatively, so a disabled retention layer costs
+// zero allocations on the observe path.
+package tsdb
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"convmeter/internal/obs"
+)
+
+// Config parameterises a DB.
+type Config struct {
+	// Obs supplies the registry to sample and receives the store's own
+	// convmeter_tsdb_* telemetry. Required: New returns a nil (disabled)
+	// DB without it.
+	Obs *obs.Obs
+	// Clock is the sampling timestamp source; defaults to a monotonic
+	// clock with its epoch at New. Tests inject manual clocks for
+	// deterministic timelines.
+	Clock obs.Clock
+	// Capacity is the number of samples each series ring retains.
+	// Default 512.
+	Capacity int
+	// MaxSeries caps the retained series population; series beyond the
+	// cap are dropped (and counted) rather than stored. Default 1024.
+	MaxSeries int
+	// Interval is Start's sampling cadence. Default 1s.
+	Interval time.Duration
+	// Prefix filters which registry series are retained. Default
+	// "convmeter_".
+	Prefix string
+}
+
+// DB is a bounded in-memory time-series store over one registry.
+type DB struct {
+	reg      *obs.Registry
+	clock    obs.Clock
+	capacity int
+	maxSer   int
+	interval time.Duration
+	prefix   string
+
+	samplesC *obs.Counter
+	seriesG  *obs.Gauge
+	droppedC *obs.Counter
+
+	mu       sync.Mutex
+	series   map[string]*series
+	names    []string // sorted admission index, for deterministic family iteration
+	dropped  map[string]bool
+	memBytes int
+
+	loopMu  sync.Mutex
+	quit    chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// series is one retained metric stream with fixed-capacity rings.
+type series struct {
+	name, base, typ string
+	upper           []float64 // histogram bucket bounds; nil otherwise
+
+	t    []time.Duration // timestamp ring
+	v    []float64       // counter/gauge value; histogram sum
+	n    []uint64        // histogram observation count
+	b    []uint64        // histogram cumulative buckets, stride len(upper)+1
+	next int
+	full bool
+}
+
+// New returns an enabled DB, or nil (a valid disabled store) when
+// cfg.Obs is nil.
+func New(cfg Config) *DB {
+	if cfg.Obs == nil {
+		return nil
+	}
+	db := &DB{
+		reg:      cfg.Obs.Reg,
+		clock:    cfg.Clock,
+		capacity: cfg.Capacity,
+		maxSer:   cfg.MaxSeries,
+		interval: cfg.Interval,
+		prefix:   cfg.Prefix,
+		series:   map[string]*series{},
+		dropped:  map[string]bool{},
+		samplesC: cfg.Obs.Counter("convmeter_tsdb_samples_total",
+			"registry sweeps recorded into the retention rings"),
+		seriesG: cfg.Obs.Gauge("convmeter_tsdb_series",
+			"metric series currently retained"),
+		droppedC: cfg.Obs.Counter("convmeter_tsdb_dropped_series_total",
+			"series refused admission by the MaxSeries bound"),
+	}
+	if db.clock == nil {
+		base := time.Now()
+		db.clock = func() time.Duration { return time.Since(base) }
+	}
+	if db.capacity <= 0 {
+		db.capacity = 512
+	}
+	if db.maxSer <= 0 {
+		db.maxSer = 1024
+	}
+	if db.interval <= 0 {
+		db.interval = time.Second
+	}
+	if db.prefix == "" {
+		db.prefix = "convmeter_"
+	}
+	return db
+}
+
+// Now returns the store's clock reading (0 on nil).
+func (db *DB) Now() time.Duration {
+	if db == nil {
+		return 0
+	}
+	return db.clock()
+}
+
+// Sync admits registry series that appeared since the last Sync,
+// allocating their rings — the cold half of a sampling tick. Series
+// beyond the MaxSeries bound are recorded as dropped and skipped
+// forever after. Nil-safe.
+func (db *DB) Sync() {
+	if db == nil {
+		return
+	}
+	pts := db.reg.Snapshot()
+	newlyDropped := 0
+	db.mu.Lock()
+	for i := range pts {
+		p := &pts[i]
+		if !strings.HasPrefix(p.Name, db.prefix) {
+			continue
+		}
+		if _, ok := db.series[p.Name]; ok {
+			continue
+		}
+		if db.dropped[p.Name] {
+			continue
+		}
+		if len(db.series) >= db.maxSer {
+			db.dropped[p.Name] = true
+			newlyDropped++
+			continue
+		}
+		s := &series{
+			name: p.Name, base: p.Base, typ: p.Type,
+			t: make([]time.Duration, db.capacity),
+			v: make([]float64, db.capacity),
+		}
+		db.memBytes += db.capacity * 16
+		if p.Type == "histogram" {
+			s.upper = make([]float64, 0, len(p.Buckets)-1)
+			for _, bc := range p.Buckets[:len(p.Buckets)-1] {
+				s.upper = append(s.upper, bc.LE)
+			}
+			s.n = make([]uint64, db.capacity)
+			s.b = make([]uint64, db.capacity*len(p.Buckets))
+			db.memBytes += db.capacity * 8 * (1 + len(p.Buckets))
+		}
+		db.series[p.Name] = s
+		db.names = append(db.names, p.Name)
+	}
+	sort.Strings(db.names)
+	n := len(db.series)
+	db.mu.Unlock()
+	db.seriesG.Set(float64(n))
+	db.droppedC.Add(float64(newlyDropped))
+}
+
+// Sample records one sweep of the registry into the rings at timestamp
+// now: the hot half of a sampling tick, a pure ring write over the
+// series the most recent Sync admitted. Unknown series are skipped (the
+// next Sync picks them up). Nil-safe.
+func (db *DB) Sample(now time.Duration) {
+	if db == nil {
+		return
+	}
+	pts := db.reg.Snapshot()
+	db.mu.Lock()
+	for i := range pts {
+		p := &pts[i]
+		s, ok := db.series[p.Name]
+		if !ok {
+			continue
+		}
+		s.t[s.next] = now
+		s.v[s.next] = p.Value
+		if s.typ == "histogram" {
+			s.n[s.next] = p.Count
+			stride := len(s.upper) + 1
+			row := s.b[s.next*stride : (s.next+1)*stride]
+			for j := 0; j < stride && j < len(p.Buckets); j++ {
+				row[j] = p.Buckets[j].Count
+			}
+		}
+		s.next++
+		if s.next == len(s.t) {
+			s.next = 0
+			s.full = true
+		}
+	}
+	db.mu.Unlock()
+	db.samplesC.Inc()
+}
+
+// Start launches the background sampling loop at the configured
+// cadence; each tick syncs then samples. Stop terminates it. Nil-safe
+// and idempotent.
+func (db *DB) Start() {
+	if db == nil {
+		return
+	}
+	db.loopMu.Lock()
+	defer db.loopMu.Unlock()
+	if db.started {
+		return
+	}
+	db.started = true
+	db.quit = make(chan struct{})
+	db.done = make(chan struct{})
+	go db.loop(db.quit, db.done)
+}
+
+func (db *DB) loop(quit, done chan struct{}) {
+	tick := time.NewTicker(db.interval)
+	defer tick.Stop()
+	defer close(done)
+	for {
+		select {
+		case <-tick.C:
+			db.Sync()
+			db.Sample(db.clock())
+		case <-quit:
+			return
+		}
+	}
+}
+
+// Stop terminates the background sampling loop and waits for it to
+// exit. Nil-safe; a no-op unless Start ran.
+func (db *DB) Stop() {
+	if db == nil {
+		return
+	}
+	db.loopMu.Lock()
+	if !db.started {
+		db.loopMu.Unlock()
+		return
+	}
+	db.started = false
+	quit, done := db.quit, db.done
+	db.loopMu.Unlock()
+	// The receive blocks until the loop exits; holding loopMu across it
+	// would stall a concurrent Start.
+	close(quit)
+	<-done
+}
+
+// Usage reports the store's population and memory accounting — the
+// numbers the bound tests pin.
+type Usage struct {
+	Series        int // retained series
+	Dropped       int // series refused by the MaxSeries bound
+	Capacity      int // ring capacity, samples per series
+	MaxSeries     int
+	RetainedBytes int // fixed ring footprint across all admitted series
+}
+
+// Usage returns the store's current accounting. Nil-safe (zero usage).
+func (db *DB) Usage() Usage {
+	if db == nil {
+		return Usage{}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return Usage{
+		Series: len(db.series), Dropped: len(db.dropped),
+		Capacity: db.capacity, MaxSeries: db.maxSer,
+		RetainedBytes: db.memBytes,
+	}
+}

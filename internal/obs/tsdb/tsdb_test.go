@@ -1,0 +1,270 @@
+package tsdb
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"convmeter/internal/obs"
+)
+
+// manualDB builds an enabled DB over a fresh registry with a test-owned
+// clock, so timelines are fully deterministic.
+func manualDB(t *testing.T, cfg Config) (*obs.Obs, *DB, *time.Duration) {
+	t.Helper()
+	o := obs.New()
+	now := new(time.Duration)
+	cfg.Obs = o
+	cfg.Clock = func() time.Duration { return *now }
+	db := New(cfg)
+	if db == nil {
+		t.Fatal("New returned nil for an enabled config")
+	}
+	return o, db, now
+}
+
+func TestNilDBIsDisabled(t *testing.T) {
+	var db *DB
+	db.Sync()
+	db.Sample(0)
+	db.Start()
+	db.Stop()
+	if got := db.Series(); got != nil {
+		t.Errorf("nil Series = %v", got)
+	}
+	if _, ok := db.Rate("x", 0, time.Second); ok {
+		t.Error("nil Rate reported ok")
+	}
+	if _, ok := db.Stats("x", 0, time.Second); ok {
+		t.Error("nil Stats reported ok")
+	}
+	if _, ok := db.Quantile("x", 0.5, 0, time.Second); ok {
+		t.Error("nil Quantile reported ok")
+	}
+	if got := db.Range("x", 0, time.Second); got != nil {
+		t.Errorf("nil Range = %v", got)
+	}
+	if u := db.Usage(); u != (Usage{}) {
+		t.Errorf("nil Usage = %+v", u)
+	}
+	if New(Config{}) != nil {
+		t.Error("New without an Obs must return a nil (disabled) DB")
+	}
+}
+
+func TestCounterRateAndGaugeStats(t *testing.T) {
+	o, db, now := manualDB(t, Config{Capacity: 64})
+	c := o.Counter("convmeter_test_total", "t")
+	g := o.Gauge("convmeter_test_gauge", "t")
+	db.Sync()
+	for i := 0; i < 10; i++ {
+		c.Add(5)
+		g.Set(float64(i))
+		*now += time.Second
+		db.Sample(*now)
+	}
+	r, ok := db.Rate("convmeter_test_total", *now, 20*time.Second)
+	if !ok || math.Abs(r-5) > 1e-9 {
+		t.Errorf("Rate = (%g, %t), want 5/s", r, ok)
+	}
+	// A 4s window sees samples at t=7..10s: values 35..50, increase 15
+	// over 3s.
+	r, ok = db.Rate("convmeter_test_total", *now, 4*time.Second)
+	if !ok || math.Abs(r-5) > 1e-9 {
+		t.Errorf("windowed Rate = (%g, %t), want 5/s", r, ok)
+	}
+	st, ok := db.Stats("convmeter_test_gauge", *now, 20*time.Second)
+	if !ok || st.N != 10 || st.Min != 0 || st.Max != 9 || st.Last != 9 || math.Abs(st.Avg-4.5) > 1e-9 {
+		t.Errorf("Stats = %+v ok=%t", st, ok)
+	}
+	if _, ok := db.Rate("convmeter_never_registered", *now, time.Second); ok {
+		t.Error("unknown series must answer not-ok")
+	}
+}
+
+func TestFamilyAggregation(t *testing.T) {
+	o, db, now := manualDB(t, Config{Capacity: 64})
+	a := o.Counter(obs.Label("convmeter_req_total", "path", "/a"), "t")
+	b := o.Counter(obs.Label("convmeter_req_total", "path", "/b"), "t")
+	db.Sync()
+	for i := 0; i < 5; i++ {
+		a.Add(2)
+		b.Add(3)
+		*now += time.Second
+		db.Sample(*now)
+	}
+	r, ok := db.Rate("convmeter_req_total", *now, time.Minute)
+	if !ok || math.Abs(r-5) > 1e-9 {
+		t.Errorf("family Rate = (%g, %t), want 5/s", r, ok)
+	}
+	pts := db.Range("convmeter_req_total", *now, time.Minute)
+	if len(pts) != 5 {
+		t.Fatalf("family Range has %d points, want 5 (per-timestamp sums)", len(pts))
+	}
+	if last := pts[len(pts)-1]; math.Abs(last.V-25) > 1e-9 {
+		t.Errorf("family Range last = %+v, want summed 25", last)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	o, db, now := manualDB(t, Config{Capacity: 64})
+	h := o.Histogram("convmeter_lat_seconds", "t", []float64{0.1, 0.5, 1})
+	db.Sync()
+	*now += time.Second
+	db.Sample(*now) // empty baseline
+	for i := 0; i < 60; i++ {
+		h.Observe(0.3) // lands in (0.1, 0.5]
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(0.7) // lands in (0.5, 1]
+	}
+	*now += time.Second
+	db.Sample(*now)
+	q50, ok := db.Quantile("convmeter_lat_seconds", 0.5, *now, time.Minute)
+	// rank 50 of 100: 50/60 into the (0.1, 0.5] bucket.
+	want := 0.1 + 0.4*(50.0/60)
+	if !ok || math.Abs(q50-want) > 1e-12 {
+		t.Errorf("q50 = (%g, %t), want %g", q50, ok, want)
+	}
+	// Only observations inside the window count: a window covering just
+	// the last sample pair sees no increase before the baseline.
+	if _, ok := db.Quantile("convmeter_lat_seconds", 0.5, *now, 500*time.Millisecond); ok {
+		t.Error("single-sample window must answer not-ok")
+	}
+	if _, ok := db.Quantile("convmeter_lat_seconds", 0.5, *now+time.Hour, time.Minute); ok {
+		t.Error("empty window must answer not-ok")
+	}
+}
+
+// TestQuantileDeterministic pins bit-exact quantile answers across
+// independently built, identically fed stores — the tsdb half of the
+// determinism contract seriesq declares.
+func TestQuantileDeterministic(t *testing.T) {
+	build := func() (float64, bool) {
+		o, db, now := manualDB(t, Config{Capacity: 32})
+		h := o.Histogram("convmeter_lat_seconds", "t", obs.DefaultDurationBuckets())
+		db.Sync()
+		db.Sample(*now)
+		v := 1e-6
+		for i := 0; i < 500; i++ {
+			h.Observe(v)
+			v = math.Mod(v*1.7+1e-4, 2.5)
+			if i%50 == 49 {
+				*now += 250 * time.Millisecond
+				db.Sample(*now)
+			}
+		}
+		*now += 250 * time.Millisecond
+		db.Sample(*now)
+		return db.Quantile("convmeter_lat_seconds", 0.95, *now, time.Minute)
+	}
+	q1, ok1 := build()
+	q2, ok2 := build()
+	if !ok1 || !ok2 || math.Float64bits(q1) != math.Float64bits(q2) {
+		t.Errorf("quantile not bit-stable across runs: %x vs %x (ok %t/%t)",
+			math.Float64bits(q1), math.Float64bits(q2), ok1, ok2)
+	}
+}
+
+func TestCounterResetDetection(t *testing.T) {
+	o, db, now := manualDB(t, Config{Capacity: 16})
+	c := o.Counter("convmeter_reset_total", "t")
+	db.Sync()
+	c.Add(10)
+	*now += time.Second
+	db.Sample(*now)
+	c.Add(10)
+	*now += time.Second
+	db.Sample(*now)
+	// The registry's counters never decrease, but a series can restart
+	// from a fresh registry between process incarnations; simulate via a
+	// second registry swap... not possible in-process, so verify the
+	// seriesq-level behaviour through a gauge stored as the raw value.
+	g := o.Gauge("convmeter_fake_total", "t")
+	g.Set(100)
+	*now += time.Second
+	db.Sync()
+	db.Sample(*now)
+	g.Set(3) // reset: new value below predecessor
+	*now += time.Second
+	db.Sample(*now)
+	r, ok := db.Rate("convmeter_fake_total", *now, 5*time.Second)
+	if !ok || math.Abs(r-3) > 1e-9 { // 100→3 contributes 3 over 1s window span... increase 3 over 1s
+		t.Errorf("reset Rate = (%g, %t), want 3/s", r, ok)
+	}
+}
+
+// TestRingBound is the sustained high-cadence sampling test: memory
+// must stay within the declared ring bound — fixed rings, capped
+// series, no growth — no matter how many sweeps run.
+func TestRingBound(t *testing.T) {
+	o, db, now := manualDB(t, Config{Capacity: 32, MaxSeries: 8})
+	for i := 0; i < 20; i++ {
+		o.Counter(obs.Label("convmeter_many_total", "i", string(rune('a'+i))), "t").Inc()
+	}
+	db.Sync()
+	u := db.Usage()
+	if u.Series != 8 {
+		t.Fatalf("admitted %d series, want the MaxSeries bound 8", u.Series)
+	}
+	if u.Dropped < 12 {
+		t.Errorf("dropped %d series, want >= 12", u.Dropped)
+	}
+	bytesAfterAdmission := u.RetainedBytes
+	if bytesAfterAdmission <= 0 || bytesAfterAdmission > 8*32*16 {
+		t.Errorf("retained bytes %d outside the declared bound (8 series x 32 samples x 16B)", bytesAfterAdmission)
+	}
+	for i := 0; i < 10_000; i++ {
+		*now += time.Millisecond
+		db.Sample(*now)
+		if i%100 == 0 {
+			db.Sync()
+		}
+	}
+	u = db.Usage()
+	if u.RetainedBytes != bytesAfterAdmission {
+		t.Errorf("retained bytes grew under sustained sampling: %d -> %d", bytesAfterAdmission, u.RetainedBytes)
+	}
+	if u.Series != 8 {
+		t.Errorf("series population grew to %d under sustained sampling", u.Series)
+	}
+	for _, info := range db.Series() {
+		if info.Samples > 32 {
+			t.Errorf("series %s retains %d samples, ring capacity is 32", info.Name, info.Samples)
+		}
+	}
+	// The rings wrapped thousands of times; the window must still read
+	// in chronological order.
+	pts := db.Range(db.Series()[0].Name, *now, 10*time.Millisecond)
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Fatalf("wrapped ring reads out of order at %d: %v", i, pts)
+		}
+	}
+}
+
+func TestStartStopLoop(t *testing.T) {
+	o := obs.New()
+	c := o.Counter("convmeter_loop_total", "t")
+	db := New(Config{Obs: o, Interval: time.Millisecond, Capacity: 128})
+	db.Start()
+	db.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.Inc()
+		if len(db.Range("convmeter_loop_total", db.Now(), time.Minute)) >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampling loop never recorded 3 sweeps")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	db.Stop()
+	db.Stop() // idempotent
+	n := len(db.Range("convmeter_loop_total", db.Now(), time.Minute))
+	time.Sleep(5 * time.Millisecond)
+	if got := len(db.Range("convmeter_loop_total", db.Now(), time.Minute)); got != n {
+		t.Errorf("loop still sampling after Stop: %d -> %d", n, got)
+	}
+}

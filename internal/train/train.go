@@ -171,6 +171,7 @@ type trainTelemetry struct {
 	retries *obs.Counter
 	removed *obs.Counter
 	liveG   *obs.Gauge
+	lossG   *obs.Gauge
 }
 
 func newTrainTelemetry(o *obs.Obs) *trainTelemetry {
@@ -189,6 +190,8 @@ func newTrainTelemetry(o *obs.Obs) *trainTelemetry {
 			"workers declared dead (crash schedule or blame after retry exhaustion)"),
 		liveG: o.Gauge("convmeter_train_live_workers",
 			"workers currently participating in the ring"),
+		lossG: o.Gauge("convmeter_train_loss",
+			"mean loss across live workers at the last completed step"),
 	}
 }
 
@@ -437,6 +440,7 @@ func (t *Trainer) Step(data DataSource) (float64, error) {
 	if t.tel != nil {
 		t.tel.stepH.Observe(time.Since(stepT0).Seconds())
 		t.tel.steps.Inc()
+		t.tel.lossG.Set(mean)
 	}
 	if feedCrit {
 		trc := t.cfg.Obs.Trc
